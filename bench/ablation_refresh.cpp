@@ -1,0 +1,70 @@
+// Ablation — sensitivity to the periodic full-refresh interval.
+//
+// The adaptive solver's error is cumulative (paper Sec. III-B), so all
+// rates are recomputed every `refresh_interval` events. Shorter intervals
+// cost work; longer ones let untested junctions drift. Mapped on the 74148
+// benchmark like ablation_threshold.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "analysis/delay.h"
+#include "logic/benchmarks.h"
+#include "logic/elaborate.h"
+#include "logic/testbench.h"
+
+using namespace semsim;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const int seeds = args.full ? 9 : 5;
+
+  LogicBenchmark b = make_benchmark("74148");
+  ElaboratedCircuit elab = elaborate(b.netlist, SetLogicParams{});
+  auto model = std::make_shared<const ElectrostaticModel>(elab.circuit());
+
+  auto mean_delay = [&](bool adaptive, std::uint64_t refresh,
+                        std::uint64_t* evals, std::uint64_t* events) {
+    double acc = 0.0;
+    int n = 0;
+    std::uint64_t ev_sum = 0, e_sum = 0;
+    for (int s = 0; s < seeds; ++s) {
+      DelayRunConfig cfg;
+      cfg.engine.adaptive.enabled = adaptive;
+      cfg.engine.adaptive.refresh_interval = refresh;
+      cfg.seed = 70 + static_cast<std::uint64_t>(s);
+      const DelayRunResult r = run_delay_experiment(b, elab, model, cfg);
+      if (delay_valid(r.delay)) {
+        acc += r.delay;
+        ++n;
+      }
+      ev_sum += r.stats.rate_evaluations;
+      e_sum += r.stats.events;
+    }
+    if (evals) *evals = ev_sum;
+    if (events) *events = e_sum;
+    return n ? acc / n : std::nan("");
+  };
+
+  std::uint64_t ref_evals = 0, ref_events = 0;
+  const double ref = mean_delay(false, 1000, &ref_evals, &ref_events);
+  std::printf("== Ablation: periodic refresh interval (74148) ==\n");
+  std::printf("non-adaptive reference: delay = %.3e s\n", ref);
+
+  TableWriter table({"refresh_events", "delay_s", "err_pct", "evals_per_event"});
+  table.add_comment("74148; alpha = 0.05 fixed");
+  for (const std::uint64_t refresh :
+       {std::uint64_t{100}, std::uint64_t{300}, std::uint64_t{1000},
+        std::uint64_t{3000}, std::uint64_t{10000}, std::uint64_t{100000}}) {
+    std::uint64_t evals = 0, events = 0;
+    const double d = mean_delay(true, refresh, &evals, &events);
+    const double per_event =
+        static_cast<double>(evals) / static_cast<double>(events);
+    const double err = 100.0 * std::abs(d - ref) / ref;
+    std::printf("refresh=%llu: delay %.3e s (err %.2f%%), evals/event %.2f\n",
+                static_cast<unsigned long long>(refresh), d, err, per_event);
+    table.add_row({static_cast<double>(refresh), d, err, per_event});
+  }
+  bench::emit(args, "ablation_refresh", table);
+  return 0;
+}

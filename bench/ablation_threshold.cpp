@@ -1,0 +1,77 @@
+// Ablation — sensitivity to the adaptive threshold alpha (Algorithm 1).
+//
+// Smaller alpha flags more junctions per event (more work, less error);
+// larger alpha lets rates go stale between periodic refreshes. The paper
+// fixes one operating point; this ablation maps the speed/accuracy knob on
+// the 74148 benchmark: rate evaluations per event and the propagation-delay
+// error against the non-adaptive reference.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "analysis/delay.h"
+#include "logic/benchmarks.h"
+#include "logic/elaborate.h"
+#include "logic/testbench.h"
+
+using namespace semsim;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const int seeds = args.full ? 15 : 11;
+
+  LogicBenchmark b = make_benchmark("74148");
+  ElaboratedCircuit elab = elaborate(b.netlist, SetLogicParams{});
+  auto model = std::make_shared<const ElectrostaticModel>(elab.circuit());
+
+  auto mean_delay = [&](bool adaptive, double alpha, std::uint64_t* evals,
+                        std::uint64_t* events) {
+    double acc = 0.0;
+    int n = 0;
+    std::uint64_t ev_sum = 0, e_sum = 0;
+    for (int s = 0; s < seeds; ++s) {
+      DelayRunConfig cfg;
+      cfg.engine.adaptive.enabled = adaptive;
+      cfg.engine.adaptive.threshold = alpha;
+      cfg.seed = 40 + static_cast<std::uint64_t>(s);
+      const DelayRunResult r = run_delay_experiment(b, elab, model, cfg);
+      if (delay_valid(r.delay)) {
+        acc += r.delay;
+        ++n;
+      }
+      ev_sum += r.stats.rate_evaluations;
+      e_sum += r.stats.events;
+    }
+    if (evals) *evals = ev_sum;
+    if (events) *events = e_sum;
+    return n ? acc / n : std::nan("");
+  };
+
+  std::uint64_t ref_evals = 0, ref_events = 0;
+  const double ref = mean_delay(false, 0.05, &ref_evals, &ref_events);
+  std::printf("== Ablation: adaptive threshold alpha (74148, %zu junctions) ==\n",
+              b.netlist.junction_count());
+  std::printf("non-adaptive reference: delay = %.3e s, evals/event = %.1f\n",
+              ref,
+              static_cast<double>(ref_evals) / static_cast<double>(ref_events));
+
+  TableWriter table({"alpha", "delay_s", "err_pct", "evals_per_event",
+                     "work_saving_x"});
+  table.add_comment("74148; delay error vs non-adaptive, work per event");
+  for (const double alpha : {0.005, 0.02, 0.05, 0.1, 0.2, 0.5}) {
+    std::uint64_t evals = 0, events = 0;
+    const double d = mean_delay(true, alpha, &evals, &events);
+    const double per_event =
+        static_cast<double>(evals) / static_cast<double>(events);
+    const double err = 100.0 * std::abs(d - ref) / ref;
+    const double saving = (static_cast<double>(ref_evals) /
+                           static_cast<double>(ref_events)) /
+                          per_event;
+    std::printf("alpha=%.3f: delay %.3e s (err %.2f%%), evals/event %.2f "
+                "(%.1fx less work)\n",
+                alpha, d, err, per_event, saving);
+    table.add_row({alpha, d, err, per_event, saving});
+  }
+  bench::emit(args, "ablation_threshold", table);
+  return 0;
+}

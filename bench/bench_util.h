@@ -1,0 +1,50 @@
+// Shared plumbing for the figure-reproduction benches: flag parsing and
+// dual output (stdout + bench_out/*.tsv).
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/table_writer.h"
+
+namespace semsim::bench {
+
+struct BenchArgs {
+  bool full = false;        ///< paper-fidelity event counts / grids
+  std::string out_dir = "bench_out";
+
+  static BenchArgs parse(int argc, char** argv) {
+    // Benches run for minutes; make progress visible through pipes.
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+      const std::string s = argv[i];
+      if (s == "--full") {
+        a.full = true;
+      } else if (s.rfind("--out=", 0) == 0) {
+        a.out_dir = s.substr(6);
+      } else if (s == "--help" || s == "-h") {
+        std::printf("usage: %s [--full] [--out=DIR]\n", argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", s.c_str());
+        std::exit(2);
+      }
+    }
+    return a;
+  }
+};
+
+/// Prints the table to stdout and writes it under out_dir/name.tsv.
+inline void emit(const BenchArgs& args, const std::string& name,
+                 const TableWriter& table) {
+  std::filesystem::create_directories(args.out_dir);
+  table.write(std::cout);
+  table.write_file(args.out_dir + "/" + name + ".tsv");
+  std::printf("# -> %s/%s.tsv\n\n", args.out_dir.c_str(), name.c_str());
+}
+
+}  // namespace semsim::bench

@@ -1,0 +1,107 @@
+// Fig. 1b — I-V characteristics of the paper's SET at T = 5 K for gate
+// voltages 0 .. 30 mV: R1 = R2 = 1 MOhm, C1 = C2 = 1 aF, Cg = 3 aF,
+// symmetric bias sweep of Vds.
+//
+// Expected shape (all reproduced): Coulomb-blockade suppression around
+// Vds = 0 extending to |Vds| ~ e/C_sigma = 32 mV at Vg = 0, shrinking as the
+// gate approaches the degeneracy point, with the overall staircase-free
+// quasi-linear rise above threshold.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/current.h"
+#include "analysis/sweep.h"
+#include "base/constants.h"
+#include "bench_util.h"
+#include "core/engine.h"
+#include "master/master_equation.h"
+#include "netlist/circuit.h"
+
+using namespace semsim;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const double step = args.full ? 0.001 : 0.002;
+  const std::uint64_t events = args.full ? 100000 : 20000;
+  const std::vector<double> gates = {0.00, 0.01, 0.02, 0.03};
+
+  std::printf("== Fig. 1b: SET I-V at T = 5 K (paper parameters) ==\n");
+  std::printf("# blockade threshold (analytic): e/C_sigma = %.1f mV at Vg = 0\n",
+              1e3 * kElementaryCharge / 5e-18);
+
+  // One current column per gate voltage.
+  std::vector<std::vector<IvPoint>> curves;
+  for (const double vg : gates) {
+    Circuit c;
+    const NodeId src = c.add_external("src");
+    const NodeId drn = c.add_external("drn");
+    const NodeId gate = c.add_external("gate");
+    const NodeId island = c.add_island("island");
+    c.add_junction(src, island, 1e6, 1e-18);
+    c.add_junction(island, drn, 1e6, 1e-18);
+    c.add_capacitor(gate, island, 3e-18);
+    c.set_source(gate, Waveform::dc(vg));
+
+    EngineOptions o;
+    o.temperature = 5.0;
+    o.seed = 42;
+    Engine engine(c, o);
+
+    IvSweepConfig cfg;
+    cfg.swept = src;
+    cfg.mirror = drn;
+    cfg.from = -0.02;  // Vds = 2 * v_half spans -40 .. +40 mV
+    cfg.to = 0.02;
+    cfg.step = step / 2.0;
+    cfg.probes = {{0, 1.0}, {1, 1.0}};
+    cfg.measure = CurrentMeasureConfig{events / 10, events, 8};
+    curves.push_back(run_iv_sweep(engine, cfg));
+  }
+
+  TableWriter table({"vds_V", "i_vg0_A", "i_vg10mV_A", "i_vg20mV_A", "i_vg30mV_A"});
+  table.add_comment("Fig. 1b reproduction: SET I-V, T = 5 K");
+  table.add_comment("R1=R2=1MOhm C1=C2=1aF Cg=3aF, symmetric bias");
+  for (std::size_t i = 0; i < curves[0].size(); ++i) {
+    table.add_row({2.0 * curves[0][i].bias, curves[0][i].current,
+                   curves[1][i].current, curves[2][i].current,
+                   curves[3][i].current});
+  }
+  bench::emit(args, "fig1b_set_iv", table);
+
+  // Quick shape assertions printed for EXPERIMENTS.md.
+  const auto& c0 = curves[0];
+  const std::size_t mid = c0.size() / 2;
+  const std::size_t hi = c0.size() - 1;
+  std::printf("check: |I(0)| = %.3e A << |I(+40mV)| = %.3e A  [blockade]\n",
+              std::abs(c0[mid].current), std::abs(c0[hi].current));
+  std::printf("check: I(-40mV) = %.3e ~ -I(+40mV) = %.3e  [antisymmetry]\n",
+              c0[0].current, -c0[hi].current);
+
+  // Cross-validation against the (noise-free) master-equation solver at a
+  // few bias points — the "second method" of the paper's Sec. I.
+  std::printf("Monte-Carlo vs master equation (Vg = 0):\n");
+  for (const double v_half : {0.01, 0.015, 0.02}) {
+    Circuit c;
+    const NodeId src = c.add_external("src");
+    const NodeId drn = c.add_external("drn");
+    const NodeId gate = c.add_external("gate");
+    const NodeId island = c.add_island("island");
+    c.add_junction(src, island, 1e6, 1e-18);
+    c.add_junction(island, drn, 1e6, 1e-18);
+    c.add_capacitor(gate, island, 3e-18);
+    c.set_source(src, Waveform::dc(v_half));
+    c.set_source(drn, Waveform::dc(-v_half));
+    EngineOptions o;
+    o.temperature = 5.0;
+    MasterEquationSolver me(c, o);
+    // Interpolate the Monte-Carlo curve at this bias point.
+    double i_mc = 0.0;
+    for (const IvPoint& p : curves[0]) {
+      if (std::abs(2.0 * p.bias - 2.0 * v_half) < 1e-6) i_mc = p.current;
+    }
+    std::printf("  Vds=%.0f mV: MC %.4e A vs ME %.4e A (ratio %.3f)\n",
+                2e3 * v_half, i_mc, me.junction_current(0),
+                i_mc / me.junction_current(0));
+  }
+  return 0;
+}

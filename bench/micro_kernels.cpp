@@ -1,0 +1,150 @@
+// Micro-benchmarks of the kernels the Fig. 6 cost model is built from:
+// tunnel-rate evaluations, free-energy updates, event sampling, and whole
+// Monte-Carlo steps for both solvers on parametric chain circuits.
+#include <benchmark/benchmark.h>
+
+#include "base/constants.h"
+#include "base/fenwick.h"
+#include "base/random.h"
+#include "core/engine.h"
+#include "linalg/cholesky.h"
+#include "netlist/circuit.h"
+#include "physics/cooper_pair.h"
+#include "physics/cotunneling.h"
+#include "physics/qp_rate.h"
+#include "physics/rates.h"
+#include "spice/set_model.h"
+
+namespace semsim {
+namespace {
+
+void BM_OrthodoxRate(benchmark::State& state) {
+  double w = -1e-21;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orthodox_rate(w, 1e6, 1.0));
+    w = -w;
+  }
+}
+BENCHMARK(BM_OrthodoxRate);
+
+void BM_QpRateDirectIntegral(benchmark::State& state) {
+  const double d = 0.21e-3 * kElectronVolt;
+  QuasiparticleRate qp({2.1e5, d, d, 0.52});
+  double w = -3.0 * d;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qp.rate(w));
+  }
+}
+BENCHMARK(BM_QpRateDirectIntegral);
+
+void BM_QpRateCachedLookup(benchmark::State& state) {
+  const double d = 0.21e-3 * kElectronVolt;
+  QuasiparticleRate qp({2.1e5, d, d, 0.52});
+  qp.build_table(-6.0 * d, 6.0 * d);
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const double w = (2.0 * rng.uniform01() - 1.0) * 5.0 * d;
+    benchmark::DoNotOptimize(qp.rate_cached(w));
+  }
+}
+BENCHMARK(BM_QpRateCachedLookup);
+
+void BM_CooperPairRate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cooper_pair_rate(1e-23, 5e-25, 6e-25));
+  }
+}
+BENCHMARK(BM_CooperPairRate);
+
+void BM_CotunnelingRate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cotunneling_rate(-1e-22, 2e-21, 2e-21, 1e6, 1e6, 1.0));
+  }
+}
+BENCHMARK(BM_CotunnelingRate);
+
+void BM_SetCompactModel(benchmark::State& state) {
+  SetModelParams m;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set_drain_current(m, 0.02, 0.0, 0.015, 0.0));
+  }
+}
+BENCHMARK(BM_SetCompactModel);
+
+void BM_FenwickSetAndSample(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  FenwickTree t(n);
+  Xoshiro256 rng(7);
+  for (std::size_t i = 0; i < n; ++i) t.set(i, rng.uniform01() * 1e9);
+  for (auto _ : state) {
+    t.set(rng.uniform_below(n), rng.uniform01() * 1e9);
+    benchmark::DoNotOptimize(t.sample(rng.uniform01() * t.total()));
+  }
+}
+BENCHMARK(BM_FenwickSetAndSample)->Arg(64)->Arg(1024)->Arg(16384);
+
+// A chain of isolated SET stages (the Fig. 4 scenario): n stages = 2n
+// junctions, n islands.
+Circuit make_chain(int stages) {
+  Circuit c;
+  const NodeId vp = c.add_external("vp");
+  const NodeId vn = c.add_external("vn");
+  c.set_source(vp, Waveform::dc(0.01));
+  c.set_source(vn, Waveform::dc(-0.01));
+  for (int s = 0; s < stages; ++s) {
+    const NodeId i = c.add_island();
+    c.add_junction(vp, i, 1e6, 1e-18);
+    c.add_junction(i, vn, 1e6, 1e-18);
+    c.add_capacitor(i, Circuit::kGroundNode, 20e-18);
+  }
+  return c;
+}
+
+void BM_EngineStepAdaptive(benchmark::State& state) {
+  const Circuit c = make_chain(static_cast<int>(state.range(0)));
+  EngineOptions o;
+  o.temperature = 0.0;
+  o.adaptive.enabled = true;
+  Engine e(c, o);
+  for (auto _ : state) {
+    if (!e.step()) state.SkipWithError("engine stuck");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(e.event_count()));
+}
+BENCHMARK(BM_EngineStepAdaptive)->Arg(8)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_EngineStepNonAdaptive(benchmark::State& state) {
+  const Circuit c = make_chain(static_cast<int>(state.range(0)));
+  EngineOptions o;
+  o.temperature = 0.0;
+  o.adaptive.enabled = false;
+  Engine e(c, o);
+  for (auto _ : state) {
+    if (!e.step()) state.SkipWithError("engine stuck");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(e.event_count()));
+}
+BENCHMARK(BM_EngineStepNonAdaptive)->Arg(8)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CholeskyInverse(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(3);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = 0.1 * rng.uniform01();
+      a(i, j) = -v;
+      a(j, i) = -v;
+    }
+    a(i, i) = 2.0 + static_cast<double>(n) * 0.1;
+  }
+  for (auto _ : state) {
+    CholeskyDecomposition chol(a);
+    benchmark::DoNotOptimize(chol.inverse());
+  }
+}
+BENCHMARK(BM_CholeskyInverse)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semsim

@@ -1,0 +1,62 @@
+// Cotunneling example: transport deep inside the Coulomb blockade.
+//
+//   $ ./cotunneling_blockade
+//
+// At T = 0 and |Vds| far below threshold, sequential tunneling is
+// impossible: every channel of the orthodox model is closed. With the
+// `cotunneling` option the engine adds second-order channels in which an
+// electron crosses both junctions coherently (paper Sec. II), and a small
+// I ~ V^3 current flows. The example prints the same device with and
+// without cotunneling enabled.
+#include <cstdio>
+
+#include "analysis/current.h"
+#include "core/engine.h"
+#include "netlist/circuit.h"
+
+using namespace semsim;
+
+namespace {
+
+Circuit make_set(double v_half) {
+  Circuit c;
+  const NodeId src = c.add_external("src");
+  const NodeId drn = c.add_external("drn");
+  const NodeId gate = c.add_external("gate");
+  const NodeId island = c.add_island("island");
+  c.add_junction(src, island, 1e6, 1e-18);
+  c.add_junction(island, drn, 1e6, 1e-18);
+  c.add_capacitor(gate, island, 3e-18);
+  c.set_source(src, Waveform::dc(v_half));
+  c.set_source(drn, Waveform::dc(-v_half));
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Vds [mV]  I_sequential [A]  I_with_cotunneling [A]\n");
+  for (double v_half = 0.001; v_half <= 0.0081; v_half += 0.001) {
+    // Sequential only: stuck at T = 0 in blockade -> exactly zero current.
+    Circuit c_seq = make_set(v_half);
+    EngineOptions seq;
+    seq.temperature = 0.0;
+    Engine e_seq(c_seq, seq);
+    const double i_seq = e_seq.total_rate() == 0.0 ? 0.0 : -1.0;
+
+    Circuit c_cot = make_set(v_half);
+    EngineOptions cot;
+    cot.temperature = 0.0;
+    cot.cotunneling = true;
+    cot.seed = 3;
+    Engine e_cot(c_cot, cot);
+    const CurrentEstimate est = measure_mean_current(
+        e_cot, {{0, 1.0}, {1, 1.0}}, CurrentMeasureConfig{500, 10000, 6});
+
+    std::printf("  %5.1f      %.1e           %.4e\n", 2e3 * v_half, i_seq,
+                est.mean);
+  }
+  std::printf("# doubling Vds multiplies the current by ~8 (I ~ V^3,\n"
+              "# Averin-Nazarov inelastic cotunneling).\n");
+  return 0;
+}

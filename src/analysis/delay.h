@@ -1,0 +1,31 @@
+// Propagation-delay extraction for SET logic circuits (Fig. 7 metric).
+//
+// Monte-Carlo node voltages are shot-noise jagged, so the raw trace is run
+// through an exponential moving average with a configurable time constant
+// before the threshold crossing is detected. The delay is the time from the
+// input step to the first smoothed crossing in the expected direction.
+#pragma once
+
+#include <limits>
+
+#include "core/engine.h"
+
+namespace semsim {
+
+struct DelayConfig {
+  NodeId output = 0;          ///< observed island
+  double t_step = 0.0;        ///< input transition time [s]
+  double v_threshold = 0.0;   ///< crossing level [V]
+  bool rising = true;         ///< expected output direction
+  double smoothing_tau = 0.0; ///< EMA time constant [s]; 0 = raw trace
+  double t_max = 0.0;         ///< give up after this simulated time [s]
+};
+
+/// Runs the engine until the output crosses (or t_max); returns the delay
+/// t_cross - t_step, or NaN when no crossing happened.
+double measure_propagation_delay(Engine& engine, const DelayConfig& cfg);
+
+/// True when `d` is a real measured delay.
+inline bool delay_valid(double d) noexcept { return d == d; }
+
+}  // namespace semsim

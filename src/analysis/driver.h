@@ -1,0 +1,38 @@
+// High-level simulation driver: executes a parsed SEMSIM input file
+// (netlist/parser.h) the way the paper's tool does — run the Monte-Carlo
+// process until the requested number of jumps or simulated time, recording
+// the requested junction currents, or sweep a source if a `sweep` directive
+// is present.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/current.h"
+#include "analysis/sweep.h"
+#include "netlist/parser.h"
+
+namespace semsim {
+
+struct DriverOptions {
+  std::uint64_t seed = 1;
+  bool adaptive = true;   ///< false = conventional non-adaptive solver
+};
+
+struct DriverResult {
+  /// Filled when the input has a `sweep` directive.
+  std::vector<IvPoint> sweep;
+  /// Filled otherwise: the recorded junctions' mean current.
+  std::optional<CurrentEstimate> current;
+  double simulated_time = 0.0;  ///< [s]
+  std::uint64_t events = 0;
+  SolverStats stats;
+};
+
+/// Runs the simulation an input file describes. Throws on structurally
+/// invalid inputs (e.g. `record` missing when a current is requested).
+DriverResult run_simulation(const SimulationInput& input,
+                            const DriverOptions& options = {});
+
+}  // namespace semsim

@@ -1,0 +1,68 @@
+#include "analysis/sweep.h"
+
+#include <cmath>
+
+#include "base/error.h"
+
+namespace semsim {
+
+std::vector<IvPoint> run_iv_sweep(Engine& engine, const IvSweepConfig& cfg) {
+  require(cfg.step > 0.0, "run_iv_sweep: step must be positive");
+  require(cfg.to >= cfg.from, "run_iv_sweep: to < from");
+  require(!cfg.probes.empty(), "run_iv_sweep: no recorded junctions");
+
+  std::vector<IvPoint> points;
+  const double eps = 0.5 * cfg.step;
+  for (double v = cfg.from; v <= cfg.to + eps; v += cfg.step) {
+    engine.set_dc_source(cfg.swept, v);
+    if (cfg.mirror >= 0) engine.set_dc_source(cfg.mirror, -v);
+    engine.rebase_time();  // blockade points can leave t at ~1e17 s
+    const CurrentEstimate est =
+        measure_mean_current(engine, cfg.probes, cfg.measure);
+    points.push_back(IvPoint{v, est.mean, est.stderr_mean});
+  }
+  return points;
+}
+
+IvSweepConfig sweep_config_from_input(const SimulationInput& input) {
+  require(input.sweep.has_value(),
+          "sweep_config_from_input: input has no sweep directive");
+  require(!input.record_junctions.empty(),
+          "sweep_config_from_input: input has no record directive");
+  IvSweepConfig cfg;
+  cfg.swept = input.sweep->source;
+  cfg.mirror = input.sweep->mirror;
+  cfg.from = -input.sweep->max;
+  cfg.to = input.sweep->max;
+  cfg.step = input.sweep->step;
+  for (std::size_t j : input.record_junctions) {
+    cfg.probes.push_back(CurrentProbe{j, 1.0});
+  }
+  if (input.max_jumps > 0) {
+    cfg.measure.measure_events = input.max_jumps;
+    cfg.measure.warmup_events = std::max<std::uint64_t>(input.max_jumps / 10, 100);
+  }
+  return cfg;
+}
+
+std::vector<std::vector<double>> run_stability_map(
+    Engine& engine, const StabilityMapConfig& cfg) {
+  require(!cfg.probes.empty(), "run_stability_map: no recorded junctions");
+  std::vector<std::vector<double>> map(
+      cfg.gate_values.size(), std::vector<double>(cfg.bias_values.size(), 0.0));
+  for (std::size_t g = 0; g < cfg.gate_values.size(); ++g) {
+    engine.set_dc_source(cfg.gate_node, cfg.gate_values[g]);
+    for (std::size_t b = 0; b < cfg.bias_values.size(); ++b) {
+      const double v = cfg.bias_values[b];
+      engine.set_dc_source(cfg.bias_node, v);
+      if (cfg.mirror >= 0) engine.set_dc_source(cfg.mirror, -v);
+      engine.rebase_time();
+      const CurrentEstimate est =
+          measure_mean_current(engine, cfg.probes, cfg.measure);
+      map[g][b] = std::fabs(est.mean);
+    }
+  }
+  return map;
+}
+
+}  // namespace semsim

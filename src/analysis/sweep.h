@@ -1,0 +1,55 @@
+// Bias sweeps and 2-D stability maps built on the Monte-Carlo engine.
+//
+// Sweeps reuse one engine across points (set_dc_source does not touch the
+// capacitance matrices), so the charge state warm-starts from the previous
+// bias point — the same trick real SEMSIM runs use to keep equilibration
+// cheap along a sweep.
+#pragma once
+
+#include <vector>
+
+#include "analysis/current.h"
+#include "core/engine.h"
+#include "netlist/parser.h"
+
+namespace semsim {
+
+struct IvPoint {
+  double bias = 0.0;     ///< swept source voltage [V]
+  double current = 0.0;  ///< [A]
+  double stderr_mean = 0.0;
+};
+
+struct IvSweepConfig {
+  NodeId swept = 0;        ///< external node being swept
+  NodeId mirror = -1;      ///< optional `symm` node driven at -V
+  double from = 0.0;
+  double to = 0.0;
+  double step = 0.0;       ///< > 0
+  std::vector<CurrentProbe> probes;  ///< recorded junctions (averaged)
+  CurrentMeasureConfig measure;
+};
+
+/// Runs the sweep in place. Points are from, from+step, ..., <= to (+eps).
+std::vector<IvPoint> run_iv_sweep(Engine& engine, const IvSweepConfig& cfg);
+
+/// Builds an IvSweepConfig from a parsed input file's sweep/record/jumps
+/// directives (paper Example Input File 1 end-to-end path).
+IvSweepConfig sweep_config_from_input(const SimulationInput& input);
+
+struct StabilityMapConfig {
+  NodeId bias_node = 0;
+  NodeId mirror = -1;      ///< optional symmetric counter-bias node
+  NodeId gate_node = 0;
+  std::vector<double> bias_values;
+  std::vector<double> gate_values;
+  std::vector<CurrentProbe> probes;
+  CurrentMeasureConfig measure;
+};
+
+/// 2-D current map: result[g][b] = |I| at gate_values[g], bias_values[b].
+/// (Magnitude, matching the log-scale contour of the paper's Fig. 5.)
+std::vector<std::vector<double>> run_stability_map(Engine& engine,
+                                                   const StabilityMapConfig& cfg);
+
+}  // namespace semsim

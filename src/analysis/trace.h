@@ -1,0 +1,32 @@
+// Node-voltage trace recording from a running Monte-Carlo engine.
+//
+// Produces the (t, V) series behind transient plots: samples the node after
+// every event, thins to a minimum spacing, and optionally smooths with the
+// same exponential moving average the delay extractor uses.
+#pragma once
+
+#include <vector>
+
+#include "core/engine.h"
+
+namespace semsim {
+
+struct TracePoint {
+  double time = 0.0;
+  double voltage = 0.0;
+};
+
+struct TraceConfig {
+  NodeId node = 0;
+  double t_end = 0.0;        ///< record until this simulated time [s]
+  double min_spacing = 0.0;  ///< thinning: keep >= this much time apart [s]
+  double smoothing_tau = 0.0;  ///< EMA time constant; 0 = raw samples
+};
+
+/// Runs the engine until t_end, recording the node. The first point is the
+/// state at the current time; recording survives quiet stretches (the final
+/// point is at t_end). Returns what was recorded even if the engine sticks.
+std::vector<TracePoint> record_voltage_trace(Engine& engine,
+                                             const TraceConfig& cfg);
+
+}  // namespace semsim

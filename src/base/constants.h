@@ -1,0 +1,37 @@
+// Physical constants used throughout SEMSIM.
+//
+// All quantities are SI (2019 redefinition exact values where applicable).
+// Energies are joules, temperatures kelvin, capacitances farads.
+#pragma once
+
+namespace semsim {
+
+/// Elementary charge [C] (exact).
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Boltzmann constant [J/K] (exact).
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Planck constant [J s] (exact).
+inline constexpr double kPlanck = 6.62607015e-34;
+
+/// Reduced Planck constant [J s].
+inline constexpr double kHbar = kPlanck / 6.283185307179586476925286766559;
+
+/// Superconducting resistance quantum R_Q = h / (4 e^2) ~ 6.45 kOhm.
+/// This is the scale against which "high-resistance junction" (R_N >> R_Q)
+/// is judged for the Cooper-pair tunneling model (paper Sec. III-A).
+inline constexpr double kResistanceQuantumSc =
+    kPlanck / (4.0 * kElementaryCharge * kElementaryCharge);
+
+/// Electron-volt [J].
+inline constexpr double kElectronVolt = kElementaryCharge;
+
+/// Convenience scales.
+inline constexpr double kMilliVolt = 1e-3;
+inline constexpr double kAttoFarad = 1e-18;
+inline constexpr double kMegaOhm = 1e6;
+inline constexpr double kKiloOhm = 1e3;
+inline constexpr double kMilliElectronVolt = 1e-3 * kElectronVolt;
+
+}  // namespace semsim

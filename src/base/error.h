@@ -1,0 +1,42 @@
+// Error types and lightweight contract checks for SEMSIM.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace semsim {
+
+/// Base class for all SEMSIM errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed netlist / input file.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Structurally invalid circuit (dangling node, singular capacitance
+/// matrix, mixed superconducting and normal elements, ...).
+class CircuitError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Numerical failure (non-convergence of Newton iteration, singular
+/// matrix factorization, ...).
+class NumericError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throws semsim::Error with `message` when `condition` is false.
+/// Used for precondition checks on public API boundaries; cheap enough to
+/// keep enabled in release builds.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+}  // namespace semsim

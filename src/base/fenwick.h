@@ -1,0 +1,119 @@
+// Fenwick (binary-indexed) tree over non-negative rates.
+//
+// The Monte-Carlo event solver must (a) keep a running total of all channel
+// rates, (b) sample a channel with probability proportional to its rate, and
+// (c) support frequent single-channel updates (the adaptive solver changes
+// only a few rates per event). A Fenwick tree gives O(log n) for all three.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/error.h"
+
+namespace semsim {
+
+/// Prefix-sum tree over `double` weights, with weighted sampling.
+class FenwickTree {
+ public:
+  FenwickTree() = default;
+
+  /// Creates a tree of `n` zero weights.
+  explicit FenwickTree(std::size_t n) : tree_(n + 1, 0.0), values_(n, 0.0) {}
+
+  std::size_t size() const noexcept { return values_.size(); }
+
+  /// Resets to `n` zero weights.
+  void reset(std::size_t n) {
+    tree_.assign(n + 1, 0.0);
+    values_.assign(n, 0.0);
+  }
+
+  /// Current weight of channel `i`.
+  double value(std::size_t i) const { return values_[i]; }
+
+  /// Sets channel `i` to `w` (w >= 0). O(log n).
+  void set(std::size_t i, double w) {
+    require(i < values_.size(), "FenwickTree::set: index out of range");
+    require(w >= 0.0, "FenwickTree::set: negative weight");
+    const double delta = w - values_[i];
+    if (delta == 0.0) return;
+    values_[i] = w;
+    for (std::size_t k = i + 1; k < tree_.size(); k += k & (~k + 1)) {
+      tree_[k] += delta;
+    }
+  }
+
+  /// Sum of weights of channels [0, i). O(log n).
+  double prefix_sum(std::size_t i) const {
+    double s = 0.0;
+    for (std::size_t k = i; k > 0; k -= k & (~k + 1)) s += tree_[k];
+    return s;
+  }
+
+  /// Total weight. O(log n).
+  double total() const { return prefix_sum(values_.size()); }
+
+  /// Exact total recomputed from the stored per-channel values. O(n).
+  /// Used by the engine to periodically squash floating-point drift that
+  /// accumulates in the incremental tree sums.
+  double exact_total() const noexcept {
+    double s = 0.0;
+    for (double v : values_) s += v;
+    return s;
+  }
+
+  /// Replaces every weight at once and rebuilds in O(n) — much cheaper than
+  /// n individual set() calls when a full refresh recomputes all rates.
+  void set_all(const std::vector<double>& values) {
+    require(values.size() == values_.size(), "FenwickTree::set_all: size mismatch");
+    for (double v : values) require(v >= 0.0, "FenwickTree::set_all: negative weight");
+    values_ = values;
+    rebuild();
+  }
+
+  /// Rebuilds the internal prefix tree from the stored values. O(n).
+  void rebuild() {
+    const std::size_t n = values_.size();
+    tree_.assign(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delta = values_[i];
+      for (std::size_t k = i + 1; k < tree_.size(); k += k & (~k + 1)) {
+        tree_[k] += delta;
+      }
+    }
+  }
+
+  /// Returns the smallest index i such that prefix_sum(i+1) > target,
+  /// i.e. samples a channel when `target` is uniform in [0, total()).
+  /// Channels with zero weight are never returned (for in-range targets).
+  /// O(log n).
+  std::size_t sample(double target) const {
+    std::size_t idx = 0;
+    std::size_t mask = highest_power_of_two(values_.size());
+    double remaining = target;
+    while (mask > 0) {
+      const std::size_t next = idx + mask;
+      if (next < tree_.size() && tree_[next] <= remaining) {
+        remaining -= tree_[next];
+        idx = next;
+      }
+      mask >>= 1;
+    }
+    // idx is the count of channels whose cumulative weight is <= target.
+    if (idx >= values_.size()) idx = values_.size() - 1;
+    return idx;
+  }
+
+ private:
+  static std::size_t highest_power_of_two(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p * 2 <= n) p *= 2;
+    return n == 0 ? 0 : p;
+  }
+
+  std::vector<double> tree_;    // 1-based implicit tree
+  std::vector<double> values_;  // mirrored raw weights
+};
+
+}  // namespace semsim

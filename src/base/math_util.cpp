@@ -1,0 +1,69 @@
+#include "base/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace semsim {
+
+double x_over_expm1(double x) noexcept {
+  if (x == 0.0) return 1.0;
+  if (std::abs(x) < 1e-8) return 1.0 - 0.5 * x;  // series, avoids 0/0 noise
+  if (x > 700.0) return 0.0;                     // exp overflow guard
+  if (x < -700.0) return -x;                     // exp(x) ~ 0
+  return x / std::expm1(x);
+}
+
+double fermi(double e, double kt) noexcept {
+  if (kt <= 0.0) {
+    if (e < 0.0) return 1.0;
+    if (e > 0.0) return 0.0;
+    return 0.5;
+  }
+  const double x = e / kt;
+  if (x > 700.0) return 0.0;
+  if (x < -700.0) return 1.0;
+  return 1.0 / (1.0 + std::exp(x));
+}
+
+double fermi_blocking_product(double e, double de, double kt) noexcept {
+  // 1 - f(y) == f(-y); products of two Fermi functions are well conditioned.
+  return fermi(e, kt) * fermi(-(e + de), kt);
+}
+
+double lerp_on_grid(const std::vector<double>& xs,
+                    const std::vector<double>& ys, double x) noexcept {
+  if (xs.empty()) return 0.0;
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+double rel_diff(double a, double b, double floor) noexcept {
+  const double scale = std::max({std::abs(a), std::abs(b), floor});
+  return std::abs(a - b) / scale;
+}
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const noexcept {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+}  // namespace semsim

@@ -1,0 +1,52 @@
+// Numerically careful helpers shared by the physics models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace semsim {
+
+/// x / (exp(x) - 1), the Bose-like factor in the orthodox tunnel rate,
+/// evaluated stably across the full range:
+///   x -> 0   : 1 - x/2 + O(x^2)  (series; expm1 underflows gracefully)
+///   x -> +inf: -> 0 exponentially
+///   x -> -inf: -> -x
+double x_over_expm1(double x) noexcept;
+
+/// Fermi-Dirac occupation f(e) = 1 / (1 + exp(e / kT)) with overflow-safe
+/// evaluation; `kt` is k_B * T in the same units as `e`. kt == 0 gives the
+/// step function (value 0.5 exactly at e == 0).
+double fermi(double e, double kt) noexcept;
+
+/// f(e) * (1 - f(e + de)) integrated kernel helper: evaluates
+/// f(e, kt) * (1 - f(e + de, kt)) without catastrophic cancellation.
+double fermi_blocking_product(double e, double de, double kt) noexcept;
+
+/// Linear interpolation on a strictly increasing grid. Clamps outside the
+/// range. `xs` and `ys` must have equal size >= 2.
+double lerp_on_grid(const std::vector<double>& xs,
+                    const std::vector<double>& ys, double x) noexcept;
+
+/// Relative difference |a-b| / max(|a|, |b|, floor).
+double rel_diff(double a, double b, double floor = 1e-300) noexcept;
+
+/// Simple running statistics (Welford) for means and standard deviations of
+/// Monte-Carlo observables.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  double stderr_mean() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace semsim

@@ -1,0 +1,49 @@
+#include "base/random.h"
+
+#include <cmath>
+#include <limits>
+
+namespace semsim {
+namespace {
+
+// SplitMix64 step used only for seeding.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Xoshiro256::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // SplitMix64 output is never all-zero across four draws in practice, but
+  // guard anyway: the all-zero state is the one fixed point of xoshiro.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Xoshiro256::uniform_below(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Lemire's method with rejection to remove modulo bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = -n % n;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double exponential_waiting_time(Xoshiro256& rng, double rate_sum) noexcept {
+  if (!(rate_sum > 0.0)) return std::numeric_limits<double>::infinity();
+  return -std::log(rng.uniform01_open_low()) / rate_sum;
+}
+
+}  // namespace semsim

@@ -1,0 +1,32 @@
+#include "core/adaptive_solver.h"
+
+#include <cmath>
+
+#include "base/constants.h"
+#include "base/error.h"
+
+namespace semsim {
+
+AdaptiveSolver::AdaptiveSolver(const Circuit& circuit, double threshold)
+    : circuit_(circuit),
+      threshold_(threshold),
+      b0_(circuit.junction_count(), 0.0),
+      dw_fw_(circuit.junction_count(), 0.0),
+      dw_bw_(circuit.junction_count(), 0.0),
+      visited_(circuit.junction_count(), 0) {
+  require(threshold_ > 0.0, "AdaptiveSolver: threshold must be positive");
+}
+
+void AdaptiveSolver::reset_accumulators() {
+  b0_.assign(b0_.size(), 0.0);
+}
+
+bool AdaptiveSolver::exceeds_threshold(std::size_t j, double b) const noexcept {
+  const double eb = kElementaryCharge * std::fabs(b);
+  // Paper: flag when |b| >= alpha |dW'_fw| OR |b| >= alpha |dW'_bw| —
+  // i.e. the tighter of the two stored energies decides.
+  return eb >= threshold_ * std::fabs(dw_fw_[j]) ||
+         eb >= threshold_ * std::fabs(dw_bw_[j]);
+}
+
+}  // namespace semsim

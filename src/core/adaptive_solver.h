@@ -1,0 +1,122 @@
+// The paper's Algorithm 1: selective tunnel-rate invalidation.
+//
+// After each tunnel event (or input-voltage step), only the junctions near
+// the perturbation are tested. For junction i with nodes n1, n2 the testing
+// factor is
+//
+//     b(i) = b0(i) + dP_n1 - dP_n2
+//
+// where dP are the O(1) potential changes caused by the current perturbation
+// and b0(i) has accumulated since junction i's rates were last computed. The
+// junction is flagged for recalculation when
+//
+//     e * |b(i)| >= alpha * |dW'_fw(i)|   or   e * |b(i)| >= alpha * |dW'_bw(i)|
+//
+// (the stored free-energy changes of the last recalculation; the factor e
+// converts the voltage drift into an energy so the comparison is
+// dimensionally consistent — equivalent to the paper's b measured in eV).
+// Flagged junctions propagate the test to their neighbours breadth-first,
+// with a per-invocation visited set.
+//
+// The class only *selects* junctions; synchronizing node potentials and
+// recomputing rates stays in the engine, which reports the fresh dW' values
+// back via store_dw().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace semsim {
+
+class AdaptiveSolver {
+ public:
+  AdaptiveSolver(const Circuit& circuit, double threshold);
+
+  /// Runs the junction tests for one perturbation.
+  ///   `seeds`   — junction indices adjacent to the event / stepped inputs;
+  ///   `dv_of`   — NodeId -> potential change for THIS perturbation
+  ///               (callable; O(1) per node; must return 0 for non-islands);
+  ///   `flagged` — out: junctions whose rates must be recalculated.
+  /// Returns the number of junctions tested.
+  template <typename DvFn>
+  std::size_t collect(const std::vector<std::size_t>& seeds, DvFn&& dv_of,
+                      std::vector<std::size_t>& flagged);
+
+  /// Stores the freshly computed free-energy changes of junction `j` and
+  /// zeroes its accumulated testing factor.
+  void store_dw(std::size_t j, double dw_fw, double dw_bw) {
+    dw_fw_[j] = dw_fw;
+    dw_bw_[j] = dw_bw;
+    b0_[j] = 0.0;
+  }
+
+  /// Zeroes every accumulated factor (after a periodic full refresh the
+  /// engine recomputes all rates, so all drift is discharged).
+  void reset_accumulators();
+
+  double accumulated(std::size_t j) const { return b0_[j]; }
+  double stored_dw_fw(std::size_t j) const { return dw_fw_[j]; }
+  double stored_dw_bw(std::size_t j) const { return dw_bw_[j]; }
+
+ private:
+  bool exceeds_threshold(std::size_t j, double b) const noexcept;
+
+  const Circuit& circuit_;
+  double threshold_;
+  std::vector<double> b0_;     // accumulated testing factor [V]
+  std::vector<double> dw_fw_;  // dW' at last rate calculation [J]
+  std::vector<double> dw_bw_;
+  std::vector<std::uint64_t> visited_;  // epoch marking
+  std::uint64_t epoch_ = 0;
+  std::vector<std::size_t> queue_;
+};
+
+// ---- implementation (template) ---------------------------------------------
+
+template <typename DvFn>
+std::size_t AdaptiveSolver::collect(const std::vector<std::size_t>& seeds,
+                                    DvFn&& dv_of,
+                                    std::vector<std::size_t>& flagged) {
+  flagged.clear();
+  ++epoch_;
+  queue_.clear();
+  for (std::size_t s : seeds) {
+    if (visited_[s] != epoch_) {
+      visited_[s] = epoch_;
+      queue_.push_back(s);
+    }
+  }
+  std::size_t tested = 0;
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const std::size_t j = queue_[head];
+    ++tested;
+    const Junction& jn = circuit_.junction(j);
+    const double dp = dv_of(jn.a) - dv_of(jn.b);
+    const double b = b0_[j] + dp;
+    if (exceeds_threshold(j, b)) {
+      flagged.push_back(j);
+      // Junctions capacitively coupled to either ISLAND node join the test
+      // queue (paper Fig. 4a: the next stage across the wire capacitance is
+      // tested too). Fixed-potential nodes do not spread perturbations —
+      // expanding through a supply rail would test every device on it.
+      for (const NodeId n : {jn.a, jn.b}) {
+        if (!circuit_.is_island(n)) continue;
+        for (std::size_t nb : circuit_.coupled_junctions_of(n)) {
+          if (visited_[nb] != epoch_) {
+            visited_[nb] = epoch_;
+            queue_.push_back(nb);
+          }
+        }
+      }
+      // b0 is zeroed by store_dw() once the engine recomputes the rates.
+    } else {
+      b0_[j] = b;
+    }
+  }
+  return tested;
+}
+
+}  // namespace semsim

@@ -1,0 +1,512 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/constants.h"
+#include "base/error.h"
+
+namespace semsim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Engine::Engine(const Circuit& circuit, EngineOptions options,
+               std::shared_ptr<const ElectrostaticModel> shared_model)
+    : circuit_(circuit),
+      options_(options),
+      model_holder_(shared_model ? std::move(shared_model)
+                                 : std::make_shared<ElectrostaticModel>(circuit)),
+      model_(*model_holder_),
+      calc_(circuit, model_, options_),
+      adaptive_(circuit, options_.adaptive.threshold),
+      rng_(options_.seed) {
+  // The paper routes all superconducting rates through the non-adaptive
+  // solver; cotunneling circuits keep adaptive single-electron handling but
+  // recompute the cotunneling channels non-adaptively every event.
+  adaptive_active_ = options_.adaptive.enabled && !calc_.superconducting();
+  has_secondary_ =
+      (calc_.superconducting() && calc_.gap() > 0.0) || calc_.cotunneling_enabled();
+  refresh_interval_ =
+      options_.adaptive.refresh_interval > 0
+          ? options_.adaptive.refresh_interval
+          : std::max<std::uint64_t>(1000, 2 * circuit.junction_count());
+
+  rates_.reset(channel_count());
+  rate_buf_.resize(channel_count(), 0.0);
+  electrons_.assign(model_.island_count(), 0);
+  v_isl_.assign(model_.island_count(), 0.0);
+  v_ext_.assign(model_.external_count(), 0.0);
+  overridden_.assign(model_.external_count(), false);
+  transferred_e_.assign(circuit.junction_count(), 0.0);
+  node_epoch_.assign(model_.island_count(), 0);
+  node_dv_.assign(model_.island_count(), 0.0);
+
+  // Seed sets for source steps: junctions adjacent to the stepped lead or to
+  // any node it couples to capacitively (a gate capacitor couples an input
+  // to an island without any junction touching the lead itself).
+  source_seed_junctions_.resize(model_.external_count());
+  for (std::size_t e = 0; e < model_.external_count(); ++e) {
+    const NodeId lead = model_.external_node(e);
+    std::vector<std::size_t>& seeds = source_seed_junctions_[e];
+    auto add_node = [&](NodeId n) {
+      for (std::size_t j : circuit_.junctions_of(n)) seeds.push_back(j);
+    };
+    add_node(lead);
+    for (const CapacitiveElement& el : model_.capacitive_elements()) {
+      if (el.a == lead) add_node(el.b);
+      else if (el.b == lead) add_node(el.a);
+    }
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  }
+
+  if (calc_.superconducting() && calc_.gap() > 0.0) {
+    double half = options_.qp_table_half_range;
+    if (half <= 0.0) {
+      double v_max = 0.0;
+      for (const NodeId n : circuit_.externals()) {
+        v_max = std::max(v_max, circuit_.source(n).max_abs());
+      }
+      double u_max = 0.0;
+      for (std::size_t j = 0; j < circuit_.junction_count(); ++j) {
+        u_max = std::max(u_max, calc_.charging_term(j));
+      }
+      half = 2.0 * kElementaryCharge * v_max + 16.0 * u_max +
+             8.0 * 2.0 * calc_.gap() +
+             60.0 * kBoltzmann * options_.temperature;
+    }
+    calc_.build_qp_table(half);
+  }
+
+  reset(options_.seed);
+}
+
+std::size_t Engine::channel_count() const noexcept {
+  const std::size_t j = circuit_.junction_count();
+  std::size_t n = 2 * j;
+  if (calc_.superconducting() && calc_.gap() > 0.0) n += 2 * j;
+  n += calc_.cotunneling_paths().size();
+  return n;
+}
+
+void Engine::reset(std::uint64_t seed) {
+  rng_.reseed(seed);
+  time_ = 0.0;
+  stats_ = SolverStats{};
+  electrons_.assign(model_.island_count(), 0);
+  transferred_e_.assign(circuit_.junction_count(), 0.0);
+  overridden_.assign(model_.external_count(), false);
+  for (std::size_t e = 0; e < model_.external_count(); ++e) {
+    v_ext_[e] = circuit_.source(model_.external_node(e)).value(0.0);
+  }
+  full_update();
+  next_breakpoint_ = refresh_next_breakpoint();
+}
+
+std::vector<double> Engine::island_charges() const {
+  std::vector<double> q(model_.island_count());
+  for (std::size_t k = 0; k < q.size(); ++k) {
+    const NodeId node = model_.island_node(k);
+    q[k] = kElementaryCharge *
+           (circuit_.background_charge_e(node) - static_cast<double>(electrons_[k]));
+  }
+  return q;
+}
+
+long Engine::electron_count(NodeId n) const {
+  const int k = model_.island_index(n);
+  require(k >= 0, "electron_count: node is not an island");
+  return electrons_[static_cast<std::size_t>(k)];
+}
+
+double Engine::node_voltage(NodeId n) const {
+  const int k = model_.island_index(n);
+  if (k >= 0) return v_isl_[static_cast<std::size_t>(k)];
+  const int e = model_.external_index(n);
+  if (e >= 0) return v_ext_[static_cast<std::size_t>(e)];
+  return 0.0;
+}
+
+void Engine::full_update() {
+  v_isl_ = model_.island_potentials(island_charges(), v_ext_);
+  stats_.potential_node_updates += model_.island_count();
+  recompute_all_rates();
+  adaptive_.reset_accumulators();
+  ++stats_.full_refreshes;
+}
+
+void Engine::recompute_all_rates() {
+  const std::size_t j_count = circuit_.junction_count();
+  for (std::size_t j = 0; j < j_count; ++j) {
+    const Junction& jn = circuit_.junction(j);
+    const double va = junction_node_voltage(jn.a);
+    const double vb = junction_node_voltage(jn.b);
+    const ChannelRates r = calc_.junction_rates(j, va, vb);
+    rate_buf_[2 * j] = r.rate_fw;
+    rate_buf_[2 * j + 1] = r.rate_bw;
+    adaptive_.store_dw(j, r.dw_fw, r.dw_bw);
+  }
+  stats_.rate_evaluations += 2 * j_count;
+
+  if (calc_.superconducting() && calc_.gap() > 0.0) {
+    for (std::size_t j = 0; j < j_count; ++j) {
+      const Junction& jn = circuit_.junction(j);
+      const ChannelRates r = calc_.cooper_pair_rates(
+          j, junction_node_voltage(jn.a), junction_node_voltage(jn.b));
+      rate_buf_[2 * j_count + 2 * j] = r.rate_fw;
+      rate_buf_[2 * j_count + 2 * j + 1] = r.rate_bw;
+    }
+    stats_.cp_rate_evaluations += 2 * j_count;
+  }
+  const std::size_t cot_base = channel_count() - calc_.cotunneling_paths().size();
+  for (std::size_t p = 0; p < calc_.cotunneling_paths().size(); ++p) {
+    const CotunnelingPath& path = calc_.cotunneling_paths()[p];
+    rate_buf_[cot_base + p] = calc_.cotunneling_path_rate(
+        path, junction_node_voltage(path.from), junction_node_voltage(path.via),
+        junction_node_voltage(path.to));
+  }
+  stats_.cot_rate_evaluations += calc_.cotunneling_paths().size();
+
+  rates_.set_all(rate_buf_);
+}
+
+void Engine::apply_charge_move_everywhere(NodeId from, NodeId to, double q) {
+  // dv_k = q (kappa[k][to] - kappa[k][from]); exact, O(islands).
+  const int kf = model_.island_index(from);
+  const int kt = model_.island_index(to);
+  if (kf >= 0) model_.add_charge_delta(from, -q, v_isl_);
+  if (kt >= 0) model_.add_charge_delta(to, q, v_isl_);
+  stats_.potential_node_updates += model_.island_count();
+}
+
+void Engine::recompute_junction(std::size_t j) {
+  const Junction& jn = circuit_.junction(j);
+  const double va = junction_node_voltage(jn.a);
+  const double vb = junction_node_voltage(jn.b);
+  const ChannelRates r = calc_.junction_rates(j, va, vb);
+  rates_.set(2 * j, r.rate_fw);
+  rates_.set(2 * j + 1, r.rate_bw);
+  adaptive_.store_dw(j, r.dw_fw, r.dw_bw);
+  stats_.rate_evaluations += 2;
+
+  if (calc_.superconducting() && calc_.gap() > 0.0) {
+    const ChannelRates cp = calc_.cooper_pair_rates(j, va, vb);
+    const std::size_t base = 2 * circuit_.junction_count();
+    rates_.set(base + 2 * j, cp.rate_fw);
+    rates_.set(base + 2 * j + 1, cp.rate_bw);
+    stats_.cp_rate_evaluations += 2;
+  }
+}
+
+void Engine::recompute_secondary() {
+  // Cotunneling channels: the non-adaptive path of the paper. Callers keep
+  // all island potentials exact when these channels exist.
+  const std::size_t cot_base = channel_count() - calc_.cotunneling_paths().size();
+  for (std::size_t p = 0; p < calc_.cotunneling_paths().size(); ++p) {
+    const CotunnelingPath& path = calc_.cotunneling_paths()[p];
+    rates_.set(cot_base + p,
+               calc_.cotunneling_path_rate(path, junction_node_voltage(path.from),
+                                           junction_node_voltage(path.via),
+                                           junction_node_voltage(path.to)));
+  }
+  stats_.cot_rate_evaluations += calc_.cotunneling_paths().size();
+}
+
+void Engine::after_charge_move(NodeId from, NodeId to, double q) {
+  if (!adaptive_active_ || has_secondary_) {
+    // Non-adaptive (or secondary channels present): exact potentials.
+    apply_charge_move_everywhere(from, to, q);
+    if (!adaptive_active_) {
+      recompute_all_rates();
+      ++stats_.full_refreshes;
+      return;
+    }
+  }
+
+  // Seed only from island endpoints: a fixed-potential lead does not move,
+  // so the perturbation spreads exclusively through the island's couplings.
+  // (Seeding from a supply rail would test every device on the rail.)
+  seed_buf_.clear();
+  if (circuit_.is_island(from)) {
+    for (std::size_t j : circuit_.coupled_junctions_of(from)) seed_buf_.push_back(j);
+  }
+  if (circuit_.is_island(to)) {
+    for (std::size_t j : circuit_.coupled_junctions_of(to)) seed_buf_.push_back(j);
+  }
+
+  ++epoch_;
+  touched_nodes_.clear();
+  const bool exact_potentials = has_secondary_;  // already applied above
+  const auto dv_of = [&](NodeId n) -> double {
+    const int ki = model_.island_index(n);
+    if (ki < 0) return 0.0;
+    const std::size_t k = static_cast<std::size_t>(ki);
+    if (node_epoch_[k] != epoch_) {
+      node_epoch_[k] = epoch_;
+      node_dv_[k] = model_.potential_delta(k, to, q) -
+                    model_.potential_delta(k, from, q);
+      touched_nodes_.push_back(k);
+    }
+    return node_dv_[k];
+  };
+  stats_.junctions_tested += adaptive_.collect(seed_buf_, dv_of, flagged_buf_);
+  stats_.junctions_flagged += flagged_buf_.size();
+
+  // Selective potential update (paper Sec. III-B): only the nodes the test
+  // actually visited move; everything else drifts until the next refresh.
+  if (!exact_potentials) {
+    for (const std::size_t k : touched_nodes_) v_isl_[k] += node_dv_[k];
+    stats_.potential_node_updates += touched_nodes_.size();
+  }
+  for (std::size_t j : flagged_buf_) recompute_junction(j);
+
+  if (calc_.cotunneling_enabled()) recompute_secondary();
+}
+
+double Engine::refresh_next_breakpoint() const {
+  double bp = kInf;
+  for (std::size_t e = 0; e < model_.external_count(); ++e) {
+    if (overridden_[e]) continue;
+    bp = std::min(bp,
+                  circuit_.source(model_.external_node(e)).next_breakpoint(time_));
+  }
+  // Periodic waveforms can round a breakpoint onto time_ itself; without
+  // strict progress the solver would re-process the same edge forever. One
+  // ulp forward is enough for the next query to land past the edge.
+  if (bp <= time_) bp = std::nextafter(time_, kInf);
+  return bp;
+}
+
+void Engine::handle_source_deltas() {
+  if (pending_changes_.empty()) return;
+  ++stats_.source_updates;
+  if (!adaptive_active_ || has_secondary_) {
+    for (const SourceChange& c : pending_changes_) {
+      for (std::size_t k = 0; k < v_isl_.size(); ++k) {
+        v_isl_[k] += model_.source_gain()(k, c.ext) * c.dv;
+      }
+    }
+    stats_.potential_node_updates +=
+        model_.island_count() * pending_changes_.size();
+    if (!adaptive_active_) {
+      recompute_all_rates();
+      ++stats_.full_refreshes;
+      pending_changes_.clear();
+      return;
+    }
+  }
+
+  seed_buf_.clear();
+  for (const SourceChange& c : pending_changes_) {
+    const std::vector<std::size_t>& s = source_seed_junctions_[c.ext];
+    seed_buf_.insert(seed_buf_.end(), s.begin(), s.end());
+  }
+  ++epoch_;
+  touched_nodes_.clear();
+  const bool exact_potentials = has_secondary_;
+  const auto dv_of = [&](NodeId n) -> double {
+    const int ki = model_.island_index(n);
+    if (ki >= 0) {
+      const std::size_t k = static_cast<std::size_t>(ki);
+      if (node_epoch_[k] != epoch_) {
+        node_epoch_[k] = epoch_;
+        double dv = 0.0;
+        for (const SourceChange& c : pending_changes_) {
+          dv += model_.source_gain()(k, c.ext) * c.dv;
+        }
+        node_dv_[k] = dv;
+        touched_nodes_.push_back(k);
+      }
+      return node_dv_[k];
+    }
+    // A stepped lead's own potential change is the step itself — without
+    // this, a symmetric bias step (island potentials unchanged) would never
+    // flag the junctions whose dW it shifted.
+    for (const SourceChange& c : pending_changes_) {
+      if (c.node == n) return c.dv;
+    }
+    return 0.0;
+  };
+  stats_.junctions_tested += adaptive_.collect(seed_buf_, dv_of, flagged_buf_);
+  stats_.junctions_flagged += flagged_buf_.size();
+  if (!exact_potentials) {
+    for (const std::size_t k : touched_nodes_) v_isl_[k] += node_dv_[k];
+    stats_.potential_node_updates += touched_nodes_.size();
+  }
+  for (std::size_t j : flagged_buf_) recompute_junction(j);
+  if (calc_.cotunneling_enabled()) recompute_secondary();
+  pending_changes_.clear();
+}
+
+void Engine::set_dc_source(NodeId n, double volts) {
+  const int e = model_.external_index(n);
+  require(e >= 0, "set_dc_source: node is not an external lead");
+  const std::size_t ei = static_cast<std::size_t>(e);
+  overridden_[ei] = true;
+  const double dv = volts - v_ext_[ei];
+  if (dv != 0.0) {
+    v_ext_[ei] = volts;
+    // Bias points of a sweep are rare relative to events: recompute
+    // everything exactly (also rebuilds the prefix tree, so cancellation
+    // drift from the old rates cannot swamp rates that shrank by many
+    // orders of magnitude when entering blockade).
+    full_update();
+  }
+  next_breakpoint_ = refresh_next_breakpoint();
+}
+
+void Engine::set_electron_counts(
+    const std::vector<std::pair<NodeId, long>>& counts) {
+  for (const auto& [node, n] : counts) {
+    const int k = model_.island_index(node);
+    require(k >= 0, "set_electron_counts: node is not an island");
+    electrons_[static_cast<std::size_t>(k)] = n;
+  }
+  full_update();
+}
+
+void Engine::rebase_time() {
+  require(!std::isfinite(refresh_next_breakpoint()),
+          "rebase_time: sources still have future breakpoints");
+  time_ = 0.0;
+  next_breakpoint_ = refresh_next_breakpoint();
+}
+
+void Engine::apply_event(std::size_t channel, Event& ev) {
+  const std::size_t j_count = circuit_.junction_count();
+  const double e = kElementaryCharge;
+  if (channel < 2 * j_count) {
+    const std::size_t j = channel / 2;
+    const bool fwd = (channel % 2) == 0;
+    const Junction& jn = circuit_.junction(j);
+    ev.kind = Event::Kind::kSingleElectron;
+    ev.index = j;
+    ev.from = fwd ? jn.a : jn.b;
+    ev.to = fwd ? jn.b : jn.a;
+    ev.charge = -e;
+    transferred_e_[j] += fwd ? -1.0 : 1.0;
+  } else if (calc_.superconducting() && channel < 4 * j_count) {
+    const std::size_t c = channel - 2 * j_count;
+    const std::size_t j = c / 2;
+    const bool fwd = (c % 2) == 0;
+    const Junction& jn = circuit_.junction(j);
+    ev.kind = Event::Kind::kCooperPair;
+    ev.index = j;
+    ev.from = fwd ? jn.a : jn.b;
+    ev.to = fwd ? jn.b : jn.a;
+    ev.charge = -2.0 * e;
+    transferred_e_[j] += fwd ? -2.0 : 2.0;
+  } else {
+    const std::size_t cot_base = channel_count() - calc_.cotunneling_paths().size();
+    const std::size_t p = channel - cot_base;
+    const CotunnelingPath& path = calc_.cotunneling_paths()[p];
+    ev.kind = Event::Kind::kCotunneling;
+    ev.index = p;
+    ev.from = path.from;
+    ev.to = path.to;
+    ev.charge = -e;
+    const Junction& j1 = circuit_.junction(path.j1);
+    const Junction& j2 = circuit_.junction(path.j2);
+    transferred_e_[path.j1] += (j1.a == path.from) ? -1.0 : 1.0;
+    transferred_e_[path.j2] += (j2.a == path.via) ? -1.0 : 1.0;
+  }
+
+  // Electron bookkeeping: an electron (-e) arriving at `to` increments its
+  // excess-electron count.
+  const double n_moved = -ev.charge / e;  // 1 for electron, 2 for pair
+  const long dn = static_cast<long>(std::lround(n_moved));
+  const int k_from = model_.island_index(ev.from);
+  const int k_to = model_.island_index(ev.to);
+  if (k_from >= 0) electrons_[static_cast<std::size_t>(k_from)] -= dn;
+  if (k_to >= 0) electrons_[static_cast<std::size_t>(k_to)] += dn;
+}
+
+Engine::StepOutcome Engine::step_internal(double t_limit, Event* out) {
+  double dt = 0.0;
+  double total = 0.0;
+  for (;;) {
+    total = rates_.total();
+    dt = exponential_waiting_time(rng_, total);
+    const double t_event = time_ + dt;
+    if (std::isfinite(next_breakpoint_) && next_breakpoint_ <= t_event &&
+        next_breakpoint_ <= t_limit) {
+      // Rates change at the breakpoint; the exponential draw is memoryless,
+      // so jump there, apply the new source values, and redraw.
+      time_ = next_breakpoint_;
+      pending_changes_.clear();
+      for (std::size_t e = 0; e < model_.external_count(); ++e) {
+        if (overridden_[e]) continue;
+        const NodeId node = model_.external_node(e);
+        const double v_new = circuit_.source(node).value(time_);
+        const double dv = v_new - v_ext_[e];
+        if (dv != 0.0) {
+          v_ext_[e] = v_new;
+          pending_changes_.push_back(SourceChange{node, e, dv});
+        }
+      }
+      handle_source_deltas();
+      next_breakpoint_ = refresh_next_breakpoint();
+      continue;
+    }
+    if (t_event > t_limit) {
+      time_ = t_limit;
+      return StepOutcome::kReachedLimit;
+    }
+    if (std::isinf(dt)) return StepOutcome::kStuck;
+    break;
+  }
+
+  time_ += dt;
+  std::size_t channel = rates_.sample(rng_.uniform01() * total);
+  if (rates_.value(channel) <= 0.0) {
+    // Floating-point edge: the sampled prefix landed on a zero-rate channel.
+    // Fall back to the first non-zero channel (measure-zero event).
+    for (std::size_t c = 0; c < channel_count(); ++c) {
+      if (rates_.value(c) > 0.0) {
+        channel = c;
+        break;
+      }
+    }
+  }
+
+  Event ev;
+  ev.dt = dt;
+  apply_event(channel, ev);
+  ev.time = time_;
+  ++stats_.events;
+  if ((stats_.events & 0xFFFF) == 0) rates_.rebuild();  // cap FP drift
+
+  after_charge_move(ev.from, ev.to, ev.charge);
+
+  if (adaptive_active_ && stats_.events % refresh_interval_ == 0) {
+    full_update();
+  }
+
+  if (out) *out = ev;
+  if (callback_) callback_(*this, ev);
+  return StepOutcome::kExecuted;
+}
+
+bool Engine::step(Event* out) {
+  return step_internal(kInf, out) == StepOutcome::kExecuted;
+}
+
+std::uint64_t Engine::run_events(std::uint64_t n) {
+  std::uint64_t done = 0;
+  while (done < n && step(nullptr)) ++done;
+  return done;
+}
+
+bool Engine::run_until(double t_end) {
+  while (time_ < t_end) {
+    const StepOutcome o = step_internal(t_end, nullptr);
+    if (o == StepOutcome::kReachedLimit) return true;
+    if (o == StepOutcome::kStuck) return false;
+  }
+  return true;
+}
+
+}  // namespace semsim

@@ -1,0 +1,199 @@
+// The SEMSIM Monte-Carlo engine (paper Fig. 3 process flow).
+//
+// Each iteration simulates one tunnel event:
+//   1. the event solver draws the waiting time dt = -ln(r)/Gamma_sum (Eq. 5),
+//      honouring source-waveform breakpoints (rates are piecewise constant);
+//   2. a channel is sampled with probability proportional to its rate from a
+//      Fenwick tree over all channels (single-electron/quasi-particle pairs
+//      per junction, Cooper-pair pairs per junction when superconducting,
+//      one per directed cotunneling path when enabled);
+//   3. the event is applied to the charge state;
+//   4. rates are updated by the ADAPTIVE solver (Algorithm 1: only flagged
+//      junctions recomputed, potentials synchronized lazily) or by the
+//      NON-ADAPTIVE solver (every potential and every rate recomputed), per
+//      EngineOptions. Superconducting and cotunneling channels always take
+//      the non-adaptive path, as in the paper.
+//
+// Island potentials follow the paper's selective-update scheme: the engine
+// keeps a potential cache that is updated EXACTLY for every island after
+// each event in non-adaptive mode, but only for the nodes of tested
+// junctions in adaptive mode — distant potentials drift by design, bounded
+// by the same locality argument as the rates, and the periodic full refresh
+// (options.adaptive.refresh_interval) recomputes everything from scratch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/fenwick.h"
+#include "base/random.h"
+#include "core/adaptive_solver.h"
+#include "core/options.h"
+#include "core/rate_calculator.h"
+#include "netlist/circuit.h"
+#include "netlist/electrostatics.h"
+
+namespace semsim {
+
+/// One executed tunnel event.
+struct Event {
+  enum class Kind : std::uint8_t { kSingleElectron, kCooperPair, kCotunneling };
+  Kind kind = Kind::kSingleElectron;
+  std::size_t index = 0;  ///< junction index, or cotunneling path index
+  NodeId from = 0;        ///< net charge source node
+  NodeId to = 0;          ///< net charge destination node
+  double charge = 0.0;    ///< transferred charge [C] (-e, -2e)
+  double dt = 0.0;        ///< waiting time before this event [s]
+  double time = 0.0;      ///< simulation time after the event [s]
+};
+
+class Engine {
+ public:
+  /// The circuit must outlive the engine. `shared_model` lets several
+  /// engines (adaptive vs non-adaptive comparisons, multi-seed delay runs)
+  /// reuse one capacitance-matrix inversion, which dominates setup cost for
+  /// the large Fig. 6 benchmarks; pass nullptr to build a private one.
+  Engine(const Circuit& circuit, EngineOptions options,
+         std::shared_ptr<const ElectrostaticModel> shared_model = nullptr);
+
+  // ---- state ---------------------------------------------------------------
+
+  double time() const noexcept { return time_; }
+  std::uint64_t event_count() const noexcept { return stats_.events; }
+
+  /// Excess electrons currently on island `n`.
+  long electron_count(NodeId n) const;
+
+  /// Potential of node `n` (externals return the source value; ground 0).
+  /// Island values are exact in non-adaptive mode; in adaptive mode they
+  /// carry the bounded selective-update drift described above.
+  double node_voltage(NodeId n) const;
+
+  /// Cumulative charge transported through junction `j` in the a->b
+  /// direction, in units of e (an electron a->b contributes -1, a Cooper
+  /// pair -2; cotunneling counts through both junctions it crosses).
+  double junction_transferred_e(std::size_t j) const { return transferred_e_.at(j); }
+
+  /// Sum of all channel rates [1/s].
+  double total_rate() const { return rates_.total(); }
+
+  /// Rate of one directed single-electron channel (diagnostics/tests).
+  double junction_rate(std::size_t j, bool forward) const {
+    return rates_.value(2 * j + (forward ? 0 : 1));
+  }
+
+  /// Work counters for the Fig. 6 cost analysis.
+  const SolverStats& stats() const noexcept { return stats_; }
+  const ElectrostaticModel& model() const noexcept { return model_; }
+  const Circuit& circuit() const noexcept { return circuit_; }
+  const EngineOptions& options() const noexcept { return options_; }
+  const RateCalculator& rate_calculator() const noexcept { return calc_; }
+
+  // ---- control --------------------------------------------------------------
+
+  /// Returns the engine to t = 0 with all islands neutral, reseeding the RNG.
+  void reset(std::uint64_t seed);
+
+  /// Overwrites the electron counts of the given islands and refreshes all
+  /// potentials and rates. Used to start logic simulations near their DC
+  /// operating point instead of paying a long settling transient.
+  void set_electron_counts(const std::vector<std::pair<NodeId, long>>& counts);
+
+  /// Resets the simulation clock to 0 without touching the charge state.
+  /// Long waits in deep blockade can push t to ~1e17 s, after which ns-scale
+  /// waiting times vanish in double precision; bias sweeps rebase between
+  /// points. Only legal when no source waveform has future breakpoints
+  /// (throws otherwise, since breakpoints are absolute times).
+  void rebase_time();
+
+  /// Replaces the source on external node `n` with DC `volts` and updates
+  /// rates immediately (adaptively when enabled). This is how sweeps move
+  /// between bias points without rebuilding the engine.
+  void set_dc_source(NodeId n, double volts);
+
+  /// Executes one tunnel event. Returns false when no event can ever occur
+  /// (all rates zero and no future source breakpoints) — the caller decides
+  /// what that means (deep Coulomb blockade at T = 0 is a physical outcome).
+  bool step(Event* out = nullptr);
+
+  /// Runs up to `n` events; returns how many actually executed.
+  std::uint64_t run_events(std::uint64_t n);
+
+  /// Runs until simulated time reaches `t_end` (the final partial waiting
+  /// time advances the clock without an event). Returns false if the engine
+  /// got stuck before `t_end` with no possible events.
+  bool run_until(double t_end);
+
+  /// Called after every executed event.
+  void set_event_callback(std::function<void(const Engine&, const Event&)> cb) {
+    callback_ = std::move(cb);
+  }
+
+ private:
+  // Channel layout in the Fenwick tree:
+  //   [0, 2J)      single-electron / quasi-particle, (fwd, bwd) per junction
+  //   [2J, 4J)     Cooper pair (superconducting only)
+  //   [4J, 4J+P)   directed cotunneling paths
+  enum class StepOutcome : std::uint8_t { kExecuted, kReachedLimit, kStuck };
+
+  std::size_t channel_count() const noexcept;
+  StepOutcome step_internal(double t_limit, Event* out);
+  void handle_source_deltas();  // consumes pending_changes_
+  /// Exact island potentials from scratch + every channel rate.
+  void full_update();
+  /// Every channel rate from the current potential cache.
+  void recompute_all_rates();
+  /// Exact O(islands) potential update for one charge move.
+  void apply_charge_move_everywhere(NodeId from, NodeId to, double q);
+  void recompute_junction(std::size_t j);
+  void recompute_secondary();  // CP + cotunneling channels (non-adaptive)
+  void apply_event(std::size_t channel, Event& ev);
+  void after_charge_move(NodeId from, NodeId to, double q);
+  double refresh_next_breakpoint() const;
+  std::vector<double> island_charges() const;
+  double junction_node_voltage(NodeId n) const { return node_voltage(n); }
+
+  const Circuit& circuit_;
+  EngineOptions options_;
+  std::shared_ptr<const ElectrostaticModel> model_holder_;
+  const ElectrostaticModel& model_;
+  RateCalculator calc_;
+  AdaptiveSolver adaptive_;
+  FenwickTree rates_;
+  Xoshiro256 rng_;
+
+  bool adaptive_active_ = false;  // false for SC circuits or when disabled
+  bool has_secondary_ = false;    // CP or cotunneling channels present
+  std::uint64_t refresh_interval_ = 1000;  // resolved from options (0 = auto)
+
+  double time_ = 0.0;
+  double next_breakpoint_ = 0.0;
+  struct SourceChange {
+    NodeId node = 0;
+    std::size_t ext = 0;
+    double dv = 0.0;
+  };
+
+  std::vector<long> electrons_;       // per island index
+  std::vector<double> v_isl_;         // island potential cache (see header)
+  std::vector<double> v_ext_;         // per external index
+  std::vector<bool> overridden_;      // per external index (set_dc_source)
+  std::vector<SourceChange> pending_changes_;
+  // Per-event memoization of island potential deltas (adaptive path).
+  std::vector<std::uint64_t> node_epoch_;
+  std::vector<double> node_dv_;
+  std::vector<std::size_t> touched_nodes_;
+  std::uint64_t epoch_ = 0;
+  std::vector<double> transferred_e_; // per junction
+  std::vector<std::size_t> seed_buf_;
+  std::vector<std::size_t> flagged_buf_;
+  std::vector<double> rate_buf_;
+  // Junctions to seed when external node (by external index) steps:
+  std::vector<std::vector<std::size_t>> source_seed_junctions_;
+  SolverStats stats_;
+  std::function<void(const Engine&, const Event&)> callback_;
+};
+
+}  // namespace semsim

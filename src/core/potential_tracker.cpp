@@ -1,0 +1,76 @@
+#include "core/potential_tracker.h"
+
+#include "base/error.h"
+
+namespace semsim {
+
+PotentialTracker::PotentialTracker(const ElectrostaticModel& model)
+    : model_(model),
+      v_(model.island_count(), 0.0),
+      cursor_(model.island_count(), 0) {}
+
+void PotentialTracker::reset(const std::vector<double>& island_charge,
+                             const std::vector<double>& v_ext) {
+  v_ = model_.island_potentials(island_charge, v_ext);
+  cursor_.assign(model_.island_count(), 0);
+  log_.clear();
+  node_updates_ += model_.island_count();
+}
+
+void PotentialTracker::record_charge_move(NodeId from, NodeId to, double q) {
+  log_.push_back(LogEntry{from, to, q});
+}
+
+void PotentialTracker::record_source_step(NodeId src, double dv) {
+  const int ei = model_.external_index(src);
+  require(ei >= 0, "record_source_step: node is not an external lead");
+  log_.push_back(LogEntry{-1, static_cast<NodeId>(ei), dv});
+}
+
+double PotentialTracker::delta_for_charge_move(std::size_t k, NodeId from,
+                                               NodeId to, double q) const {
+  // Charge q leaves `from` and arrives at `to`:
+  //   dv_k = q * (kappa[k][to] - kappa[k][from]), zero entries off islands.
+  return model_.potential_delta(k, to, q) - model_.potential_delta(k, from, q);
+}
+
+double PotentialTracker::delta_for_source_step(std::size_t k, NodeId src,
+                                               double dv) const {
+  return model_.source_step_delta(k, src, dv);
+}
+
+void PotentialTracker::replay(std::size_t k) {
+  const std::size_t end = log_.size();
+  std::size_t i = cursor_[k];
+  if (i >= end) return;
+  double dv = 0.0;
+  for (; i < end; ++i) {
+    const LogEntry& e = log_[i];
+    if (e.from >= 0) {
+      dv += delta_for_charge_move(k, e.from, e.to, e.value);
+    } else {
+      dv += model_.source_gain()(k, static_cast<std::size_t>(e.to)) * e.value;
+    }
+  }
+  v_[k] += dv;
+  cursor_[k] = static_cast<std::uint32_t>(end);
+  ++node_updates_;
+}
+
+double PotentialTracker::potential(std::size_t k) {
+  replay(k);
+  return v_[k];
+}
+
+void PotentialTracker::sync_all() {
+  for (std::size_t k = 0; k < v_.size(); ++k) replay(k);
+  log_.clear();
+  cursor_.assign(v_.size(), 0);
+}
+
+void PotentialTracker::recompute_exact(const std::vector<double>& island_charge,
+                                       const std::vector<double>& v_ext) {
+  reset(island_charge, v_ext);
+}
+
+}  // namespace semsim

@@ -1,0 +1,131 @@
+#include "core/rate_calculator.h"
+
+#include "base/constants.h"
+#include "base/error.h"
+#include "physics/bcs.h"
+#include "physics/cooper_pair.h"
+#include "physics/free_energy.h"
+#include "physics/rates.h"
+
+namespace semsim {
+
+RateCalculator::RateCalculator(const Circuit& circuit,
+                               const ElectrostaticModel& model,
+                               const EngineOptions& options)
+    : circuit_(circuit),
+      model_(model),
+      temperature_(options.temperature),
+      superconducting_(circuit.superconducting()),
+      cotunneling_(options.cotunneling) {
+  require(temperature_ >= 0.0, "RateCalculator: negative temperature");
+  if (superconducting_ && cotunneling_) {
+    throw CircuitError(
+        "cotunneling is implemented for normal-state circuits only (the "
+        "paper's superconducting model uses quasi-particle and Cooper-pair "
+        "channels instead)");
+  }
+
+  if (superconducting_) {
+    const SuperconductingParams& sc = circuit.superconducting_params();
+    gap_ = bcs_gap(sc.delta0, sc.tc, temperature_);
+  }
+
+  const double e = kElementaryCharge;
+  junctions_.reserve(circuit.junction_count());
+  u_.reserve(circuit.junction_count());
+  for (std::size_t j = 0; j < circuit.junction_count(); ++j) {
+    const Junction& jn = circuit.junction(j);
+    JunctionData d;
+    d.a = jn.a;
+    d.b = jn.b;
+    d.resistance = jn.resistance;
+    if (superconducting_ && gap_ > 0.0) {
+      d.ej = josephson_energy(jn.resistance, gap_, temperature_);
+      d.cp_broadening = options.cp_broadening > 0.0
+                            ? options.cp_broadening
+                            : default_cp_broadening(jn.resistance, gap_);
+    }
+    junctions_.push_back(d);
+    const double kaa = model.kappa_node(jn.a, jn.a);
+    const double kbb = model.kappa_node(jn.b, jn.b);
+    const double kab = model.kappa_node(jn.a, jn.b);
+    u_.push_back(0.5 * e * e * (kaa + kbb - 2.0 * kab));
+  }
+
+  if (cotunneling_) {
+    paths_ = enumerate_cotunneling_paths(circuit);
+  }
+  if (superconducting_ && gap_ > 0.0) {
+    QuasiparticleRate::Params p;
+    p.resistance = 1.0;  // unit shape; scaled by 1/R per junction
+    p.delta1 = gap_;
+    p.delta2 = gap_;
+    p.temperature = temperature_;
+    qp_unit_ = std::make_unique<QuasiparticleRate>(p);
+  }
+}
+
+void RateCalculator::build_qp_table(double half_range) {
+  if (!qp_unit_) return;
+  require(half_range > 0.0, "build_qp_table: non-positive range");
+  qp_unit_->build_table(-half_range, half_range);
+}
+
+ChannelRates RateCalculator::junction_rates(std::size_t j, double va,
+                                            double vb) const {
+  const JunctionData& d = junctions_[j];
+  const double e = kElementaryCharge;
+  ChannelRates r;
+  // Electron charge -e transferred a->b (forward) / b->a (backward), Eq. 2.
+  r.dw_fw = -e * (vb - va) + u_[j];
+  r.dw_bw = e * (vb - va) + u_[j];
+  if (qp_unit_) {
+    const double scale = 1.0 / d.resistance;
+    r.rate_fw = qp_unit_->rate_cached(r.dw_fw) * scale;
+    r.rate_bw = qp_unit_->rate_cached(r.dw_bw) * scale;
+  } else {
+    r.rate_fw = orthodox_rate(r.dw_fw, d.resistance, temperature_);
+    r.rate_bw = orthodox_rate(r.dw_bw, d.resistance, temperature_);
+  }
+  return r;
+}
+
+ChannelRates RateCalculator::cooper_pair_rates(std::size_t j, double va,
+                                               double vb) const {
+  const JunctionData& d = junctions_[j];
+  ChannelRates r;
+  if (d.ej <= 0.0) return r;
+  const double q = 2.0 * kElementaryCharge;
+  // Pair charge -2e transferred: linear term doubles, charging term
+  // quadruples relative to the single-electron u_j.
+  r.dw_fw = -q * (vb - va) + 4.0 * u_[j];
+  r.dw_bw = q * (vb - va) + 4.0 * u_[j];
+  r.rate_fw = cooper_pair_rate(r.dw_fw, d.ej, d.cp_broadening);
+  r.rate_bw = cooper_pair_rate(r.dw_bw, d.ej, d.cp_broadening);
+  return r;
+}
+
+double RateCalculator::cotunneling_path_rate(const CotunnelingPath& path,
+                                             double v_from, double v_via,
+                                             double v_to) const {
+  const double e = kElementaryCharge;
+  // Intermediate-state costs: one electron does the first hop alone.
+  const double u1 = u_[path.j1];
+  const double u2 = u_[path.j2];
+  const double e1 = -e * (v_via - v_from) + u1;  // hop from -> via first
+  const double e2 = -e * (v_to - v_via) + u2;    // hop via -> to first
+  if (e1 <= 0.0 || e2 <= 0.0) return 0.0;        // sequential channel open
+
+  // Net transfer from -> to: charging term from kappa of the end nodes.
+  const double kff = model_.kappa_node(path.from, path.from);
+  const double ktt = model_.kappa_node(path.to, path.to);
+  const double kft = model_.kappa_node(path.from, path.to);
+  const double dw_total =
+      -e * (v_to - v_from) + 0.5 * e * e * (kff + ktt - 2.0 * kft);
+
+  const double r1 = junctions_[path.j1].resistance;
+  const double r2 = junctions_[path.j2].resistance;
+  return cotunneling_rate(dw_total, e1, e2, r1, r2, temperature_);
+}
+
+}  // namespace semsim

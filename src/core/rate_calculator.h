@@ -1,0 +1,90 @@
+// Binds the physics models of src/physics to a concrete circuit.
+//
+// Stateless with respect to the Monte-Carlo trajectory: every method maps
+// node potentials to free-energy changes and rates. The per-junction
+// charging terms u_j = q^2/2 (kappa_aa + kappa_bb - 2 kappa_ab) are
+// precomputed so a single-electron rate evaluation in the hot loop is a
+// subtraction, a multiply and one orthodox-rate call.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/options.h"
+#include "netlist/circuit.h"
+#include "netlist/electrostatics.h"
+#include "physics/cotunneling.h"
+#include "physics/qp_rate.h"
+
+namespace semsim {
+
+/// Free-energy changes and rates of one junction's two directed channels.
+/// Forward = electron (or pair) transfer a -> b.
+struct ChannelRates {
+  double dw_fw = 0.0;
+  double dw_bw = 0.0;
+  double rate_fw = 0.0;
+  double rate_bw = 0.0;
+};
+
+class RateCalculator {
+ public:
+  RateCalculator(const Circuit& circuit, const ElectrostaticModel& model,
+                 const EngineOptions& options);
+
+  bool superconducting() const noexcept { return superconducting_; }
+  bool cotunneling_enabled() const noexcept { return cotunneling_; }
+
+  /// Effective gap Delta(T) for this simulation [J] (0 when normal).
+  double gap() const noexcept { return gap_; }
+
+  /// Single-electron (normal) or quasi-particle (superconducting) channel
+  /// rates for junction `j` given its current node potentials.
+  ChannelRates junction_rates(std::size_t j, double va, double vb) const;
+
+  /// Cooper-pair channel rates for junction `j` (superconducting only).
+  ChannelRates cooper_pair_rates(std::size_t j, double va, double vb) const;
+
+  /// Rate of one directed cotunneling path. `v_from/v_via/v_to` are the
+  /// potentials of the path's three nodes; `dw_single_*` come out as the
+  /// intermediate-state costs used (for diagnostics/tests).
+  double cotunneling_path_rate(const CotunnelingPath& path, double v_from,
+                               double v_via, double v_to) const;
+
+  const std::vector<CotunnelingPath>& cotunneling_paths() const noexcept {
+    return paths_;
+  }
+
+  /// Charging energy term u_j = e^2/2 (kappa_aa + kappa_bb - 2 kappa_ab) of
+  /// junction `j` [J].
+  double charging_term(std::size_t j) const { return u_.at(j); }
+
+  /// Builds/rebuilds the quasi-particle rate table covering
+  /// |delta_w| <= half_range. No-op for normal circuits.
+  void build_qp_table(double half_range);
+
+ private:
+  struct JunctionData {
+    NodeId a = 0;
+    NodeId b = 0;
+    double resistance = 0.0;
+    double ej = 0.0;              // Josephson energy [J]
+    double cp_broadening = 0.0;   // eta [J]
+  };
+
+  const Circuit& circuit_;
+  const ElectrostaticModel& model_;
+  double temperature_ = 0.0;
+  bool superconducting_ = false;
+  bool cotunneling_ = false;
+  double gap_ = 0.0;
+  std::vector<JunctionData> junctions_;
+  std::vector<double> u_;  // per-junction single-charge charging term [J]
+  std::vector<CotunnelingPath> paths_;
+  // One shared QP shape table (rate at R = 1 Ohm); per-junction rates scale
+  // by 1/R since Eq. 3 is linear in the junction conductance.
+  std::unique_ptr<QuasiparticleRate> qp_unit_;
+};
+
+}  // namespace semsim

@@ -1,0 +1,50 @@
+#include "io/table_writer.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "base/error.h"
+
+namespace semsim {
+
+TableWriter::TableWriter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  require(!columns_.empty(), "TableWriter: need at least one column");
+}
+
+void TableWriter::add_row(const std::vector<double>& values) {
+  require(values.size() == columns_.size(), "TableWriter: column count mismatch");
+  rows_.push_back(values);
+}
+
+void TableWriter::add_comment(std::string text) {
+  comments_.push_back(std::move(text));
+}
+
+void TableWriter::write(std::ostream& os) const {
+  for (const std::string& c : comments_) os << "# " << c << '\n';
+  os << '#';
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    os << (i == 0 ? " " : "\t") << columns_[i];
+  }
+  os << '\n';
+  std::ostringstream line;
+  for (const auto& row : rows_) {
+    line.str({});
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) line << '\t';
+      line << row[i];
+    }
+    os << line.str() << '\n';
+  }
+}
+
+void TableWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw Error("TableWriter: cannot open " + path);
+  write(f);
+  if (!f) throw Error("TableWriter: write failed for " + path);
+}
+
+}  // namespace semsim

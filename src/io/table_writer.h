@@ -1,0 +1,37 @@
+// Tabular output for benches and examples: TSV with a comment header,
+// loadable by gnuplot/python without further munging.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace semsim {
+
+class TableWriter {
+ public:
+  /// Column names are written as a "# col1\tcol2..." header on first row.
+  explicit TableWriter(std::vector<std::string> columns);
+
+  /// Adds one row; must match the column count.
+  void add_row(const std::vector<double>& values);
+
+  /// Arbitrary leading comment lines ("# ...").
+  void add_comment(std::string text);
+
+  /// Streams header + rows as TSV.
+  void write(std::ostream& os) const;
+
+  /// Convenience: writes to `path`, creating parent dirs is the caller's
+  /// job. Throws Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::string> comments_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace semsim

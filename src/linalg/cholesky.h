@@ -1,0 +1,39 @@
+// Cholesky factorization for symmetric positive-definite systems.
+//
+// The island-capacitance matrix C_II of a physical circuit is SPD (it is a
+// weighted graph Laplacian plus positive diagonal ground/lead coupling), so
+// Cholesky both halves the inversion cost versus LU and acts as a structural
+// validity check: a factorization failure means the netlist has a floating
+// island with no capacitive path to any fixed potential.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace semsim {
+
+class CholeskyDecomposition {
+ public:
+  /// Factors SPD `a` as L L^T. Throws NumericError if `a` is not positive
+  /// definite to working precision.
+  explicit CholeskyDecomposition(const Matrix& a);
+
+  std::size_t size() const noexcept { return l_.rows(); }
+
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  Matrix inverse() const;
+
+  /// The lower-triangular factor.
+  const Matrix& l() const noexcept { return l_; }
+
+ private:
+  Matrix l_;
+};
+
+/// Convenience: true when `a` is SPD (factorization succeeds).
+bool is_positive_definite(const Matrix& a);
+
+}  // namespace semsim

@@ -1,0 +1,171 @@
+#include "logic/elaborate.h"
+
+#include "base/error.h"
+
+namespace semsim {
+
+std::vector<bool> ElaboratedCircuit::aux_values(
+    const std::vector<bool>& signal_values) const {
+  std::vector<bool> out(aux.size(), false);
+  auto operand = [&](int enc) -> bool {
+    if (enc >= 0) return signal_values.at(static_cast<std::size_t>(enc));
+    require(enc <= -2, "aux_values: unused operand read");
+    return out.at(static_cast<std::size_t>(-2 - enc));
+  };
+  for (std::size_t i = 0; i < aux.size(); ++i) {
+    const AuxWire& w = aux[i];
+    const bool a = operand(w.a);
+    switch (w.op) {
+      case GateOp::kInv:
+        out[i] = !a;
+        break;
+      case GateOp::kNand2:
+        out[i] = !(a && operand(w.b));
+        break;
+      case GateOp::kNor2:
+        out[i] = !(a || operand(w.b));
+        break;
+      default:
+        throw Error("aux_values: unsupported aux op");
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Tracks aux-wire registration during elaboration.
+struct AuxRecorder {
+  ElaboratedCircuit& out;
+
+  // Encoded reference to the aux wire just added.
+  int ref() const { return -2 - static_cast<int>(out.aux.size() - 1); }
+
+  int add(NodeId node, GateOp op, int a, int b = -1) {
+    out.aux.push_back(ElaboratedCircuit::AuxWire{node, op, a, b});
+    return ref();
+  }
+
+  // A NAND2 body: registers the interior node (DC ~ NOT b) and the output
+  // is NOT registered here (caller owns it).
+  void nand_body(SetCircuitBuilder& bld, NodeId na, NodeId nb, NodeId y,
+                 int /*sa*/, int sb) {
+    const NodeId mid = bld.build_nand2(na, nb, y);
+    add(mid, GateOp::kInv, sb);
+  }
+
+  void nor_body(SetCircuitBuilder& bld, NodeId na, NodeId nb, NodeId y,
+                int sa, int /*sb*/) {
+    const NodeId mid = bld.build_nor2(na, nb, y);
+    add(mid, GateOp::kInv, sa);
+  }
+
+  // A full NAND2 onto a fresh aux wire; returns the encoded reference of
+  // the output wire.
+  int nand_aux(SetCircuitBuilder& bld, NodeId na, NodeId nb, int sa, int sb) {
+    const NodeId y = bld.add_wire();
+    nand_body(bld, na, nb, y, sa, sb);
+    return add(y, GateOp::kNand2, sa, sb);
+  }
+
+  int nor_aux(SetCircuitBuilder& bld, NodeId na, NodeId nb, int sa, int sb) {
+    const NodeId y = bld.add_wire();
+    nor_body(bld, na, nb, y, sa, sb);
+    return add(y, GateOp::kNor2, sa, sb);
+  }
+};
+
+}  // namespace
+
+ElaboratedCircuit elaborate(const GateNetlist& netlist, SetLogicParams params) {
+  ElaboratedCircuit out(params);
+  SetCircuitBuilder& b = out.builder;
+  AuxRecorder aux{out};
+
+  // Pass 1: one node per signal.
+  out.node_of.resize(netlist.signal_count());
+  for (std::size_t s = 0; s < netlist.signal_count(); ++s) {
+    const GateNetlist::Gate& g = netlist.gate(static_cast<SignalId>(s));
+    if (g.op == GateOp::kInput) {
+      out.node_of[s] = b.add_input(g.name.empty() ? "in" + std::to_string(s) : g.name);
+    } else {
+      out.node_of[s] = b.add_wire(g.name);
+    }
+  }
+
+  // Pass 2: device networks. Every internal wire is registered with its DC
+  // semantics so testbenches can pre-seed it.
+  for (std::size_t s = 0; s < netlist.signal_count(); ++s) {
+    const GateNetlist::Gate& g = netlist.gate(static_cast<SignalId>(s));
+    if (g.op == GateOp::kInput) continue;
+    const NodeId y = out.node_of[s];
+    const int sa = g.a;
+    const int sb = g.b;
+    const NodeId a = out.node_of[static_cast<std::size_t>(g.a)];
+    const NodeId bb = g.b >= 0 ? out.node_of[static_cast<std::size_t>(g.b)] : -1;
+    switch (g.op) {
+      case GateOp::kInput:
+        break;
+      case GateOp::kInv:
+        b.build_inverter(a, y);
+        break;
+      case GateOp::kBuf: {
+        const NodeId t = b.add_wire();
+        aux.add(t, GateOp::kInv, sa);
+        b.build_inverter(a, t);
+        b.build_inverter(t, y);
+        break;
+      }
+      case GateOp::kNand2:
+        aux.nand_body(b, a, bb, y, sa, sb);
+        break;
+      case GateOp::kNor2:
+        aux.nor_body(b, a, bb, y, sa, sb);
+        break;
+      case GateOp::kAnd2: {
+        const NodeId t = b.add_wire();
+        aux.nand_body(b, a, bb, t, sa, sb);
+        const int rt = aux.add(t, GateOp::kNand2, sa, sb);
+        (void)rt;
+        b.build_inverter(t, y);
+        break;
+      }
+      case GateOp::kOr2: {
+        const NodeId t = b.add_wire();
+        aux.nor_body(b, a, bb, t, sa, sb);
+        aux.add(t, GateOp::kNor2, sa, sb);
+        b.build_inverter(t, y);
+        break;
+      }
+      case GateOp::kXor2: {
+        // Classic 4-NAND XOR, every intermediate tracked.
+        const int rt = aux.nand_aux(b, a, bb, sa, sb);
+        const NodeId t = out.aux[static_cast<std::size_t>(-2 - rt)].node;
+        const int ru = aux.nand_aux(b, a, t, sa, rt);
+        const NodeId u = out.aux[static_cast<std::size_t>(-2 - ru)].node;
+        const int rv = aux.nand_aux(b, bb, t, sb, rt);
+        const NodeId v = out.aux[static_cast<std::size_t>(-2 - rv)].node;
+        aux.nand_body(b, u, v, y, ru, rv);
+        break;
+      }
+      case GateOp::kXnor2: {
+        const int rt = aux.nand_aux(b, a, bb, sa, sb);
+        const NodeId t = out.aux[static_cast<std::size_t>(-2 - rt)].node;
+        const int ru = aux.nand_aux(b, a, t, sa, rt);
+        const NodeId u = out.aux[static_cast<std::size_t>(-2 - ru)].node;
+        const int rv = aux.nand_aux(b, bb, t, sb, rt);
+        const NodeId v = out.aux[static_cast<std::size_t>(-2 - rv)].node;
+        const NodeId w = b.add_wire();
+        aux.nand_body(b, u, v, w, ru, rv);
+        aux.add(w, GateOp::kNand2, ru, rv);
+        b.build_inverter(w, y);
+        break;
+      }
+    }
+  }
+
+  out.circuit().validate();
+  return out;
+}
+
+}  // namespace semsim

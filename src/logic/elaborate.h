@@ -1,0 +1,48 @@
+// Elaborates a GateNetlist into a device-level SET circuit.
+//
+// Every signal becomes a wire island (inputs become external leads); gate
+// bodies are complementary nSET/pSET networks from logic/builder.h. Two-pass
+// construction (wires first, then devices) lets latch feedback reference
+// signals that appear later in the netlist.
+#pragma once
+
+#include <vector>
+
+#include "logic/builder.h"
+#include "logic/gate_netlist.h"
+
+namespace semsim {
+
+struct ElaboratedCircuit {
+  /// An elaboration-internal wire (XOR intermediate, NAND/NOR interior
+  /// node, ...) with its DC boolean semantics, so logic testbenches can
+  /// pre-seed EVERY wire near its operating point and skip the long
+  /// glitch-settling transient. Operand encoding: >= 0 is a signal id,
+  /// <= -2 refers to aux wire index (-2 - value); -1 = unused.
+  struct AuxWire {
+    NodeId node = 0;
+    GateOp op = GateOp::kInv;  ///< kInv / kNand2 / kNor2 over the operands
+    int a = -1;
+    int b = -1;
+  };
+
+  SetCircuitBuilder builder;
+  std::vector<NodeId> node_of;  ///< signal id -> node id
+  std::vector<AuxWire> aux;     ///< in dependency order
+
+  explicit ElaboratedCircuit(SetLogicParams p) : builder(p) {}
+
+  const Circuit& circuit() const noexcept { return builder.circuit(); }
+  Circuit& circuit() noexcept { return builder.circuit(); }
+
+  NodeId node(SignalId s) const { return node_of.at(static_cast<std::size_t>(s)); }
+
+  /// DC boolean value of every aux wire given the signal values
+  /// (as returned by GateNetlist::evaluate).
+  std::vector<bool> aux_values(const std::vector<bool>& signal_values) const;
+};
+
+/// Builds the SET implementation of `netlist`.
+ElaboratedCircuit elaborate(const GateNetlist& netlist, SetLogicParams params);
+
+}  // namespace semsim

@@ -1,0 +1,106 @@
+#include "logic/logic_parser.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "base/error.h"
+#include "base/string_util.h"
+
+namespace semsim {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  throw ParseError("logic netlist line " + std::to_string(line_no) + ": " + msg);
+}
+
+GateOp op_of(const std::string& kw, std::size_t line_no) {
+  if (kw == "inv" || kw == "not") return GateOp::kInv;
+  if (kw == "buf") return GateOp::kBuf;
+  if (kw == "and") return GateOp::kAnd2;
+  if (kw == "or") return GateOp::kOr2;
+  if (kw == "nand") return GateOp::kNand2;
+  if (kw == "nor") return GateOp::kNor2;
+  if (kw == "xor") return GateOp::kXor2;
+  if (kw == "xnor") return GateOp::kXnor2;
+  fail(line_no, "unknown gate '" + kw + "'");
+}
+
+}  // namespace
+
+ParsedLogic parse_logic_netlist(std::istream& in) {
+  ParsedLogic out;
+  std::vector<std::pair<std::string, std::size_t>> pending_outputs;
+  std::string raw;
+  std::size_t line_no = 0;
+
+  auto lookup = [&](const std::string& name, std::size_t ln) -> SignalId {
+    const auto it = out.signal_of.find(name);
+    if (it == out.signal_of.end()) {
+      fail(ln, "signal '" + name + "' used before definition");
+    }
+    return it->second;
+  };
+  auto define = [&](const std::string& name, SignalId id, std::size_t ln) {
+    if (out.signal_of.count(name)) {
+      fail(ln, "signal '" + name + "' defined twice");
+    }
+    out.signal_of[name] = id;
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (is_comment_or_blank(raw)) continue;
+    std::vector<std::string> t = split_ws(raw);
+    for (auto& s : t) s = to_lower(std::move(s));
+    const std::string& kw = t[0];
+
+    if (kw == "input") {
+      if (t.size() < 2) fail(line_no, "input needs at least one name");
+      for (std::size_t i = 1; i < t.size(); ++i) {
+        define(t[i], out.netlist.add_input(t[i]), line_no);
+      }
+    } else if (kw == "output") {
+      if (t.size() < 2) fail(line_no, "output needs at least one name");
+      for (std::size_t i = 1; i < t.size(); ++i) {
+        pending_outputs.push_back({t[i], line_no});
+      }
+    } else if (kw == "latch") {
+      if (t.size() != 4) fail(line_no, "latch <out> <d> <en>");
+      define(t[1],
+             out.netlist.d_latch(lookup(t[2], line_no), lookup(t[3], line_no)),
+             line_no);
+    } else {
+      const GateOp op = op_of(kw, line_no);
+      const int arity = gate_arity(op);
+      if (static_cast<int>(t.size()) != arity + 2) {
+        fail(line_no, kw + " takes " + std::to_string(arity) +
+                          " input(s) and one output");
+      }
+      const SignalId a = lookup(t[2], line_no);
+      const SignalId b = arity == 2 ? lookup(t[3], line_no) : -1;
+      define(t[1], out.netlist.add(op, a, b, t[1]), line_no);
+    }
+  }
+
+  if (pending_outputs.empty()) {
+    throw ParseError("logic netlist declares no outputs");
+  }
+  for (const auto& [name, ln] : pending_outputs) {
+    out.netlist.mark_output(lookup(name, ln));
+  }
+  return out;
+}
+
+ParsedLogic parse_logic_netlist(const std::string& text) {
+  std::istringstream in(text);
+  return parse_logic_netlist(in);
+}
+
+ParsedLogic parse_logic_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ParseError("cannot open logic netlist: " + path);
+  return parse_logic_netlist(f);
+}
+
+}  // namespace semsim

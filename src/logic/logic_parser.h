@@ -1,0 +1,43 @@
+// Parser for gate-level logic netlists (paper Sec. III-B: "SEMSIM is also
+// equipped with a parser which supports logic representation of circuit
+// netlist, such as NAND and NOR network, allowing circuit designers to
+// describe large-scale circuits").
+//
+// Format (one statement per line; '#', '*' or '//' start comments):
+//
+//   input  <name> [<name> ...]          primary inputs
+//   output <name> [<name> ...]          primary outputs (must exist by EOF)
+//   inv    <out> <in>                   also: buf
+//   nand   <out> <a> <b>                also: and, or, nor, xor, xnor
+//   latch  <out> <d> <en>               transparent D-latch
+//
+// Signals must be defined before use (latch feedback is internal to the
+// latch macro). The result elaborates to SET devices via logic/elaborate.h
+// or maps onto the SPICE baseline via spice/map_logic.h.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "logic/gate_netlist.h"
+
+namespace semsim {
+
+struct ParsedLogic {
+  GateNetlist netlist;
+  std::map<std::string, SignalId> signal_of;  ///< name -> signal id
+};
+
+/// Parses a logic netlist. Throws ParseError with a line number on errors
+/// (unknown op, wrong arity, use before definition, duplicate definition,
+/// missing outputs).
+ParsedLogic parse_logic_netlist(std::istream& in);
+
+/// Convenience overload for in-memory text.
+ParsedLogic parse_logic_netlist(const std::string& text);
+
+/// Reads the file at `path`.
+ParsedLogic parse_logic_file(const std::string& path);
+
+}  // namespace semsim

@@ -1,0 +1,78 @@
+// Device-level parameters of the voltage-state SET logic family
+// (paper Sec. IV-B: nSETs and pSETs mimicking CMOS behaviour, Fig. 4b).
+//
+// Design rules (phi = island potential, tau = e/C_sigma, u = e^2/2 C_sigma):
+//  * A device conducts through a junction to a lead at V_l iff its
+//    polarization puts phi at the degeneracy point V_l + u/e; it is blocked
+//    at bias Vds iff phi (mod tau) falls inside the blockade band
+//    (V_hi - u/e, V_lo + u/e), which has width tau - Vds. Hence Vdd < tau.
+//  * ON tuning: the phase (second) gate pins phi at the degeneracy of the
+//    TARGET rail — gnd + u/e for the nSET (conducts when the input is HIGH),
+//    Vdd + u/e for the pSET (conducts when the input is LOW):
+//        C_b V_bias_n = e/2 - C_g Vdd          (mod e)
+//        C_b V_bias_p = (C_g + C_b) Vdd - e/2  (mod e)
+//  * OFF robustness: toggling the input moves the polarization by
+//    w = (C_g - C_j) Vdd / C_sigma away from the ON degeneracy; blockade of
+//    the OFF device at full Vds requires  0 < w (mod tau) < tau - Vdd,
+//    with thermal margin  min(w, tau - Vdd - w) >> kT/e.
+//    Defaults: tau = 55.2 mV, Vdd = 30 mV, w = 18.6 mV -> 6.6 mV margin
+//    (~77 kT at 1 K).
+//  * Wire/output nodes carry background charge e/2 so the first electron
+//    transfer onto a wire is free — series device stacks would otherwise
+//    stall on the uncompensated e^2/2C_wire of their interior nodes.
+//  * Every junction facing a wire (rather than a rail) pays an extra
+//    e^2/2C_wire of charging energy per hop, which is pure uphill residual
+//    for the last few millivolts of a transition. C_wire is therefore sized
+//    so that e^2/2C_wire is a few kT (0.27 mV at 300 aF vs kT/e = 0.086 mV
+//    at 1 K): logic levels settle within ~1 mV of the rails and series
+//    stacks (NAND/NOR interior nodes) keep conducting to completion.
+#pragma once
+
+#include <algorithm>
+
+#include "base/constants.h"
+
+namespace semsim {
+
+struct SetLogicParams {
+  double r_j = 1e6;        ///< junction resistance [Ohm]
+  double c_j = 0.2e-18;    ///< junction capacitance [F]
+  double c_g = 2e-18;      ///< input gate capacitance [F]
+  double c_b = 0.5e-18;    ///< phase (second) gate capacitance [F]
+  double c_wire = 300e-18;  ///< wire/output load capacitance to ground [F]
+  double vdd = 0.030;      ///< supply [V]; must stay below e/C_sigma
+  double temperature = 2.0;  ///< logic operating point [K]
+
+  /// Island total capacitance of a logic device.
+  double c_sigma() const noexcept { return 2.0 * c_j + c_g + c_b; }
+
+  /// Charging energy e^2 / 2 C_sigma of a device island [J].
+  double charging_energy() const noexcept {
+    return kElementaryCharge * kElementaryCharge / (2.0 * c_sigma());
+  }
+
+  /// nSET phase-gate bias: pins the ON device at the gnd-side degeneracy.
+  double v_bias_n() const noexcept {
+    return (0.5 * kElementaryCharge - c_g * vdd) / c_b;
+  }
+
+  /// pSET phase-gate bias: pins the ON device at the Vdd-side degeneracy.
+  double v_bias_p() const noexcept {
+    return ((c_g + c_b) * vdd - 0.5 * kElementaryCharge) / c_b;
+  }
+
+  /// Input-toggle polarization travel w [V in phi-space]; see header note.
+  double off_travel() const noexcept {
+    return (c_g - c_j) * vdd / c_sigma();
+  }
+
+  /// Worst-case OFF-state margin to the blockade-band edges [V]; must be
+  /// well above kT/e for leak-free logic. Negative = broken design.
+  double off_margin() const noexcept {
+    const double tau = kElementaryCharge / c_sigma();
+    const double w = off_travel();
+    return std::min(w, tau - vdd - w);
+  }
+};
+
+}  // namespace semsim

@@ -1,0 +1,63 @@
+#include "logic/random_logic.h"
+
+#include "base/error.h"
+#include "base/random.h"
+
+namespace semsim {
+
+GateNetlist make_random_logic(const RandomLogicSpec& spec) {
+  require(spec.target_junctions % 4 == 0,
+          "make_random_logic: target must be a multiple of 4 junctions");
+  require(spec.n_inputs >= 2 && spec.chain_length >= 1,
+          "make_random_logic: need >= 2 inputs and a chain");
+
+  GateNetlist n;
+  Xoshiro256 rng(spec.seed);
+
+  std::vector<SignalId> ins;
+  for (int i = 0; i < spec.n_inputs; ++i) {
+    ins.push_back(n.add_input("pi" + std::to_string(i)));
+  }
+
+  // Sensitized path: a pure inverter chain from input 0.
+  SignalId chain = ins[0];
+  for (int i = 0; i < spec.chain_length; ++i) {
+    chain = n.add(GateOp::kInv, chain);
+  }
+  n.mark_output(chain);
+
+  require(n.junction_count() <= spec.target_junctions,
+          "make_random_logic: target smaller than the embedded chain");
+
+  // Random filler gates. Keep headroom so the final top-up with 4-junction
+  // inverters can always land exactly on target.
+  const GateOp kOps[] = {GateOp::kInv,  GateOp::kNand2, GateOp::kNor2,
+                         GateOp::kAnd2, GateOp::kOr2,   GateOp::kXor2};
+  auto random_signal = [&]() -> SignalId {
+    return static_cast<SignalId>(rng.uniform_below(n.signal_count()));
+  };
+  while (spec.target_junctions - n.junction_count() > 32) {
+    const GateOp op = kOps[rng.uniform_below(6)];
+    if (gate_junction_cost(op) + n.junction_count() > spec.target_junctions) {
+      continue;
+    }
+    const SignalId a = random_signal();
+    if (gate_arity(op) == 2) {
+      n.add(op, a, random_signal());
+    } else {
+      n.add(op, a);
+    }
+  }
+  while (n.junction_count() < spec.target_junctions) {
+    n.add(GateOp::kInv, random_signal());
+  }
+  require(n.junction_count() == spec.target_junctions,
+          "make_random_logic: sizing failed");
+
+  // A couple of extra observable outputs (most recent signals).
+  n.mark_output(static_cast<SignalId>(n.signal_count() - 1));
+  n.mark_output(static_cast<SignalId>(n.signal_count() / 2));
+  return n;
+}
+
+}  // namespace semsim

@@ -1,0 +1,27 @@
+// Seeded random logic DAGs sized to an exact SET junction count.
+//
+// Stand-ins for the ISCAS'85 netlists the paper used (c432, c499, c1355,
+// c1908), which are not available offline. A dedicated input feeds an
+// inverter chain to a dedicated output — the sensitized path for the
+// Fig. 7 delay measurement — while random gates with random fanins fill the
+// circuit to the target size. All gate costs are multiples of 4 junctions
+// and the generator tops up with inverters, so the target is met exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "logic/gate_netlist.h"
+
+namespace semsim {
+
+struct RandomLogicSpec {
+  std::size_t target_junctions = 1000;  ///< must be a multiple of 4
+  std::uint64_t seed = 1;
+  int n_inputs = 32;
+  int chain_length = 12;  ///< inverters on the sensitized path
+};
+
+/// Builds the netlist; input 0 toggles the chain, output 0 observes it.
+GateNetlist make_random_logic(const RandomLogicSpec& spec);
+
+}  // namespace semsim

@@ -1,0 +1,66 @@
+// Runs the Fig. 6/7 experiments on an elaborated logic benchmark:
+// propagation-delay measurement (toggle one input, watch one output) and
+// fixed-window performance runs with pulsed input activity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/engine.h"
+#include "logic/benchmarks.h"
+#include "logic/elaborate.h"
+
+namespace semsim {
+
+struct DelayRunConfig {
+  EngineOptions engine;          ///< temperature is overwritten from params
+  double t_settle = 30e-9;       ///< input step time (state settles first)
+  double t_max_after = 2e-6;     ///< give up if no crossing by then
+  double smoothing_tau = 1e-9;   ///< EMA over the shot noise
+  std::uint64_t seed = 1;
+};
+
+struct DelayRunResult {
+  double delay = 0.0;          ///< [s]; NaN when no crossing
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;
+  SolverStats stats;
+};
+
+/// Sets the benchmark's input sources on `elab` (base vector DC, toggled
+/// input stepping at t_settle), pre-seeds wire charges from the functional
+/// evaluation, and measures the output's 50%-crossing delay.
+DelayRunResult run_delay_experiment(const LogicBenchmark& bench,
+                                    ElaboratedCircuit& elab,
+                                    std::shared_ptr<const ElectrostaticModel> model,
+                                    const DelayRunConfig& cfg);
+
+struct PerfRunConfig {
+  EngineOptions engine;
+  std::uint64_t events = 20000;   ///< measured Monte-Carlo events
+  double pulse_period = 20e-9;    ///< toggled input switches at this period
+  std::uint64_t seed = 1;
+};
+
+struct PerfRunResult {
+  double wall_seconds = 0.0;      ///< wall-clock for the measured window
+  double simulated_seconds = 0.0; ///< simulated span of the window
+  std::uint64_t events = 0;
+  SolverStats stats;
+};
+
+/// Runs `events` Monte-Carlo events of switching activity (pulse train on
+/// the toggle input) and reports wall-clock cost, for the Fig. 6
+/// time-per-simulated-second extrapolation.
+PerfRunResult run_performance_window(const LogicBenchmark& bench,
+                                     ElaboratedCircuit& elab,
+                                     std::shared_ptr<const ElectrostaticModel> model,
+                                     const PerfRunConfig& cfg);
+
+/// Wire-charge pre-seed for the benchmark's base vector (exposed for reuse):
+/// signal -> electron count pairs for Engine::set_electron_counts.
+std::vector<std::pair<NodeId, long>> dc_preseed(const LogicBenchmark& bench,
+                                                const ElaboratedCircuit& elab,
+                                                const std::vector<bool>& inputs);
+
+}  // namespace semsim

@@ -1,0 +1,344 @@
+#include "master/master_equation.h"
+
+#include <cmath>
+
+#include "base/constants.h"
+#include "base/error.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+#include "physics/free_energy.h"
+
+namespace semsim {
+
+MasterEquationSolver::MasterEquationSolver(
+    const Circuit& circuit, const EngineOptions& options,
+    StateSpaceOptions space_opt,
+    std::shared_ptr<const ElectrostaticModel> shared_model)
+    : model_(shared_model ? std::move(shared_model)
+                          : std::make_shared<ElectrostaticModel>(circuit)) {
+  calc_ = std::make_unique<RateCalculator>(circuit, *model_, options);
+  if (calc_->superconducting() && calc_->gap() > 0.0) {
+    double half = options.qp_table_half_range;
+    if (half <= 0.0) half = 40.0 * calc_->gap();
+    calc_->build_qp_table(half);
+  }
+
+  std::vector<double> v_ext(model_->external_count());
+  for (std::size_t e = 0; e < v_ext.size(); ++e) {
+    v_ext[e] = circuit.source(model_->external_node(e)).value(0.0);
+  }
+  if (space_opt.temperature <= 0.0) space_opt.temperature = options.temperature;
+  rate_floor_rel_ = space_opt.rate_floor_rel;
+  space_ = std::make_unique<StateSpace>(circuit, *model_, v_ext, space_opt);
+  require(space_->size() <= 4000,
+          "MasterEquationSolver: state space too large for the dense "
+          "stationary solve — use the Monte-Carlo engine (this is the "
+          "paper's point)");
+
+  junction_count_ = circuit.junction_count();
+  for (std::size_t k = 0; k < model_->island_count(); ++k) {
+    island_nodes_.push_back(model_->island_node(k));
+  }
+
+  build_transitions(circuit, options);
+  solve_stationary();
+}
+
+void MasterEquationSolver::build_transitions(const Circuit& circuit,
+                                             const EngineOptions& options) {
+  const std::size_t ni = model_->island_count();
+  std::vector<double> v_ext(model_->external_count());
+  for (std::size_t e = 0; e < v_ext.size(); ++e) {
+    v_ext[e] = circuit.source(model_->external_node(e)).value(0.0);
+  }
+  const bool sc = calc_->superconducting() && calc_->gap() > 0.0;
+
+  for (std::size_t si = 0; si < space_->size(); ++si) {
+    const ChargeState& s = space_->state(si);
+    std::vector<double> q(ni);
+    for (std::size_t k = 0; k < ni; ++k) {
+      q[k] = kElementaryCharge *
+             (circuit.background_charge_e(island_nodes_[k]) -
+              static_cast<double>(s[k]));
+    }
+    const std::vector<double> v_isl = model_->island_potentials(q, v_ext);
+
+    auto target_of = [&](NodeId from, NodeId to, int n_charges) -> int {
+      ChargeState next = s;
+      const int kf = model_->island_index(from);
+      const int kt = model_->island_index(to);
+      if (kf >= 0) next[static_cast<std::size_t>(kf)] -= n_charges;
+      if (kt >= 0) next[static_cast<std::size_t>(kt)] += n_charges;
+      // State-preserving transfers (lead-to-lead, e.g. cotunneling straight
+      // through an island) become self-loops: they cancel in the generator
+      // but still carry charge in the current observable.
+      if (next == s) return static_cast<int>(si);
+      return space_->index_of(next);
+    };
+
+    for (std::size_t j = 0; j < junction_count_; ++j) {
+      const Junction& jn = circuit.junction(j);
+      const double va = node_potential(*model_, v_isl, v_ext, jn.a);
+      const double vb = node_potential(*model_, v_isl, v_ext, jn.b);
+      const ChannelRates r = calc_->junction_rates(j, va, vb);
+      const int t_fw = target_of(jn.a, jn.b, 1);
+      if (t_fw >= 0 && r.rate_fw > 0.0) {
+        transitions_.push_back({si, static_cast<std::size_t>(t_fw), r.rate_fw,
+                                j, -1.0, j, 0.0});
+      }
+      const int t_bw = target_of(jn.b, jn.a, 1);
+      if (t_bw >= 0 && r.rate_bw > 0.0) {
+        transitions_.push_back({si, static_cast<std::size_t>(t_bw), r.rate_bw,
+                                j, 1.0, j, 0.0});
+      }
+      if (sc) {
+        const ChannelRates cp = calc_->cooper_pair_rates(j, va, vb);
+        const int c_fw = target_of(jn.a, jn.b, 2);
+        if (c_fw >= 0 && cp.rate_fw > 0.0) {
+          transitions_.push_back({si, static_cast<std::size_t>(c_fw),
+                                  cp.rate_fw, j, -2.0, j, 0.0});
+        }
+        const int c_bw = target_of(jn.b, jn.a, 2);
+        if (c_bw >= 0 && cp.rate_bw > 0.0) {
+          transitions_.push_back({si, static_cast<std::size_t>(c_bw),
+                                  cp.rate_bw, j, 2.0, j, 0.0});
+        }
+      }
+    }
+
+    if (options.cotunneling) {
+      for (const CotunnelingPath& path : calc_->cotunneling_paths()) {
+        const double rate = calc_->cotunneling_path_rate(
+            path, node_potential(*model_, v_isl, v_ext, path.from),
+            node_potential(*model_, v_isl, v_ext, path.via),
+            node_potential(*model_, v_isl, v_ext, path.to));
+        if (rate <= 0.0) continue;
+        const int t = target_of(path.from, path.to, 1);
+        if (t < 0) continue;
+        const Junction& j1 = circuit.junction(path.j1);
+        const Junction& j2 = circuit.junction(path.j2);
+        transitions_.push_back({si, static_cast<std::size_t>(t), rate, path.j1,
+                                j1.a == path.from ? -1.0 : 1.0, path.j2,
+                                j2.a == path.via ? -1.0 : 1.0});
+      }
+    }
+  }
+}
+
+namespace {
+
+// Tarjan SCC over a sparse digraph (iterative; state spaces reach ~4000).
+std::vector<int> strongly_connected_components(
+    std::size_t n, const std::vector<std::vector<std::size_t>>& adj,
+    int& component_count) {
+  std::vector<int> comp(n, -1), low(n, 0), disc(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  int timer = 0;
+  component_count = 0;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t edge;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (disc[root] >= 0) continue;
+    std::vector<Frame> call;
+    call.push_back({root, 0});
+    disc[root] = low[root] = timer++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!call.empty()) {
+      Frame& f = call.back();
+      if (f.edge < adj[f.v].size()) {
+        const std::size_t w = adj[f.v][f.edge++];
+        if (disc[w] < 0) {
+          disc[w] = low[w] = timer++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], disc[w]);
+        }
+      } else {
+        if (low[f.v] == disc[f.v]) {
+          for (;;) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp[w] = component_count;
+            if (w == f.v) break;
+          }
+          ++component_count;
+        }
+        const std::size_t v = f.v;
+        call.pop_back();
+        if (!call.empty()) {
+          low[call.back().v] = std::min(low[call.back().v], low[v]);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+}  // namespace
+
+void MasterEquationSolver::solve_stationary() {
+  const std::size_t n = space_->size();
+
+  // Two numerical pathologies of the raw generator:
+  //  * rates underflow to exactly zero (barriers of hundreds of kT), which
+  //    disconnects states and makes the generator reducible/singular;
+  //  * deep charge traps entered only on astronomic timescales would absorb
+  //    the exact stationary distribution although nothing physical ever
+  //    reaches them (see StateSpaceOptions::rate_floor_rel).
+  // Restrict first to the basin reachable from the neutral state through
+  // above-floor transitions, then to the terminal communicating class the
+  // initial condition relaxes into.
+  double max_rate = 0.0;
+  for (const Transition& t : transitions_) max_rate = std::max(max_rate, t.rate);
+  const double floor = max_rate * rate_floor_rel_;
+
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const Transition& t : transitions_) {
+    if (t.from != t.to && t.rate > floor) adj[t.from].push_back(t.to);
+  }
+  {
+    // Reachable closure from neutral.
+    std::vector<bool> reach(n, false);
+    std::vector<std::size_t> bfs = {space_->neutral_index()};
+    reach[space_->neutral_index()] = true;
+    while (!bfs.empty()) {
+      const std::size_t v = bfs.back();
+      bfs.pop_back();
+      for (const std::size_t w : adj[v]) {
+        if (!reach[w]) {
+          reach[w] = true;
+          bfs.push_back(w);
+        }
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!reach[v]) adj[v].clear();
+      // Edges into unreachable states can't exist (closure), so clearing
+      // the outgoing lists fully detaches them.
+    }
+  }
+  int n_comp = 0;
+  const std::vector<int> comp = strongly_connected_components(n, adj, n_comp);
+  std::vector<bool> comp_terminal(static_cast<std::size_t>(n_comp), true);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const std::size_t w : adj[v]) {
+      if (comp[v] != comp[w]) comp_terminal[static_cast<std::size_t>(comp[v])] = false;
+    }
+  }
+  // Walk from the neutral state's component to a terminal one.
+  int target = comp[space_->neutral_index()];
+  while (!comp_terminal[static_cast<std::size_t>(target)]) {
+    int next = target;
+    for (std::size_t v = 0; v < n && next == target; ++v) {
+      if (comp[v] != target) continue;
+      for (const std::size_t w : adj[v]) {
+        if (comp[w] != target) {
+          next = comp[w];
+          break;
+        }
+      }
+    }
+    require(next != target, "MasterEquationSolver: no terminal class found");
+    target = next;
+  }
+
+  std::vector<std::size_t> keep;  // reduced index -> full index
+  std::vector<int> reduced(n, -1);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (comp[v] == target) {
+      reduced[v] = static_cast<int>(keep.size());
+      keep.push_back(v);
+    }
+  }
+  const std::size_t m_size = keep.size();
+
+  // Generator on the recurrent class:
+  // dp_i/dt = sum_j rate(j->i) p_j - p_i sum rate(i->*).
+  Matrix a(m_size, m_size);
+  double scale = 0.0;
+  for (const Transition& t : transitions_) {
+    const int rf = reduced[t.from];
+    if (rf < 0) continue;
+    const int rt = reduced[t.to];
+    // Leak out of a terminal class is impossible by construction.
+    if (rt >= 0 && rf != rt) {
+      a(static_cast<std::size_t>(rt), static_cast<std::size_t>(rf)) += t.rate;
+      a(static_cast<std::size_t>(rf), static_cast<std::size_t>(rf)) -= t.rate;
+    }
+    scale = std::max(scale, t.rate);
+  }
+  if (scale == 0.0) scale = 1.0;
+
+  // Replace the last balance row with normalization sum p = 1, scaled to
+  // the rate magnitude so the pivoting stays healthy.
+  Matrix m = a;
+  for (std::size_t c = 0; c < m_size; ++c) m(m_size - 1, c) = scale;
+  std::vector<double> rhs(m_size, 0.0);
+  rhs[m_size - 1] = scale;
+
+  const std::vector<double> p_reduced = LuDecomposition(m).solve(rhs);
+  p_.assign(n, 0.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m_size; ++i) {
+    double x = p_reduced[i];
+    if (x < 0.0 && x > -1e-12) x = 0.0;
+    p_[keep[i]] = x;
+    sum += x;
+  }
+  require(sum > 0.0, "MasterEquationSolver: stationary solve failed");
+  for (double& x : p_) x /= sum;
+
+  std::vector<double> p_kept(m_size);
+  for (std::size_t i = 0; i < m_size; ++i) p_kept[i] = p_[keep[i]];
+  const std::vector<double> flux = a.multiply(p_kept);
+  residual_ = 0.0;
+  for (std::size_t i = 0; i + 1 < m_size; ++i) {
+    residual_ = std::max(residual_, std::abs(flux[i]));
+  }
+  residual_ /= scale;
+}
+
+ChargeState MasterEquationSolver::most_probable_state() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < p_.size(); ++i) {
+    if (p_[i] > p_[best]) best = i;
+  }
+  return space_->state(best);
+}
+
+double MasterEquationSolver::probability_of(const ChargeState& s) const {
+  const int i = space_->index_of(s);
+  return i < 0 ? 0.0 : p_.at(static_cast<std::size_t>(i));
+}
+
+double MasterEquationSolver::junction_current(std::size_t j) const {
+  require(j < junction_count_, "junction_current: index out of range");
+  double flow_e = 0.0;  // units of e per second, a -> b
+  for (const Transition& t : transitions_) {
+    double q_e = 0.0;
+    if (t.j1 == j) q_e += t.q1_e;
+    if (t.j2 == j && t.q2_e != 0.0) q_e += t.q2_e;
+    if (q_e != 0.0) flow_e += p_[t.from] * t.rate * q_e;
+  }
+  return kElementaryCharge * flow_e;
+}
+
+double MasterEquationSolver::mean_occupation(NodeId island) const {
+  const int k = model_->island_index(island);
+  require(k >= 0, "mean_occupation: node is not an island");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < space_->size(); ++i) {
+    acc += p_[i] * static_cast<double>(space_->state(i)[static_cast<std::size_t>(k)]);
+  }
+  return acc;
+}
+
+}  // namespace semsim

@@ -1,0 +1,91 @@
+// Steady-state master-equation solver — the paper's second simulation
+// method (Sec. I), built on the same physics kernels as the Monte-Carlo
+// engine.
+//
+// Solves the stationary distribution p of the continuous-time Markov chain
+// whose states are the enumerated charge configurations and whose
+// transition rates are the orthodox / quasi-particle / Cooper-pair /
+// cotunneling rates of src/physics. Observables are exact expectations —
+// no shot noise — which makes this the natural cross-validation oracle for
+// the Monte-Carlo engine on small circuits, while its state enumeration is
+// exactly the scalability wall the paper cites as the method's weakness.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/options.h"
+#include "core/rate_calculator.h"
+#include "master/state_space.h"
+#include "netlist/circuit.h"
+
+namespace semsim {
+
+class MasterEquationSolver {
+ public:
+  /// Enumerates the state space and solves the stationary distribution at
+  /// the sources' t = 0 values. Options mirror the engine's where they
+  /// overlap (temperature, cotunneling, qp_table_half_range).
+  MasterEquationSolver(const Circuit& circuit, const EngineOptions& options,
+                       StateSpaceOptions space = {},
+                       std::shared_ptr<const ElectrostaticModel> shared_model = nullptr);
+
+  std::size_t state_count() const noexcept { return space_->size(); }
+
+  /// Stationary probability of state i.
+  double probability(std::size_t i) const { return p_.at(i); }
+
+  /// Stationary probability of a specific charge configuration (0 when the
+  /// state was not enumerated).
+  double probability_of(const ChargeState& s) const;
+
+  /// The mode of the stationary distribution. Useful for initializing a
+  /// Monte-Carlo engine inside the same basin (biased multi-island circuits
+  /// can be glassy: relaxation into the true ground basin may take far
+  /// longer than any Monte-Carlo window, in which case an MC run started
+  /// from neutral measures a different — metastable — branch).
+  ChargeState most_probable_state() const;
+
+  /// Islands in the order most_probable_state() uses.
+  const std::vector<NodeId>& island_nodes() const noexcept {
+    return island_nodes_;
+  }
+
+  /// Expected conventional current [A] through junction j, positive a -> b
+  /// (the same convention as Engine::junction_transferred_e).
+  double junction_current(std::size_t j) const;
+
+  /// Expectation of the electron count on an island.
+  double mean_occupation(NodeId island) const;
+
+  /// Total probability flux balance residual (diagnostic; ~0 at solution).
+  double residual() const noexcept { return residual_; }
+
+ private:
+  struct Transition {
+    std::size_t from;
+    std::size_t to;
+    double rate;
+    // Charge (units of e, a -> b) carried through each junction, for the
+    // current observable. Single-electron: one junction; cotunneling: two.
+    std::size_t j1;
+    double q1_e;
+    std::size_t j2;
+    double q2_e;
+  };
+
+  void build_transitions(const Circuit& circuit, const EngineOptions& options);
+  void solve_stationary();
+
+  std::shared_ptr<const ElectrostaticModel> model_;
+  std::unique_ptr<RateCalculator> calc_;
+  std::unique_ptr<StateSpace> space_;
+  std::size_t junction_count_ = 0;
+  std::vector<NodeId> island_nodes_;
+  std::vector<Transition> transitions_;
+  std::vector<double> p_;
+  double rate_floor_rel_ = 1e-12;
+  double residual_ = 0.0;
+};
+
+}  // namespace semsim

@@ -1,0 +1,122 @@
+#include "master/state_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "base/constants.h"
+#include "base/error.h"
+#include "physics/free_energy.h"
+#include "physics/rates.h"
+
+namespace semsim {
+
+StateSpace::StateSpace(const Circuit& circuit, const ElectrostaticModel& model,
+                       const std::vector<double>& v_ext,
+                       const StateSpaceOptions& opt) {
+  require(v_ext.size() == model.external_count(),
+          "StateSpace: external voltage vector size mismatch");
+  const std::size_t ni = model.island_count();
+  require(ni > 0, "StateSpace: circuit has no islands");
+
+  double cutoff = opt.energy_cutoff;
+  if (cutoff <= 0.0) {
+    double u_max = 0.0;
+    for (std::size_t k = 0; k < ni; ++k) {
+      const double kappa = model.kappa()(k, k);
+      u_max = std::max(u_max,
+                       0.5 * kElementaryCharge * kElementaryCharge * kappa);
+    }
+    cutoff = std::max(40.0 * kBoltzmann * opt.temperature, 8.0 * u_max);
+    // Transport also needs the states the bias makes accessible.
+    double v_max = 0.0;
+    for (const double v : v_ext) v_max = std::max(v_max, std::abs(v));
+    cutoff += 2.0 * kElementaryCharge * v_max;
+  }
+
+  const ChargeState neutral(ni, 0);
+  states_.push_back(neutral);
+  energies_.push_back(0.0);
+  index_[neutral] = 0;
+  neutral_ = 0;
+
+  // Charges and potentials are recomputed per expanded state; dW of a
+  // single-electron move gives the neighbour's energy (path independent).
+  // The energy band is anchored at the NEUTRAL state: biased multi-island
+  // circuits can have polarized configurations far below neutral (glassy
+  // landscapes), and anchoring at the global minimum would prune the very
+  // basin the simulation starts in. States below neutral always pass.
+  std::deque<std::size_t> frontier;
+  frontier.push_back(0);
+  double max_rate_seen = 0.0;
+
+  while (!frontier.empty()) {
+    const std::size_t si = frontier.front();
+    frontier.pop_front();
+    const ChargeState s = states_[si];  // copy: states_ may reallocate
+
+    std::vector<double> q(ni);
+    for (std::size_t k = 0; k < ni; ++k) {
+      const NodeId node = model.island_node(k);
+      q[k] = kElementaryCharge * (circuit.background_charge_e(node) -
+                                  static_cast<double>(s[k]));
+    }
+    const std::vector<double> v_isl = model.island_potentials(q, v_ext);
+
+    for (std::size_t j = 0; j < circuit.junction_count(); ++j) {
+      const Junction& jn = circuit.junction(j);
+      for (const bool forward : {true, false}) {
+        const NodeId from = forward ? jn.a : jn.b;
+        const NodeId to = forward ? jn.b : jn.a;
+        ChargeState next = s;
+        const int kf = model.island_index(from);
+        const int kt = model.island_index(to);
+        if (kf >= 0) next[static_cast<std::size_t>(kf)] -= 1;
+        if (kt >= 0) next[static_cast<std::size_t>(kt)] += 1;
+        if (next == s) continue;  // lead-to-lead (no island involved)
+
+        bool in_bounds = true;
+        for (const int n : next) {
+          if (std::abs(n) > opt.occupation_bound) in_bounds = false;
+        }
+        if (!in_bounds) continue;
+        if (index_.count(next)) continue;
+
+        const double dw = delta_w(model, v_isl, v_ext,
+                                  ChargeMove{from, to, -kElementaryCharge});
+        const double energy = energies_[si] + dw;
+        if (energy > cutoff) continue;
+        // Reachability is rate-aware: a state whose only entries are
+        // astronomically slow is outside every observable window (same
+        // timescale cut as StateSpaceOptions::rate_floor_rel). The orthodox
+        // rate is a sufficient reachability proxy even for superconducting
+        // circuits.
+        const double rate = orthodox_rate(dw, jn.resistance, opt.temperature);
+        max_rate_seen = std::max(max_rate_seen, rate);
+        if (rate < max_rate_seen * opt.rate_floor_rel) continue;
+
+        if (states_.size() >= opt.max_states) {
+          throw Error(
+              "StateSpace: state budget exceeded — the master-equation "
+              "method needs the relevant states enumerable in advance "
+              "(the scalability wall the paper's Monte-Carlo approach "
+              "avoids); raise max_states or shrink the circuit");
+        }
+        index_[next] = states_.size();
+        frontier.push_back(states_.size());
+        states_.push_back(next);
+        energies_.push_back(energy);
+      }
+    }
+  }
+
+  require(states_[neutral_] == neutral,
+          "StateSpace: internal error — neutral state displaced");
+}
+
+int StateSpace::index_of(const ChargeState& s) const {
+  const auto it = index_.find(s);
+  return it == index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+}  // namespace semsim

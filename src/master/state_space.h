@@ -1,0 +1,68 @@
+// Charge-state enumeration for the master-equation solver.
+//
+// The paper (Sec. I) describes the master-equation method as one of the
+// three simulation approaches and names its weakness: "the relevant states
+// must be known before simulation". This module makes that concrete: it
+// enumerates the charge states reachable from the neutral configuration by
+// breadth-first expansion through the circuit's tunneling channels, pruning
+// by free energy (states more than `energy_cutoff` above the minimum are
+// irrelevant at temperature T) and by a hard state budget — precisely the
+// scalability wall that motivates the paper's Monte-Carlo approach.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "netlist/electrostatics.h"
+
+namespace semsim {
+
+/// One charge state: excess electrons per island (island-index order).
+using ChargeState = std::vector<int>;
+
+struct StateSpaceOptions {
+  double temperature = 0.0;       ///< [K] — sets the default energy cutoff
+  double energy_cutoff = 0.0;     ///< [J]; 0 = auto (max(40 kT, 4 max charging energy))
+  std::size_t max_states = 20000; ///< hard budget; exceeding throws Error
+  int occupation_bound = 12;      ///< |n| bound per island
+
+  /// Used by the master-equation solver: transitions slower than this
+  /// fraction of the fastest rate are treated as never happening when the
+  /// occupied basin is selected. Biased circuits can hold deep charge traps
+  /// that are entered on astronomic timescales and whose escape rates
+  /// underflow to exactly zero; they would absorb the exact t -> infinity
+  /// distribution although no experiment (or Monte-Carlo run) ever reaches
+  /// them. Default: twelve decades of timescale separation, i.e. processes slower
+  /// than ~0.01/s for nanosecond-scale device rates are outside any
+  /// simulated or measured window.
+  double rate_floor_rel = 1e-12;
+};
+
+class StateSpace {
+ public:
+  /// Enumerates reachable states at the given external voltages.
+  StateSpace(const Circuit& circuit, const ElectrostaticModel& model,
+             const std::vector<double>& v_ext, const StateSpaceOptions& opt);
+
+  std::size_t size() const noexcept { return states_.size(); }
+  const ChargeState& state(std::size_t i) const { return states_.at(i); }
+
+  /// Free energy of state i relative to the neutral state [J].
+  double energy(std::size_t i) const { return energies_.at(i); }
+
+  /// Index of a state, or -1 when it was pruned / never reached.
+  int index_of(const ChargeState& s) const;
+
+  /// Index of the all-neutral state.
+  std::size_t neutral_index() const noexcept { return neutral_; }
+
+ private:
+  std::vector<ChargeState> states_;
+  std::vector<double> energies_;
+  std::map<ChargeState, std::size_t> index_;
+  std::size_t neutral_ = 0;
+};
+
+}  // namespace semsim

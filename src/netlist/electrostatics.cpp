@@ -1,0 +1,126 @@
+#include "netlist/electrostatics.h"
+
+#include "base/error.h"
+#include "linalg/cholesky.h"
+
+namespace semsim {
+
+ElectrostaticModel::ElectrostaticModel(const Circuit& circuit) {
+  circuit.validate();
+
+  const std::size_t n_nodes = circuit.node_count();
+  island_index_.assign(n_nodes, -1);
+  external_index_.assign(n_nodes, -1);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    switch (circuit.node(id).kind) {
+      case NodeKind::kIsland:
+        island_index_[i] = static_cast<int>(island_nodes_.size());
+        island_nodes_.push_back(id);
+        break;
+      case NodeKind::kExternal:
+        external_index_[i] = static_cast<int>(external_nodes_.size());
+        external_nodes_.push_back(id);
+        break;
+      case NodeKind::kGround:
+        break;
+    }
+  }
+
+  elements_.reserve(circuit.junction_count() + circuit.capacitor_count());
+  for (const Junction& j : circuit.junctions()) {
+    elements_.push_back(CapacitiveElement{j.a, j.b, j.capacitance});
+  }
+  for (const Capacitor& c : circuit.capacitors()) {
+    elements_.push_back(CapacitiveElement{c.a, c.b, c.capacitance});
+  }
+
+  const std::size_t ni = island_nodes_.size();
+  const std::size_t ne = external_nodes_.size();
+  c_ii_ = Matrix(ni, ni);
+  c_ie_ = Matrix(ni, ne);
+
+  // Island charge: Q_k = sum_elem C (v_k - v_other)
+  //              = C_II v_I + C_IE v_E   (ground contributes only to diag).
+  for (const CapacitiveElement& e : elements_) {
+    const int ia = island_index_[static_cast<std::size_t>(e.a)];
+    const int ib = island_index_[static_cast<std::size_t>(e.b)];
+    const int ea = external_index_[static_cast<std::size_t>(e.a)];
+    const int eb = external_index_[static_cast<std::size_t>(e.b)];
+    if (ia >= 0) c_ii_(static_cast<std::size_t>(ia), static_cast<std::size_t>(ia)) += e.capacitance;
+    if (ib >= 0) c_ii_(static_cast<std::size_t>(ib), static_cast<std::size_t>(ib)) += e.capacitance;
+    if (ia >= 0 && ib >= 0) {
+      c_ii_(static_cast<std::size_t>(ia), static_cast<std::size_t>(ib)) -= e.capacitance;
+      c_ii_(static_cast<std::size_t>(ib), static_cast<std::size_t>(ia)) -= e.capacitance;
+    }
+    if (ia >= 0 && eb >= 0) c_ie_(static_cast<std::size_t>(ia), static_cast<std::size_t>(eb)) -= e.capacitance;
+    if (ib >= 0 && ea >= 0) c_ie_(static_cast<std::size_t>(ib), static_cast<std::size_t>(ea)) -= e.capacitance;
+  }
+
+  if (ni > 0) {
+    CholeskyDecomposition chol(c_ii_);
+    kappa_ = chol.inverse();
+    // S = -kappa * C_IE
+    source_gain_ = Matrix(ni, ne);
+    if (ne > 0) {
+      const Matrix prod = kappa_.multiply(c_ie_);
+      for (std::size_t r = 0; r < ni; ++r)
+        for (std::size_t c = 0; c < ne; ++c) source_gain_(r, c) = -prod(r, c);
+    }
+  } else {
+    kappa_ = Matrix(0, 0);
+    source_gain_ = Matrix(0, ne);
+  }
+}
+
+double ElectrostaticModel::kappa_node(NodeId a, NodeId b) const noexcept {
+  const int ia = island_index_[static_cast<std::size_t>(a)];
+  const int ib = island_index_[static_cast<std::size_t>(b)];
+  if (ia < 0 || ib < 0) return 0.0;
+  return kappa_(static_cast<std::size_t>(ia), static_cast<std::size_t>(ib));
+}
+
+std::vector<double> ElectrostaticModel::island_potentials(
+    const std::vector<double>& q, const std::vector<double>& v_ext) const {
+  require(q.size() == island_count(),
+          "island_potentials: charge vector size mismatch");
+  require(v_ext.size() == external_count(),
+          "island_potentials: external voltage vector size mismatch");
+  std::vector<double> v = kappa_.multiply(q);
+  if (!v_ext.empty()) {
+    const std::vector<double> vs = source_gain_.multiply(v_ext);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] += vs[i];
+  }
+  return v;
+}
+
+void ElectrostaticModel::add_charge_delta(NodeId n, double dq,
+                                          std::vector<double>& dv) const {
+  const int in = island_index_[static_cast<std::size_t>(n)];
+  if (in < 0) return;
+  require(dv.size() == island_count(), "add_charge_delta: dv size mismatch");
+  const std::size_t col = static_cast<std::size_t>(in);
+  for (std::size_t k = 0; k < dv.size(); ++k) dv[k] += kappa_(k, col) * dq;
+}
+
+double ElectrostaticModel::potential_delta(std::size_t k, NodeId n,
+                                           double dq) const noexcept {
+  const int in = island_index_[static_cast<std::size_t>(n)];
+  if (in < 0) return 0.0;
+  return kappa_(k, static_cast<std::size_t>(in)) * dq;
+}
+
+double ElectrostaticModel::source_step_delta(std::size_t k, NodeId src,
+                                             double dv_src) const {
+  const int es = external_index_[static_cast<std::size_t>(src)];
+  require(es >= 0, "source_step_delta: node is not an external lead");
+  return source_gain_(k, static_cast<std::size_t>(es)) * dv_src;
+}
+
+double ElectrostaticModel::total_capacitance(NodeId n) const {
+  const int in = island_index_[static_cast<std::size_t>(n)];
+  require(in >= 0, "total_capacitance: node is not an island");
+  return c_ii_(static_cast<std::size_t>(in), static_cast<std::size_t>(in));
+}
+
+}  // namespace semsim

@@ -1,0 +1,99 @@
+// Electrostatic model of a single-electron circuit.
+//
+// Splits the node set into islands (floating, quantized charge) and fixed-
+// potential nodes (ground + externals), assembles the island capacitance
+// matrix C_II and the island-to-external coupling C_IE, and precomputes
+//   kappa = C_II^-1                (the paper's C^-1 in Eq. 2)
+//   S     = -C_II^-1 * C_IE       (island-potential sensitivity to inputs)
+// so the Monte-Carlo loop can evaluate potentials, potential *changes* after
+// a tunnel event, and free-energy changes in O(1) per matrix entry.
+//
+// C_II is symmetric positive definite for any electrically valid circuit;
+// the Cholesky factorization doubles as the validity check.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "netlist/circuit.h"
+
+namespace semsim {
+
+/// A capacitive element (junction capacitance or pure capacitor).
+struct CapacitiveElement {
+  NodeId a = 0;
+  NodeId b = 0;
+  double capacitance = 0.0;
+};
+
+class ElectrostaticModel {
+ public:
+  /// Builds the model. Throws CircuitError / NumericError when the circuit
+  /// is structurally or electrically invalid (e.g. an island with no
+  /// capacitive path to any fixed potential makes C_II singular).
+  explicit ElectrostaticModel(const Circuit& circuit);
+
+  std::size_t island_count() const noexcept { return island_nodes_.size(); }
+  std::size_t external_count() const noexcept { return external_nodes_.size(); }
+
+  /// Island index of node `n`, or -1 when `n` is not an island.
+  int island_index(NodeId n) const noexcept {
+    return island_index_[static_cast<std::size_t>(n)];
+  }
+  NodeId island_node(std::size_t idx) const { return island_nodes_.at(idx); }
+
+  /// External index of node `n`, or -1 (ground is not an external).
+  int external_index(NodeId n) const noexcept {
+    return external_index_[static_cast<std::size_t>(n)];
+  }
+  NodeId external_node(std::size_t idx) const { return external_nodes_.at(idx); }
+
+  const Matrix& c_ii() const noexcept { return c_ii_; }
+  const Matrix& c_ie() const noexcept { return c_ie_; }
+  const Matrix& kappa() const noexcept { return kappa_; }
+  const Matrix& source_gain() const noexcept { return source_gain_; }
+
+  /// kappa entry generalized to node ids: zero when either node is not an
+  /// island (the convention of Eq. 2 — leads have no charging term).
+  double kappa_node(NodeId a, NodeId b) const noexcept;
+
+  /// Island potentials [V] from island charges `q` [C] and external lead
+  /// voltages `v_ext` [V] (both indexed by island/external index):
+  ///   v = kappa * q + S * v_ext.
+  std::vector<double> island_potentials(const std::vector<double>& q,
+                                        const std::vector<double>& v_ext) const;
+
+  /// Potential change on every island when charge `dq` [C] is added to
+  /// island node `n` (column of kappa scaled by dq). No-op for non-islands.
+  void add_charge_delta(NodeId n, double dq, std::vector<double>& dv) const;
+
+  /// Potential change of island with index `k` when charge dq is added to
+  /// island node `n`: kappa[k][island_index(n)] * dq (0 for non-island n).
+  double potential_delta(std::size_t k, NodeId n, double dq) const noexcept;
+
+  /// Potential change of island `k` when external lead node `src` steps by
+  /// `dv_src`: S[k][external_index(src)] * dv_src.
+  double source_step_delta(std::size_t k, NodeId src, double dv_src) const;
+
+  /// All capacitive elements (junction capacitances first, then capacitors).
+  const std::vector<CapacitiveElement>& capacitive_elements() const noexcept {
+    return elements_;
+  }
+
+  /// Sum of capacitances attached to island node `n` (the C_sigma of a SET).
+  double total_capacitance(NodeId n) const;
+
+ private:
+  std::vector<NodeId> island_nodes_;
+  std::vector<NodeId> external_nodes_;
+  std::vector<int> island_index_;
+  std::vector<int> external_index_;
+  std::vector<CapacitiveElement> elements_;
+  Matrix c_ii_;
+  Matrix c_ie_;
+  Matrix kappa_;
+  Matrix source_gain_;
+};
+
+}  // namespace semsim

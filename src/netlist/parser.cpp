@@ -1,0 +1,226 @@
+#include "netlist/parser.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "base/constants.h"
+#include "base/error.h"
+#include "base/string_util.h"
+
+namespace semsim {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  throw ParseError("input line " + std::to_string(line_no) + ": " + msg);
+}
+
+double num(const std::vector<std::string>& tok, std::size_t i,
+           std::size_t line_no) {
+  if (i >= tok.size()) fail(line_no, "missing numeric argument");
+  try {
+    return parse_spice_number(tok[i]);
+  } catch (const ParseError& e) {
+    fail(line_no, e.what());
+  }
+}
+
+long integer(const std::vector<std::string>& tok, std::size_t i,
+             std::size_t line_no) {
+  const double v = num(tok, i, line_no);
+  const long l = static_cast<long>(v);
+  if (static_cast<double>(l) != v) fail(line_no, "expected an integer");
+  return l;
+}
+
+struct RawLine {
+  std::size_t line_no;
+  std::vector<std::string> tokens;
+};
+
+}  // namespace
+
+SimulationInput parse_simulation_input(std::istream& in) {
+  std::vector<RawLine> lines;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (is_comment_or_blank(raw)) continue;
+    lines.push_back(RawLine{line_no, split_ws(raw)});
+    for (auto& t : lines.back().tokens) t = to_lower(std::move(t));
+  }
+
+  // Pass 1: node counts (element lines may precede the `num` block).
+  long num_ext = -1, num_nodes = -1, num_junc = -1;
+  for (const RawLine& l : lines) {
+    if (l.tokens[0] != "num") continue;
+    if (l.tokens.size() < 3) fail(l.line_no, "num needs a kind and a count");
+    const long n = integer(l.tokens, 2, l.line_no);
+    if (n < 0) fail(l.line_no, "negative count");
+    if (l.tokens[1] == "ext") num_ext = n;
+    else if (l.tokens[1] == "nodes") num_nodes = n;
+    else if (l.tokens[1] == "j") num_junc = n;
+    else fail(l.line_no, "unknown num kind '" + l.tokens[1] + "'");
+  }
+  if (num_ext < 0 || num_nodes < 0) {
+    throw ParseError("input must declare 'num ext' and 'num nodes'");
+  }
+  if (num_nodes < num_ext) {
+    throw ParseError("num nodes must be >= num ext");
+  }
+
+  SimulationInput out;
+  for (long i = 0; i < num_ext; ++i) out.circuit.add_external();
+  for (long i = num_ext; i < num_nodes; ++i) out.circuit.add_island();
+
+  auto check_node = [&](long n, std::size_t ln) -> NodeId {
+    if (n < 0 || n > num_nodes) fail(ln, "node " + std::to_string(n) + " out of range");
+    return static_cast<NodeId>(n);
+  };
+
+  // Pass 2: everything else.
+  std::optional<NodeId> symm_node;
+  for (const RawLine& l : lines) {
+    const auto& t = l.tokens;
+    const std::string& kw = t[0];
+    try {
+      if (kw == "num") {
+        continue;
+      } else if (kw == "junc") {
+        if (t.size() != 6) fail(l.line_no, "junc <id> <a> <b> <R> <C>");
+        const NodeId a = check_node(integer(t, 2, l.line_no), l.line_no);
+        const NodeId b = check_node(integer(t, 3, l.line_no), l.line_no);
+        out.circuit.add_junction(a, b, num(t, 4, l.line_no), num(t, 5, l.line_no));
+      } else if (kw == "cap") {
+        if (t.size() != 4) fail(l.line_no, "cap <a> <b> <C>");
+        const NodeId a = check_node(integer(t, 1, l.line_no), l.line_no);
+        const NodeId b = check_node(integer(t, 2, l.line_no), l.line_no);
+        out.circuit.add_capacitor(a, b, num(t, 3, l.line_no));
+      } else if (kw == "charge") {
+        if (t.size() != 3) fail(l.line_no, "charge <node> <q_in_e>");
+        const NodeId n = check_node(integer(t, 1, l.line_no), l.line_no);
+        out.circuit.set_background_charge(n, num(t, 2, l.line_no));
+      } else if (kw == "vdc") {
+        if (t.size() != 3) fail(l.line_no, "vdc <node> <V>");
+        const NodeId n = check_node(integer(t, 1, l.line_no), l.line_no);
+        out.circuit.set_source(n, Waveform::dc(num(t, 2, l.line_no)));
+      } else if (kw == "vstep") {
+        if (t.size() != 5) fail(l.line_no, "vstep <node> <lo> <hi> <t>");
+        const NodeId n = check_node(integer(t, 1, l.line_no), l.line_no);
+        out.circuit.set_source(
+            n, Waveform::step(num(t, 2, l.line_no), num(t, 3, l.line_no),
+                              num(t, 4, l.line_no)));
+      } else if (kw == "vpwl") {
+        if (t.size() < 4 || t.size() % 2 != 0) {
+          fail(l.line_no, "vpwl <node> <t1> <v1> [<t2> <v2> ...]");
+        }
+        const NodeId n = check_node(integer(t, 1, l.line_no), l.line_no);
+        std::vector<double> times, values;
+        for (std::size_t i = 2; i + 1 < t.size(); i += 2) {
+          times.push_back(num(t, i, l.line_no));
+          values.push_back(num(t, i + 1, l.line_no));
+        }
+        try {
+          out.circuit.set_source(n, Waveform::piecewise(std::move(times),
+                                                        std::move(values)));
+        } catch (const Error& e) {
+          fail(l.line_no, e.what());
+        }
+      } else if (kw == "vpulse") {
+        if (t.size() != 7) fail(l.line_no, "vpulse <node> <lo> <hi> <delay> <width> <period>");
+        const NodeId n = check_node(integer(t, 1, l.line_no), l.line_no);
+        out.circuit.set_source(
+            n, Waveform::pulse(num(t, 2, l.line_no), num(t, 3, l.line_no),
+                               num(t, 4, l.line_no), num(t, 5, l.line_no),
+                               num(t, 6, l.line_no)));
+      } else if (kw == "symm") {
+        if (t.size() != 2) fail(l.line_no, "symm <node>");
+        symm_node = check_node(integer(t, 1, l.line_no), l.line_no);
+      } else if (kw == "temp") {
+        if (t.size() != 2) fail(l.line_no, "temp <K>");
+        out.temperature = num(t, 1, l.line_no);
+        if (out.temperature < 0.0) fail(l.line_no, "negative temperature");
+      } else if (kw == "cotunnel") {
+        out.cotunneling = true;
+      } else if (kw == "super") {
+        if (t.size() != 3) fail(l.line_no, "super <delta0_meV> <tc_K>");
+        SuperconductingParams p;
+        p.delta0 = num(t, 1, l.line_no) * kMilliElectronVolt;
+        p.tc = num(t, 2, l.line_no);
+        out.circuit.set_superconducting(p);
+      } else if (kw == "record") {
+        if (t.size() < 2) fail(l.line_no, "record <j...>");
+        for (std::size_t i = 1; i < t.size(); ++i) {
+          const long jid = integer(t, i, l.line_no);
+          if (jid < 1) fail(l.line_no, "junction ids are 1-based");
+          out.record_junctions.push_back(static_cast<std::size_t>(jid - 1));
+        }
+        std::sort(out.record_junctions.begin(), out.record_junctions.end());
+        out.record_junctions.erase(std::unique(out.record_junctions.begin(),
+                                               out.record_junctions.end()),
+                                   out.record_junctions.end());
+      } else if (kw == "jumps") {
+        if (t.size() != 2 && t.size() != 3) fail(l.line_no, "jumps <count> [repeats]");
+        out.max_jumps = static_cast<std::uint64_t>(integer(t, 1, l.line_no));
+        if (t.size() == 3) {
+          out.repeats = static_cast<std::uint32_t>(integer(t, 2, l.line_no));
+        }
+      } else if (kw == "time") {
+        if (t.size() != 2) fail(l.line_no, "time <seconds>");
+        out.max_time = num(t, 1, l.line_no);
+      } else if (kw == "sweep") {
+        if (t.size() != 4) fail(l.line_no, "sweep <node> <max> <step>");
+        SweepSpec s;
+        s.source = check_node(integer(t, 1, l.line_no), l.line_no);
+        s.max = num(t, 2, l.line_no);
+        s.step = num(t, 3, l.line_no);
+        if (!(s.step > 0.0)) fail(l.line_no, "sweep step must be positive");
+        out.sweep = s;
+      } else {
+        fail(l.line_no, "unknown directive '" + kw + "'");
+      }
+    } catch (const CircuitError& e) {
+      fail(l.line_no, e.what());
+    }
+  }
+
+  if (num_junc >= 0 &&
+      static_cast<long>(out.circuit.junction_count()) != num_junc) {
+    throw ParseError("declared 'num j " + std::to_string(num_junc) +
+                     "' but found " +
+                     std::to_string(out.circuit.junction_count()) +
+                     " junctions");
+  }
+  for (std::size_t j : out.record_junctions) {
+    if (j >= out.circuit.junction_count()) {
+      throw ParseError("record refers to junction " + std::to_string(j + 1) +
+                       " which does not exist");
+    }
+  }
+  if (out.sweep) {
+    out.sweep->mirror = symm_node.value_or(-1);
+    if (out.circuit.node(out.sweep->source).kind != NodeKind::kExternal) {
+      throw ParseError("sweep node must be an external lead");
+    }
+    if (out.sweep->mirror >= 0 &&
+        out.circuit.node(out.sweep->mirror).kind != NodeKind::kExternal) {
+      throw ParseError("symm node must be an external lead");
+    }
+  }
+  out.circuit.validate();
+  return out;
+}
+
+SimulationInput parse_simulation_input(const std::string& text) {
+  std::istringstream in(text);
+  return parse_simulation_input(in);
+}
+
+SimulationInput parse_simulation_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ParseError("cannot open input file: " + path);
+  return parse_simulation_input(f);
+}
+
+}  // namespace semsim

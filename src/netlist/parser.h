@@ -1,0 +1,71 @@
+// Parser for SEMSIM's SPICE-like input format (paper, Example Input File 1).
+//
+// Grammar (one directive per line; '#', '*' or '//' start comments):
+//
+//   num ext <n>                 external leads are nodes 1..n
+//   num nodes <n>               islands are nodes (num_ext+1)..n
+//   num j <n>                   declared junction count (cross-checked)
+//   junc <id> <a> <b> <R> <C>   tunnel junction, R in ohms, C in farads
+//   cap <a> <b> <C>             capacitor
+//   charge <node> <q>           background charge on island, units of e
+//   vdc <node> <V>              DC source on external node
+//   vstep <node> <lo> <hi> <t>  step source (extension)
+//   vpulse <node> <lo> <hi> <delay> <width> <period>   (extension)
+//   vpwl <node> <t1> <v1> [<t2> <v2> ...]   piecewise-constant (extension)
+//   symm <node>                 node mirrors the swept source: V = -V_swept
+//   temp <K>                    simulation temperature
+//   cotunnel                    enable second-order inelastic cotunneling
+//   super <delta0_meV> <tc_K>   whole circuit superconducting (extension;
+//                               enables quasi-particle + Cooper-pair rates)
+//   record <j> [<j> ...]        junction ids (1-based) whose current is
+//                               recorded; duplicates are ignored
+//   jumps <count> [repeats]     stop after <count> tunnel events
+//   time <seconds>              ... or after <seconds> of simulated time
+//   sweep <node> <max> <step>   sweep V(node) from -max to +max by <step>
+//
+// Numeric tokens accept SPICE magnitude suffixes (1meg, 3a, 210k, ...).
+// Node ids follow the paper's convention: ground is 0, externals 1..num_ext,
+// islands num_ext+1..num_nodes; these map one-to-one onto Circuit NodeIds.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace semsim {
+
+/// Voltage-sweep request from the input file.
+struct SweepSpec {
+  NodeId source = 0;      ///< the swept external node
+  double max = 0.0;       ///< sweep runs -max .. +max
+  double step = 0.0;      ///< increment
+  NodeId mirror = -1;     ///< `symm` node driven at -V_swept, or -1
+};
+
+/// Everything a SEMSIM input file specifies.
+struct SimulationInput {
+  Circuit circuit;
+  double temperature = 0.0;          ///< [K]
+  bool cotunneling = false;
+  std::vector<std::size_t> record_junctions;  ///< 0-based junction indices
+  std::uint64_t max_jumps = 0;       ///< 0 = unlimited
+  std::uint32_t repeats = 1;
+  double max_time = 0.0;             ///< [s]; 0 = unlimited
+  std::optional<SweepSpec> sweep;
+};
+
+/// Parses an input file body. Throws ParseError with a line number on any
+/// malformed directive, CircuitError for structurally bad circuits.
+SimulationInput parse_simulation_input(std::istream& in);
+
+/// Convenience overload for in-memory text (tests, examples).
+SimulationInput parse_simulation_input(const std::string& text);
+
+/// Convenience: reads the file at `path`.
+SimulationInput parse_simulation_file(const std::string& path);
+
+}  // namespace semsim

@@ -1,0 +1,137 @@
+#include "netlist/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.h"
+
+namespace semsim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Waveform Waveform::dc(double level) {
+  Waveform w;
+  w.kind_ = Kind::kDc;
+  w.a_ = level;
+  return w;
+}
+
+Waveform Waveform::step(double low, double high, double t_step) {
+  Waveform w;
+  w.kind_ = Kind::kStep;
+  w.a_ = low;
+  w.b_ = high;
+  w.c_ = t_step;
+  return w;
+}
+
+Waveform Waveform::pulse(double low, double high, double delay, double width,
+                         double period) {
+  require(width > 0.0 && period > width, "Waveform::pulse: need 0 < width < period");
+  Waveform w;
+  w.kind_ = Kind::kPulse;
+  w.a_ = low;
+  w.b_ = high;
+  w.c_ = delay;
+  w.d_ = width;
+  w.e_ = period;
+  return w;
+}
+
+Waveform Waveform::piecewise(std::vector<double> times,
+                             std::vector<double> values) {
+  require(!times.empty() && times.size() == values.size(),
+          "Waveform::piecewise: times/values must be non-empty and equal size");
+  require(std::is_sorted(times.begin(), times.end()),
+          "Waveform::piecewise: times must be sorted");
+  Waveform w;
+  w.kind_ = Kind::kPiecewise;
+  w.times_ = std::move(times);
+  w.values_ = std::move(values);
+  return w;
+}
+
+Waveform Waveform::sine(double offset, double amplitude, double freq,
+                        double sample_dt) {
+  require(freq > 0.0 && sample_dt > 0.0,
+          "Waveform::sine: freq and sample_dt must be positive");
+  Waveform w;
+  w.kind_ = Kind::kSine;
+  w.a_ = offset;
+  w.b_ = amplitude;
+  w.c_ = freq;
+  w.d_ = sample_dt;
+  return w;
+}
+
+double Waveform::value(double t) const noexcept {
+  switch (kind_) {
+    case Kind::kDc:
+      return a_;
+    case Kind::kStep:
+      return t < c_ ? a_ : b_;
+    case Kind::kPulse: {
+      if (t < c_) return a_;
+      const double phase = std::fmod(t - c_, e_);
+      return phase < d_ ? b_ : a_;
+    }
+    case Kind::kPiecewise: {
+      // Last point with time <= t; before the first point use values_[0].
+      const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+      if (it == times_.begin()) return values_.front();
+      return values_[static_cast<std::size_t>(it - times_.begin()) - 1];
+    }
+    case Kind::kSine: {
+      // Sample-and-hold discretization on multiples of sample_dt.
+      const double ts = std::floor(t / d_) * d_;
+      return a_ + b_ * std::sin(6.283185307179586 * c_ * ts);
+    }
+  }
+  return a_;
+}
+
+double Waveform::max_abs() const noexcept {
+  switch (kind_) {
+    case Kind::kDc:
+      return std::abs(a_);
+    case Kind::kStep:
+    case Kind::kPulse:
+      return std::max(std::abs(a_), std::abs(b_));
+    case Kind::kPiecewise: {
+      double m = 0.0;
+      for (double v : values_) m = std::max(m, std::abs(v));
+      return m;
+    }
+    case Kind::kSine:
+      return std::abs(a_) + std::abs(b_);
+  }
+  return std::abs(a_);
+}
+
+double Waveform::next_breakpoint(double t) const noexcept {
+  switch (kind_) {
+    case Kind::kDc:
+      return kInf;
+    case Kind::kStep:
+      return t < c_ ? c_ : kInf;
+    case Kind::kPulse: {
+      if (t < c_) return c_;
+      const double base = t - c_;
+      const double k = std::floor(base / e_);
+      const double phase = base - k * e_;
+      const double next = phase < d_ ? (k * e_ + d_) : ((k + 1.0) * e_);
+      return c_ + next;
+    }
+    case Kind::kPiecewise: {
+      const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+      return it == times_.end() ? kInf : *it;
+    }
+    case Kind::kSine:
+      return (std::floor(t / d_) + 1.0) * d_;
+  }
+  return kInf;
+}
+
+}  // namespace semsim

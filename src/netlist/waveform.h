@@ -1,0 +1,62 @@
+// Time-dependent source waveforms.
+//
+// The Monte-Carlo engine treats input voltages as piecewise constant between
+// "breakpoints": at each breakpoint the engine re-evaluates sources and (in
+// the adaptive solver) seeds Algorithm 1 from the junctions in contact with
+// the changed inputs, exactly as the paper describes for "AC signal(s)
+// present". Smooth waveforms (sine) are discretized onto a configurable
+// sampling interval.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+namespace semsim {
+
+class Waveform {
+ public:
+  /// Constant level [V].
+  static Waveform dc(double level);
+
+  /// `low` for t < t_step, `high` afterwards.
+  static Waveform step(double low, double high, double t_step);
+
+  /// Periodic pulse train: value `high` on [delay + k*period,
+  /// delay + k*period + width), `low` elsewhere (ideal edges).
+  static Waveform pulse(double low, double high, double delay, double width,
+                        double period);
+
+  /// Piecewise-constant from (time, value) points sorted by time; value
+  /// before the first point is the first value.
+  static Waveform piecewise(std::vector<double> times,
+                            std::vector<double> values);
+
+  /// offset + amplitude * sin(2*pi*freq*t), discretized at `sample_dt`.
+  static Waveform sine(double offset, double amplitude, double freq,
+                       double sample_dt);
+
+  /// Source value at time t (>= 0).
+  double value(double t) const noexcept;
+
+  /// Earliest breakpoint strictly after `t`, or +inf when the waveform is
+  /// constant for all future time.
+  double next_breakpoint(double t) const noexcept;
+
+  /// True for plain DC.
+  bool is_dc() const noexcept { return kind_ == Kind::kDc; }
+
+  /// Upper bound on |value(t)| over all t (used to size rate tables).
+  double max_abs() const noexcept;
+
+ private:
+  enum class Kind { kDc, kStep, kPulse, kPiecewise, kSine };
+
+  Waveform() = default;
+
+  Kind kind_ = Kind::kDc;
+  double a_ = 0.0, b_ = 0.0, c_ = 0.0, d_ = 0.0, e_ = 0.0;
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace semsim

@@ -1,0 +1,33 @@
+#include "physics/cooper_pair.h"
+
+#include <cmath>
+
+#include "base/constants.h"
+
+namespace semsim {
+
+double josephson_energy(double resistance, double delta,
+                        double temperature) noexcept {
+  if (delta <= 0.0 || resistance <= 0.0) return 0.0;
+  double th = 1.0;
+  if (temperature > 0.0) {
+    th = std::tanh(delta / (2.0 * kBoltzmann * temperature));
+  }
+  return 0.5 * delta * (kResistanceQuantumSc / resistance) * th;
+}
+
+double cooper_pair_rate(double delta_w, double ej, double broadening) noexcept {
+  if (ej <= 0.0 || broadening <= 0.0) return 0.0;
+  const double half_eta = 0.5 * broadening;
+  // (pi Ej^2 / 2 hbar) * Lorentzian(dw; eta), Lorentzian normalized to 1.
+  const double lorentz =
+      (half_eta / 3.141592653589793) / (delta_w * delta_w + half_eta * half_eta);
+  return (3.141592653589793 * ej * ej / (2.0 * kHbar)) * lorentz;
+}
+
+double default_cp_broadening(double resistance, double delta) noexcept {
+  if (delta <= 0.0 || resistance <= 0.0) return 0.0;
+  return kHbar * delta / (kElementaryCharge * kElementaryCharge * resistance);
+}
+
+}  // namespace semsim

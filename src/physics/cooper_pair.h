@@ -1,0 +1,34 @@
+// Incoherent (lifetime-broadened) resonant Cooper-pair tunneling.
+//
+// Valid in the paper's stated regime R_N >> R_Q and E_J << E_c: the pair
+// tunnels as a single 2e transfer whose golden-rule rate is a Lorentzian
+// centred on zero free-energy change,
+//
+//   Gamma_cp(dw) = (pi E_J^2 / 2 hbar) * (1/pi) (eta/2) / (dw^2 + (eta/2)^2)
+//
+// where eta = hbar * gamma is the lifetime broadening of the charge state
+// (set by the quasi-particle escape rate that completes a JQP/DJQP cycle).
+// The Josephson energy E_J follows Ambegaokar-Baratoff.
+//
+// JQP and DJQP current peaks are NOT put in by hand anywhere: they emerge in
+// the Monte-Carlo simulation as cycles alternating this 2e channel with the
+// quasi-particle channel (paper Fig. 2).
+#pragma once
+
+namespace semsim {
+
+/// Ambegaokar-Baratoff Josephson energy [J]:
+///   E_J = (Delta/2) (R_Q / R_N) tanh(Delta / 2kT),
+/// R_Q = h/4e^2. `resistance` is the junction's normal-state resistance.
+double josephson_energy(double resistance, double delta,
+                        double temperature) noexcept;
+
+/// Cooper-pair tunneling rate [1/s] for free-energy change `delta_w` [J].
+/// `ej` is the Josephson energy, `broadening` the energy width eta [J] (> 0).
+double cooper_pair_rate(double delta_w, double ej, double broadening) noexcept;
+
+/// Default lifetime broadening eta = hbar * Delta / (e^2 R_N) [J]: the
+/// quasi-particle escape-rate scale of a junction just above threshold.
+double default_cp_broadening(double resistance, double delta) noexcept;
+
+}  // namespace semsim

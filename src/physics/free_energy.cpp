@@ -1,0 +1,100 @@
+#include "physics/free_energy.h"
+
+#include "base/error.h"
+
+namespace semsim {
+
+double node_potential(const ElectrostaticModel& m,
+                      const std::vector<double>& v_island,
+                      const std::vector<double>& v_ext, NodeId n) {
+  const int ii = m.island_index(n);
+  if (ii >= 0) return v_island[static_cast<std::size_t>(ii)];
+  const int ei = m.external_index(n);
+  if (ei >= 0) return v_ext[static_cast<std::size_t>(ei)];
+  return 0.0;  // ground
+}
+
+double delta_w(const ElectrostaticModel& m, const std::vector<double>& v_island,
+               const std::vector<double>& v_ext, const ChargeMove& move) {
+  const double vi = node_potential(m, v_island, v_ext, move.from);
+  const double vf = node_potential(m, v_island, v_ext, move.to);
+  const double kii = m.kappa_node(move.from, move.from);
+  const double kff = m.kappa_node(move.to, move.to);
+  const double kif = m.kappa_node(move.from, move.to);
+  const double q = move.charge;
+  return q * (vf - vi) + 0.5 * q * q * (kii + kff - 2.0 * kif);
+}
+
+namespace {
+
+// Field energy of all capacitive elements for the given node potentials.
+double capacitor_energy(const ElectrostaticModel& m,
+                        const std::vector<double>& v_island,
+                        const std::vector<double>& v_ext) {
+  double e = 0.0;
+  for (const CapacitiveElement& el : m.capacitive_elements()) {
+    const double va = node_potential(m, v_island, v_ext, el.a);
+    const double vb = node_potential(m, v_island, v_ext, el.b);
+    const double dv = va - vb;
+    e += 0.5 * el.capacitance * dv * dv;
+  }
+  return e;
+}
+
+// Plate charge held by fixed-potential node `n` across its capacitive
+// elements: Q_n = sum C (V_n - v_other).
+double plate_charge(const ElectrostaticModel& m,
+                    const std::vector<double>& v_island,
+                    const std::vector<double>& v_ext, NodeId n) {
+  double q = 0.0;
+  for (const CapacitiveElement& el : m.capacitive_elements()) {
+    if (el.a != n && el.b != n) continue;
+    const NodeId other = el.a == n ? el.b : el.a;
+    const double vn = node_potential(m, v_island, v_ext, n);
+    const double vo = node_potential(m, v_island, v_ext, other);
+    q += el.capacitance * (vn - vo);
+  }
+  return q;
+}
+
+}  // namespace
+
+double delta_w_oracle(const ElectrostaticModel& m,
+                      const std::vector<double>& island_charge,
+                      const std::vector<double>& v_ext,
+                      const ChargeMove& move) {
+  require(island_charge.size() == m.island_count(),
+          "delta_w_oracle: charge vector size mismatch");
+
+  std::vector<double> q_after = island_charge;
+  const int i_from = m.island_index(move.from);
+  const int i_to = m.island_index(move.to);
+  if (i_from >= 0) q_after[static_cast<std::size_t>(i_from)] -= move.charge;
+  if (i_to >= 0) q_after[static_cast<std::size_t>(i_to)] += move.charge;
+
+  const std::vector<double> v_before = m.island_potentials(island_charge, v_ext);
+  const std::vector<double> v_after = m.island_potentials(q_after, v_ext);
+
+  const double de_caps = capacitor_energy(m, v_after, v_ext) -
+                         capacitor_energy(m, v_before, v_ext);
+
+  // Work done by each voltage source = V_j * (charge the source pushed into
+  // the circuit). Charge conservation at lead j:
+  //   q_source_in + q_tunneled_in = delta(plate charge)
+  double w_sources = 0.0;
+  for (std::size_t e = 0; e < m.external_count(); ++e) {
+    const NodeId lead = m.external_node(e);
+    const double dq_plate = plate_charge(m, v_after, v_ext, lead) -
+                            plate_charge(m, v_before, v_ext, lead);
+    double q_tunneled_in = 0.0;
+    if (move.to == lead) q_tunneled_in += move.charge;
+    if (move.from == lead) q_tunneled_in -= move.charge;
+    const double q_source_in = dq_plate - q_tunneled_in;
+    w_sources += v_ext[e] * q_source_in;
+  }
+  // Ground is also a fixed-potential node but contributes no work (V = 0).
+
+  return de_caps - w_sources;
+}
+
+}  // namespace semsim

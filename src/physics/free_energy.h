@@ -1,0 +1,51 @@
+// Free-energy change of a charge-transfer event (paper Eq. 2, generalized).
+//
+// For a transfer of charge q from node i to node f at constant source
+// voltages, the Gibbs free-energy change (electrostatic energy minus work
+// done by the sources) is
+//
+//     dW = q (v_f - v_i) + q^2/2 (kappa_ii + kappa_ff - 2 kappa_if)
+//
+// with v the PRE-event node potentials and kappa = C_II^-1 extended by zeros
+// on non-island nodes. q = -e reproduces the paper's Eq. 2 exactly; q = -2e
+// gives the Cooper-pair transfer energy; the net a->c move of a cotunneling
+// event uses q = -e with the junctions' common island untouched.
+//
+// `delta_w_oracle` recomputes the same quantity from first principles —
+// capacitor field energies minus source work, with explicit plate-charge
+// bookkeeping — in O(elements). It exists so that property tests can pin the
+// fast formula to an independent derivation.
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "netlist/electrostatics.h"
+
+namespace semsim {
+
+/// A charge-transfer event: `charge` coulombs move from `from` to `to`.
+/// An electron tunneling from a to b is {a, b, -e}.
+struct ChargeMove {
+  NodeId from = 0;
+  NodeId to = 0;
+  double charge = 0.0;
+};
+
+/// Potential of any node: islands from `v_island` (island-indexed),
+/// externals from `v_ext` (external-indexed), ground = 0.
+double node_potential(const ElectrostaticModel& m,
+                      const std::vector<double>& v_island,
+                      const std::vector<double>& v_ext, NodeId n);
+
+/// Fast path (Eq. 2). `v_island` / `v_ext` are the pre-event potentials.
+double delta_w(const ElectrostaticModel& m, const std::vector<double>& v_island,
+               const std::vector<double>& v_ext, const ChargeMove& move);
+
+/// First-principles oracle. `island_charge` is the pre-event island charge
+/// vector [C] (island-indexed); `v_ext` the external lead voltages.
+double delta_w_oracle(const ElectrostaticModel& m,
+                      const std::vector<double>& island_charge,
+                      const std::vector<double>& v_ext, const ChargeMove& move);
+
+}  // namespace semsim

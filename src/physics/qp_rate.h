@@ -1,0 +1,65 @@
+// Quasi-particle tunneling rate in the superconducting state (paper Eq. 3).
+//
+// The rate of a quasi-particle transfer whose circuit free energy changes by
+// delta_w is the golden-rule integral
+//
+//   Gamma(dw) = 1/(e^2 R) * Int dE n1(E) n2(E + x) f(E) [1 - f(E + x)],
+//   x = -dw   (energy gained by the tunneling particle),
+//
+// with n1,2 the reduced BCS densities of states of the two electrodes. For
+// n = 1 this reduces exactly to the orthodox normal-state rate, which the
+// test suite asserts. The integrand has integrable 1/sqrt singularities at
+// the four gap edges; we split the domain at every singular point and apply
+// a sqrt substitution at both ends of every segment before Gauss-Legendre
+// quadrature.
+//
+// A single evaluation costs a few thousand integrand calls, far too slow for
+// the inner Monte-Carlo loop, so QuasiparticleRate also provides a tabulated
+// mode: a non-uniform grid — kT/3 spacing inside the band |dw| <= 2*Delta +
+// 40 kT where the rate varies exponentially on the thermal scale, geometric
+// spacing outside where it is a smooth power law — with linear interpolation
+// and direct-integral fallback outside the covered range.
+#pragma once
+
+#include <vector>
+
+namespace semsim {
+
+class QuasiparticleRate {
+ public:
+  struct Params {
+    double resistance = 0.0;   ///< normal-state junction resistance [Ohm]
+    double delta1 = 0.0;       ///< gap of electrode 1 [J] (0 = normal)
+    double delta2 = 0.0;       ///< gap of electrode 2 [J]
+    double temperature = 0.0;  ///< [K]
+  };
+
+  explicit QuasiparticleRate(Params p);
+
+  const Params& params() const noexcept { return p_; }
+
+  /// Direct numerical integral [1/s].
+  double rate(double delta_w) const;
+
+  /// Builds the interpolation table covering delta_w in [w_min, w_max].
+  void build_table(double w_min, double w_max);
+
+  bool has_table() const noexcept { return !table_w_.empty(); }
+
+  /// Tabulated rate with linear interpolation; falls back to the direct
+  /// integral outside the covered range (and when no table was built).
+  double rate_cached(double delta_w) const;
+
+  /// Number of table points (0 when untabulated). For tests/diagnostics.
+  std::size_t table_size() const noexcept { return table_w_.size(); }
+
+ private:
+  double integral(double x) const;  // x = energy gain
+
+  Params p_;
+  double kt_ = 0.0;
+  std::vector<double> table_w_;     // sorted, non-uniform
+  std::vector<double> table_rate_;
+};
+
+}  // namespace semsim

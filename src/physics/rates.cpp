@@ -1,0 +1,21 @@
+#include "physics/rates.h"
+
+#include <algorithm>
+
+#include "base/constants.h"
+#include "base/math_util.h"
+
+namespace semsim {
+
+double orthodox_rate(double delta_w, double resistance,
+                     double temperature) noexcept {
+  const double g = 1.0 / (kElementaryCharge * kElementaryCharge * resistance);
+  if (temperature <= 0.0) {
+    return std::max(-delta_w, 0.0) * g;
+  }
+  const double kt = kBoltzmann * temperature;
+  // delta_w / (exp(delta_w/kT) - 1) = kT * x_over_expm1(delta_w / kT)
+  return kt * x_over_expm1(delta_w / kt) * g;
+}
+
+}  // namespace semsim

@@ -1,0 +1,24 @@
+// Orthodox-theory single-electron tunnel rate (paper Eq. 1, normal state).
+//
+// Sign convention used across SEMSIM: `delta_w` is the free-energy CHANGE of
+// the whole circuit, F_after - F_before. Energetically favourable events have
+// delta_w < 0. The orthodox rate is then
+//
+//     Gamma(delta_w) = (1 / e^2 R) * (-delta_w) / (1 - exp(delta_w / kT))
+//                    = (1 / e^2 R) *   delta_w  / (exp(delta_w / kT) - 1)
+//
+// which is exactly the paper's Eq. 1 with I(V) = V/R. Limits:
+//     T -> 0            : max(-delta_w, 0) / (e^2 R)
+//     delta_w -> 0, T>0 : kT / (e^2 R)
+//     delta_w >> kT     : exponentially suppressed but non-zero (detailed
+//                         balance: Gamma(x) = exp(-x/kT) * Gamma(-x)).
+#pragma once
+
+namespace semsim {
+
+/// Orthodox tunnel rate [1/s]. `resistance` in ohms, `temperature` in kelvin,
+/// `delta_w` in joules. Preconditions: resistance > 0, temperature >= 0.
+double orthodox_rate(double delta_w, double resistance,
+                     double temperature) noexcept;
+
+}  // namespace semsim

@@ -1,0 +1,69 @@
+// Circuit representation for the SPICE-style analytical baseline.
+//
+// Nodal analysis over voltage nodes: ground is node 0, source nodes carry a
+// Waveform and are eliminated from the unknown set, everything else is
+// solved by Newton-Raphson (spice/transient.h). Elements are linear
+// resistors and capacitors plus the 4-terminal analytical SET device of
+// spice/set_model.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/waveform.h"
+#include "spice/set_model.h"
+
+namespace semsim {
+
+class SpiceCircuit {
+ public:
+  static constexpr int kGround = 0;
+
+  SpiceCircuit();
+
+  /// Adds a floating (solved) node; returns its id.
+  int add_node(std::string name = {});
+
+  /// Turns `node` into a fixed-potential source driven by `w`.
+  void set_source(int node, Waveform w);
+
+  void add_resistor(int a, int b, double ohms);
+  void add_capacitor(int a, int b, double farads);
+
+  struct SetDevice {
+    int d = 0;       ///< drain node
+    int s = 0;       ///< source node
+    int g = 0;       ///< signal gate node
+    int b = 0;       ///< phase gate node
+    SetModelParams model;
+  };
+  void add_set(const SetDevice& dev);
+
+  // ---- accessors used by the solver ----
+
+  std::size_t node_count() const noexcept { return names_.size(); }
+  bool is_source(int n) const { return source_index_.at(static_cast<std::size_t>(n)) >= 0; }
+  /// Source voltage at time t (ground reads 0).
+  double source_value(int n, double t) const;
+  /// Earliest waveform breakpoint strictly after t across all sources.
+  double next_source_breakpoint(double t) const noexcept;
+
+  struct Resistor { int a, b; double ohms; };
+  struct Capacitor { int a, b; double farads; };
+  const std::vector<Resistor>& resistors() const noexcept { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const noexcept { return capacitors_; }
+  const std::vector<SetDevice>& sets() const noexcept { return sets_; }
+  const std::string& node_name(int n) const { return names_.at(static_cast<std::size_t>(n)); }
+
+ private:
+  void check_node(int n, const char* what) const;
+
+  std::vector<std::string> names_;
+  std::vector<int> source_index_;  // -1 = solved node; ground has its own flag
+  std::vector<Waveform> sources_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<SetDevice> sets_;
+};
+
+}  // namespace semsim

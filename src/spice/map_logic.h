@@ -1,0 +1,64 @@
+// Maps a GateNetlist onto the SPICE-style analytical baseline and runs the
+// paper's Fig. 6/7 experiments on it.
+//
+// Mirrors logic/elaborate.cpp gate for gate (same topology, same
+// capacitances), but each nSET/pSET becomes a 4-terminal analytical compact
+// device instead of a pair of Monte-Carlo tunnel junctions.
+#pragma once
+
+#include <vector>
+
+#include "logic/benchmarks.h"
+#include "logic/params.h"
+#include "spice/circuit.h"
+#include "spice/transient.h"
+
+namespace semsim {
+
+struct SpiceLogicCircuit {
+  SpiceCircuit circuit;
+  std::vector<int> node_of;  ///< signal id -> spice node
+  int vdd_node = 0;
+  int bias_node = 0;
+
+  int node(SignalId s) const { return node_of.at(static_cast<std::size_t>(s)); }
+};
+
+/// Builds the SPICE version of the netlist (sources on inputs default to 0).
+SpiceLogicCircuit map_to_spice(const GateNetlist& netlist,
+                               const SetLogicParams& params);
+
+struct SpiceDelayResult {
+  double delay = 0.0;  ///< [s]; NaN when the output never crossed
+  /// False when the settled pre-step output sits on the wrong side of the
+  /// threshold — the compact-model circuit computed the wrong logic value,
+  /// the same SPICE failure mode the paper tabulates ("incorrect logic
+  /// outputs"). `delay` is meaningless in that case.
+  bool output_valid = true;
+  double wall_seconds = 0.0;
+  std::size_t steps = 0;
+  std::size_t newton_iterations = 0;
+};
+
+/// Fig. 7 experiment on the SPICE baseline: DC-solve the base vector, step
+/// the toggled input at `t_step`, report the 50%-crossing delay.
+/// Propagates NumericError on non-convergence (the paper reports those too).
+SpiceDelayResult spice_delay_experiment(const LogicBenchmark& bench,
+                                        const SetLogicParams& params,
+                                        const TransientOptions& options,
+                                        double t_step, double t_max);
+
+struct SpicePerfResult {
+  double wall_seconds = 0.0;
+  double simulated_seconds = 0.0;
+  std::size_t steps = 0;
+};
+
+/// Fig. 6 experiment: transient with a pulse train on the toggled input for
+/// `t_span` simulated seconds; reports the wall-clock cost.
+SpicePerfResult spice_performance_window(const LogicBenchmark& bench,
+                                         const SetLogicParams& params,
+                                         const TransientOptions& options,
+                                         double t_span);
+
+}  // namespace semsim

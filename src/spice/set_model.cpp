@@ -1,0 +1,74 @@
+#include "spice/set_model.h"
+
+#include <cmath>
+#include <vector>
+
+#include "base/constants.h"
+#include "base/error.h"
+#include "physics/rates.h"
+
+namespace semsim {
+
+double set_drain_current(const SetModelParams& p, double vd, double vs,
+                         double vg, double vb) {
+  require(p.temperature > 0.0,
+          "set_drain_current: the compact model needs T > 0");
+  const double e = kElementaryCharge;
+  const double c_sigma = 2.0 * p.c_j + p.c_g + p.c_b;
+  const double u = e * e / (2.0 * c_sigma);  // charging term of Eq. 2
+
+  // Island polarization charge and the energetically preferred electron
+  // number; the stationary distribution is computed over a window around it.
+  const double q_p = p.c_g * vg + p.c_b * vb + p.c_j * vd + p.c_j * vs;
+  const int n0 = static_cast<int>(std::lround(q_p / e));
+  const int k = p.state_window;
+  const int n_states = 2 * k + 1;
+
+  // Rates per state (electron counts n = n0-k .. n0+k).
+  std::vector<double> in_d(static_cast<std::size_t>(n_states));
+  std::vector<double> in_s(static_cast<std::size_t>(n_states));
+  std::vector<double> out_d(static_cast<std::size_t>(n_states));
+  std::vector<double> out_s(static_cast<std::size_t>(n_states));
+  for (int i = 0; i < n_states; ++i) {
+    const int n = n0 - k + i;
+    const double v_isl = (q_p - static_cast<double>(n) * e) / c_sigma;
+    const std::size_t ii = static_cast<std::size_t>(i);
+    // Electron lead -> island (n -> n+1) and island -> lead (n -> n-1).
+    in_d[ii] = orthodox_rate(-e * (v_isl - vd) + u, p.r_j, p.temperature);
+    in_s[ii] = orthodox_rate(-e * (v_isl - vs) + u, p.r_j, p.temperature);
+    out_d[ii] = orthodox_rate(-e * (vd - v_isl) + u, p.r_j, p.temperature);
+    out_s[ii] = orthodox_rate(-e * (vs - v_isl) + u, p.r_j, p.temperature);
+  }
+
+  // Stationary distribution of the birth-death chain:
+  //   p_{n+1} / p_n = beta_n / delta_{n+1}.
+  std::vector<double> prob(static_cast<std::size_t>(n_states), 0.0);
+  prob[static_cast<std::size_t>(k)] = 1.0;  // centre state
+  for (int i = k; i + 1 < n_states; ++i) {
+    const std::size_t ii = static_cast<std::size_t>(i);
+    const double beta = in_d[ii] + in_s[ii];
+    const double delta = out_d[ii + 1] + out_s[ii + 1];
+    prob[ii + 1] = delta > 0.0 ? prob[ii] * beta / delta : 0.0;
+  }
+  for (int i = k; i > 0; --i) {
+    const std::size_t ii = static_cast<std::size_t>(i);
+    const double delta = out_d[ii] + out_s[ii];
+    const double beta = in_d[ii - 1] + in_s[ii - 1];
+    prob[ii - 1] = beta > 0.0 ? prob[ii] * delta / beta : 0.0;
+  }
+  double norm = 0.0;
+  for (const double x : prob) norm += x;
+  if (!(norm > 0.0)) return 0.0;
+
+  // Conventional current entering the drain terminal: each electron that
+  // leaves the island toward the drain carries charge -e out of the device,
+  // i.e. +e of conventional current INTO the device at the drain.
+  double i_d = 0.0;
+  for (int i = 0; i < n_states; ++i) {
+    const std::size_t ii = static_cast<std::size_t>(i);
+    i_d += prob[ii] / norm * (out_d[ii] - in_d[ii]);
+  }
+  return e * i_d;
+}
+
+}  // namespace semsim

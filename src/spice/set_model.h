@@ -1,0 +1,30 @@
+// Analytical SET compact model for the SPICE-style baseline.
+//
+// The paper compares against "an extended version of the [Inokawa-Takahashi]
+// analytical model ... which allows for multiple gates". That closed-form
+// model is itself an approximation of the steady-state orthodox master
+// equation restricted to a few charge states; we implement that master
+// equation directly (single island, 2k+1 charge states around the
+// polarization optimum, orthodox rates, stationary distribution by detailed
+// balance), which supports the second (phase) gate natively and is smooth in
+// every terminal voltage — exactly what the Newton iteration needs.
+#pragma once
+
+namespace semsim {
+
+struct SetModelParams {
+  double r_j = 1e6;      ///< per-junction resistance [Ohm]
+  double c_j = 0.2e-18;  ///< per-junction capacitance [F]
+  double c_g = 2e-18;    ///< input gate capacitance [F]
+  double c_b = 0.5e-18;  ///< phase gate capacitance [F]
+  double temperature = 1.0;  ///< [K] (must be > 0: rates stay smooth)
+  int state_window = 3;      ///< charge states each side of the optimum
+};
+
+/// Steady-state drain current [A] flowing from the drain terminal through
+/// the device (positive = conventional current enters at `vd`).
+/// `vg` is the signal gate, `vb` the phase gate.
+double set_drain_current(const SetModelParams& p, double vd, double vs,
+                         double vg, double vb);
+
+}  // namespace semsim

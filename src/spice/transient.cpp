@@ -1,0 +1,276 @@
+#include "spice/transient.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cmath>
+
+#include "base/error.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+
+namespace semsim {
+
+TransientSolver::TransientSolver(const SpiceCircuit& circuit,
+                                 TransientOptions options)
+    : circuit_(circuit), opt_(options) {
+  require(opt_.dt > 0.0, "TransientSolver: dt must be positive");
+  const std::size_t n = circuit_.node_count();
+  v_.assign(n, 0.0);
+  v_prev_.assign(n, 0.0);
+  unknown_of_node_.assign(n, -1);
+  for (std::size_t i = 1; i < n; ++i) {
+    if (!circuit_.is_source(static_cast<int>(i))) {
+      unknown_of_node_[i] = static_cast<int>(node_of_unknown_.size());
+      node_of_unknown_.push_back(static_cast<int>(i));
+    }
+  }
+  assemble_pattern();
+  for (std::size_t i = 1; i < n; ++i) {
+    if (circuit_.is_source(static_cast<int>(i))) {
+      v_[i] = circuit_.source_value(static_cast<int>(i), 0.0);
+    }
+  }
+  v_prev_ = v_;
+}
+
+void TransientSolver::assemble_pattern() {
+  const std::size_t nu = node_of_unknown_.size();
+  std::vector<std::vector<int>> cols(nu);
+  auto couple = [&](int row_node, int col_node) {
+    const int r = unknown_of_node_[static_cast<std::size_t>(row_node)];
+    const int c = unknown_of_node_[static_cast<std::size_t>(col_node)];
+    if (r < 0 || c < 0) return;
+    cols[static_cast<std::size_t>(r)].push_back(c);
+  };
+  for (const auto& r : circuit_.resistors()) {
+    for (const int a : {r.a, r.b})
+      for (const int b : {r.a, r.b}) couple(a, b);
+  }
+  for (const auto& c : circuit_.capacitors()) {
+    for (const int a : {c.a, c.b})
+      for (const int b : {c.a, c.b}) couple(a, b);
+  }
+  for (const auto& d : circuit_.sets()) {
+    for (const int row : {d.d, d.s})
+      for (const int col : {d.d, d.s, d.g, d.b}) couple(row, col);
+  }
+  row_cols_.resize(nu);
+  row_vals_.resize(nu);
+  for (std::size_t r = 0; r < nu; ++r) {
+    auto& cl = cols[r];
+    cl.push_back(static_cast<int>(r));  // always keep the diagonal slot
+    std::sort(cl.begin(), cl.end());
+    cl.erase(std::unique(cl.begin(), cl.end()), cl.end());
+    row_cols_[r] = cl;
+    row_vals_[r].assign(cl.size(), 0.0);
+  }
+  rhs_.assign(nu, 0.0);
+  delta_.assign(nu, 0.0);
+}
+
+void TransientSolver::stamp(int row, int col, double g) {
+  const int r = unknown_of_node_[static_cast<std::size_t>(row)];
+  const int c = unknown_of_node_[static_cast<std::size_t>(col)];
+  if (r < 0 || c < 0) return;
+  const auto& cl = row_cols_[static_cast<std::size_t>(r)];
+  const auto it = std::lower_bound(cl.begin(), cl.end(), c);
+  row_vals_[static_cast<std::size_t>(r)][static_cast<std::size_t>(it - cl.begin())] += g;
+}
+
+void TransientSolver::solve_linear() {
+  const std::size_t nu = node_of_unknown_.size();
+  if (nu == 0) return;
+  if (nu <= opt_.dense_limit) {
+    Matrix j(nu, nu);
+    for (std::size_t r = 0; r < nu; ++r) {
+      for (std::size_t k = 0; k < row_cols_[r].size(); ++k) {
+        j(r, static_cast<std::size_t>(row_cols_[r][k])) = row_vals_[r][k];
+      }
+    }
+    delta_ = LuDecomposition(j).solve(rhs_);
+    return;
+  }
+  // Gauss-Seidel sweeps; C/h dominates the diagonal for these circuits.
+  std::fill(delta_.begin(), delta_.end(), 0.0);
+  for (int sweep = 0; sweep < opt_.max_gs_sweeps; ++sweep) {
+    double max_change = 0.0;
+    for (std::size_t r = 0; r < nu; ++r) {
+      double diag = 0.0;
+      double acc = rhs_[r];
+      for (std::size_t k = 0; k < row_cols_[r].size(); ++k) {
+        const std::size_t c = static_cast<std::size_t>(row_cols_[r][k]);
+        if (c == r) {
+          diag = row_vals_[r][k];
+        } else {
+          acc -= row_vals_[r][k] * delta_[c];
+        }
+      }
+      if (diag == 0.0) {
+        throw NumericError("TransientSolver: zero diagonal at node " +
+                           circuit_.node_name(node_of_unknown_[r]));
+      }
+      const double x = acc / diag;
+      max_change = std::max(max_change, std::abs(x - delta_[r]));
+      delta_[r] = x;
+    }
+    if (max_change < opt_.gs_tol) return;
+  }
+  // Inexact solve: Newton tolerates it as long as iterations make progress.
+}
+
+void TransientSolver::newton_solve(bool with_caps, double h) {
+  const std::size_t nu = node_of_unknown_.size();
+  if (nu == 0) return;
+  const double fd_dv = 1e-5;
+
+  for (int iter = 0; iter < opt_.max_newton; ++iter) {
+    ++newton_total_;
+    for (std::size_t r = 0; r < nu; ++r) {
+      std::fill(row_vals_[r].begin(), row_vals_[r].end(), 0.0);
+    }
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+
+    auto add_residual = [&](int node, double current_leaving) {
+      const int r = unknown_of_node_[static_cast<std::size_t>(node)];
+      if (r >= 0) rhs_[static_cast<std::size_t>(r)] -= current_leaving;
+    };
+
+    if (!with_caps && opt_.gmin > 0.0) {
+      for (std::size_t u = 0; u < nu; ++u) {
+        const int node = node_of_unknown_[u];
+        rhs_[u] -= opt_.gmin * v_[static_cast<std::size_t>(node)];
+        stamp(node, node, opt_.gmin);
+      }
+    }
+    for (const auto& res : circuit_.resistors()) {
+      const double g = 1.0 / res.ohms;
+      const double i = g * (v_[static_cast<std::size_t>(res.a)] -
+                            v_[static_cast<std::size_t>(res.b)]);
+      add_residual(res.a, i);
+      add_residual(res.b, -i);
+      stamp(res.a, res.a, g);
+      stamp(res.a, res.b, -g);
+      stamp(res.b, res.b, g);
+      stamp(res.b, res.a, -g);
+    }
+    if (with_caps) {
+      for (const auto& cap : circuit_.capacitors()) {
+        const double g = cap.farads / h;
+        const double dv_now = v_[static_cast<std::size_t>(cap.a)] -
+                              v_[static_cast<std::size_t>(cap.b)];
+        const double dv_prev = v_prev_[static_cast<std::size_t>(cap.a)] -
+                               v_prev_[static_cast<std::size_t>(cap.b)];
+        const double i = g * (dv_now - dv_prev);
+        add_residual(cap.a, i);
+        add_residual(cap.b, -i);
+        stamp(cap.a, cap.a, g);
+        stamp(cap.a, cap.b, -g);
+        stamp(cap.b, cap.b, g);
+        stamp(cap.b, cap.a, -g);
+      }
+    }
+    for (const auto& dev : circuit_.sets()) {
+      const double vd = v_[static_cast<std::size_t>(dev.d)];
+      const double vs = v_[static_cast<std::size_t>(dev.s)];
+      const double vg = v_[static_cast<std::size_t>(dev.g)];
+      const double vb = v_[static_cast<std::size_t>(dev.b)];
+      const double i0 = set_drain_current(dev.model, vd, vs, vg, vb);
+      // Current enters at drain, leaves at source.
+      add_residual(dev.d, i0);
+      add_residual(dev.s, -i0);
+      const int terms[4] = {dev.d, dev.s, dev.g, dev.b};
+      const double vals[4] = {vd, vs, vg, vb};
+      for (int t = 0; t < 4; ++t) {
+        double vv[4] = {vals[0], vals[1], vals[2], vals[3]};
+        vv[t] += fd_dv;
+        const double di =
+            (set_drain_current(dev.model, vv[0], vv[1], vv[2], vv[3]) - i0) /
+            fd_dv;
+        stamp(dev.d, terms[t], di);
+        stamp(dev.s, terms[t], -di);
+      }
+    }
+
+    solve_linear();
+
+    // Shrinking trust region: the SET current has kT-wide exponential edges
+    // on which a fixed Newton step limit-cycles; geometrically tightening
+    // the clamp after the first dozen iterations forces convergence onto
+    // the crossing point.
+    double clamp_v = opt_.v_damp;
+    if (iter > 12) {
+      clamp_v = std::max(0.5 * opt_.v_abstol,
+                         opt_.v_damp * std::pow(0.7, iter - 12));
+    }
+
+    double max_dv = 0.0;
+    std::size_t worst = 0;
+    for (std::size_t u = 0; u < nu; ++u) {
+      double dv = delta_[u];
+      dv = std::clamp(dv, -clamp_v, clamp_v);
+      v_[static_cast<std::size_t>(node_of_unknown_[u])] += dv;
+      if (std::abs(dv) > max_dv) {
+        max_dv = std::abs(dv);
+        worst = u;
+      }
+    }
+    if (opt_.verbose) {
+      std::fprintf(stderr, "newton iter %d: max_dv=%.3e at %s (v=%.4f)\n",
+                   iter, max_dv,
+                   circuit_.node_name(node_of_unknown_[worst]).c_str(),
+                   v_[static_cast<std::size_t>(node_of_unknown_[worst])]);
+    }
+    if (max_dv < opt_.v_abstol) return;
+  }
+  throw NumericError("TransientSolver: Newton failed to converge at t = " +
+                     std::to_string(time_));
+}
+
+void TransientSolver::solve_dc(
+    const std::vector<std::pair<int, double>>& initial_guess) {
+  for (std::size_t i = 1; i < v_.size(); ++i) {
+    if (circuit_.is_source(static_cast<int>(i))) {
+      v_[i] = circuit_.source_value(static_cast<int>(i), time_);
+    }
+  }
+  for (const auto& [node, volts] : initial_guess) {
+    if (unknown_of_node_.at(static_cast<std::size_t>(node)) >= 0) {
+      v_[static_cast<std::size_t>(node)] = volts;
+    }
+  }
+  newton_solve(/*with_caps=*/false, opt_.dt);
+  v_prev_ = v_;
+}
+
+void TransientSolver::step(double t_limit) {
+  double t_new = std::min(time_ + opt_.dt, t_limit);
+  const double bp = circuit_.next_source_breakpoint(time_);
+  // bp can collapse onto time_ through floating-point in periodic waveforms;
+  // such an edge has already been applied (source values read post-edge).
+  if (bp > time_ && bp < t_new) t_new = bp;
+  const double h = t_new - time_;
+  if (!(h > 0.0)) return;  // t_limit already reached
+  for (std::size_t i = 1; i < v_.size(); ++i) {
+    if (circuit_.is_source(static_cast<int>(i))) {
+      v_[i] = circuit_.source_value(static_cast<int>(i), t_new);
+    }
+  }
+  newton_solve(/*with_caps=*/true, h);
+  v_prev_ = v_;
+  time_ = t_new;
+  ++steps_;
+}
+
+void TransientSolver::run_until(
+    double t_end, const std::function<void(const TransientSolver&)>& on_step) {
+  while (time_ < t_end - 1e-18) {
+    step(t_end);
+    if (on_step) on_step(*this);
+  }
+}
+
+double TransientSolver::voltage(int node) const {
+  return v_.at(static_cast<std::size_t>(node));
+}
+
+}  // namespace semsim

@@ -1,0 +1,82 @@
+// Newton-Raphson / backward-Euler transient solver for SpiceCircuit.
+//
+// Per time step the nodal equations F(v) = 0 are solved by damped Newton:
+// linear elements stamp analytically, SET devices stamp their numerical
+// 4-terminal derivatives. The linear systems use dense LU below a size
+// threshold and Gauss-Seidel sweeps on a sparse pattern above it (the nodal
+// matrix C/h + G is strongly diagonally dominant for these capacitively
+// loaded logic circuits, exactly the regime relaxation methods were built
+// for). Non-convergence throws NumericError — the Fig. 6/7 harness reports
+// it the way the paper reports its SPICE failures.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "spice/circuit.h"
+
+namespace semsim {
+
+struct TransientOptions {
+  double dt = 1e-10;          ///< backward-Euler step [s]
+  int max_newton = 60;
+  double v_abstol = 1e-7;     ///< Newton convergence on ||dv||_inf [V]
+  double v_damp = 5e-3;       ///< per-iteration |dv| clamp [V]
+  std::size_t dense_limit = 320;  ///< direct LU below this many unknowns
+  int max_gs_sweeps = 600;
+  double gs_tol = 1e-12;
+  /// Prints per-iteration Newton progress to stderr (debugging aid).
+  bool verbose = false;
+  /// DC-only shunt conductance to ground [S] (classic gmin): regularizes
+  /// interior nodes whose every device is deep in Coulomb blockade. The
+  /// transient matrix gets its conditioning from C/h instead.
+  double gmin = 1e-12;
+};
+
+class TransientSolver {
+ public:
+  TransientSolver(const SpiceCircuit& circuit, TransientOptions options);
+
+  /// Solves the DC operating point at the current time (capacitor currents
+  /// zero). `initial_guess` (node id -> volts) speeds up deep logic;
+  /// unlisted nodes start from 0.
+  void solve_dc(const std::vector<std::pair<int, double>>& initial_guess = {});
+
+  /// Advances one backward-Euler step, clamped to source breakpoints (so
+  /// ideal edges are not stepped over) and to `t_limit`.
+  void step(double t_limit = std::numeric_limits<double>::infinity());
+
+  /// Runs until `t_end`, invoking `on_step(solver)` after every step.
+  void run_until(double t_end,
+                 const std::function<void(const TransientSolver&)>& on_step = {});
+
+  double time() const noexcept { return time_; }
+  double voltage(int node) const;
+  std::size_t newton_iterations_total() const noexcept { return newton_total_; }
+  std::size_t step_count() const noexcept { return steps_; }
+
+ private:
+  void assemble_pattern();
+  /// One Newton solve of F(v) = 0; `with_caps` false gives the DC problem.
+  void newton_solve(bool with_caps, double h);
+  void stamp(int row, int col, double g);
+  void solve_linear();
+
+  const SpiceCircuit& circuit_;
+  TransientOptions opt_;
+  double time_ = 0.0;
+  std::vector<double> v_;       // all node voltages (incl. sources/ground)
+  std::vector<double> v_prev_;  // previous accepted step
+  std::vector<int> unknown_of_node_;  // -1 for ground/sources
+  std::vector<int> node_of_unknown_;
+  // Sparse pattern: per-row column list and value slots.
+  std::vector<std::vector<int>> row_cols_;
+  std::vector<std::vector<double>> row_vals_;
+  std::vector<double> rhs_;
+  std::vector<double> delta_;
+  std::size_t newton_total_ = 0;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace semsim

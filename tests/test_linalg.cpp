@@ -1,0 +1,164 @@
+// Unit and property tests for the dense linear-algebra substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/error.h"
+#include "base/random.h"
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+
+namespace semsim {
+namespace {
+
+Matrix random_matrix(std::size_t n, Xoshiro256& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = 2.0 * rng.uniform01() - 1.0;
+  return m;
+}
+
+// Random SPD matrix: A = B B^T + n * I.
+Matrix random_spd(std::size_t n, Xoshiro256& rng) {
+  const Matrix b = random_matrix(n, rng);
+  Matrix a = b.multiply(b.transposed());
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(Matrix, InitializerListAndAccess) {
+  const Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_THROW(m.at(2, 0), Error);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), Error);
+}
+
+TEST(Matrix, MultiplyVector) {
+  const Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  const auto y = m.multiply(std::vector<double>{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_THROW(m.multiply(std::vector<double>{1.0}), Error);
+}
+
+TEST(Matrix, MultiplyMatrixAgainstIdentity) {
+  Xoshiro256 rng(1);
+  const Matrix a = random_matrix(5, rng);
+  const Matrix i = Matrix::identity(5);
+  EXPECT_LT(a.multiply(i).max_abs_diff(a), 1e-15);
+  EXPECT_LT(i.multiply(a).max_abs_diff(a), 1e-15);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Xoshiro256 rng(2);
+  const Matrix a = random_matrix(4, rng);
+  EXPECT_LT(a.transposed().transposed().max_abs_diff(a), 1e-16);
+}
+
+TEST(Matrix, SymmetryCheck) {
+  Matrix s = {{2.0, 1.0}, {1.0, 3.0}};
+  EXPECT_TRUE(s.is_symmetric());
+  s(0, 1) = 1.1;
+  EXPECT_FALSE(s.is_symmetric());
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  const Matrix a = {{2.0, 1.0}, {1.0, 3.0}};
+  LuDecomposition lu(a);
+  const auto x = lu.solve({5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, DeterminantKnown) {
+  const Matrix a = {{2.0, 1.0}, {1.0, 3.0}};
+  EXPECT_NEAR(LuDecomposition(a).determinant(), 5.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  const Matrix a = {{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(LuDecomposition{a}, NumericError);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  const Matrix a = {{0.0, 1.0}, {1.0, 0.0}};
+  LuDecomposition lu(a);
+  const auto x = lu.solve({2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+  EXPECT_NEAR(lu.determinant(), -1.0, 1e-14);
+}
+
+// Property: A * solve(A, b) == b for random systems of growing size.
+class LuProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuProperty, SolveResidualSmall) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Xoshiro256 rng(100 + n);
+  const Matrix a = random_matrix(n, rng);
+  std::vector<double> b(n);
+  for (auto& v : b) v = 2.0 * rng.uniform01() - 1.0;
+  LuDecomposition lu(a);
+  const auto x = lu.solve(b);
+  const auto ax = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+TEST_P(LuProperty, InverseTimesOriginalIsIdentity) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Xoshiro256 rng(200 + n);
+  const Matrix a = random_matrix(n, rng);
+  const Matrix inv = LuDecomposition(a).inverse();
+  EXPECT_LT(a.multiply(inv).max_abs_diff(Matrix::identity(n)), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuProperty, ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64));
+
+TEST(Cholesky, MatchesLuOnSpd) {
+  Xoshiro256 rng(7);
+  for (std::size_t n : {1u, 3u, 10u, 25u}) {
+    const Matrix a = random_spd(n, rng);
+    std::vector<double> b(n);
+    for (auto& v : b) v = rng.uniform01();
+    const auto x_chol = CholeskyDecomposition(a).solve(b);
+    const auto x_lu = LuDecomposition(a).solve(b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x_chol[i], x_lu[i], 1e-9);
+  }
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  Xoshiro256 rng(8);
+  const Matrix a = random_spd(6, rng);
+  const Matrix l = CholeskyDecomposition(a).l();
+  EXPECT_LT(l.multiply(l.transposed()).max_abs_diff(a), 1e-10);
+}
+
+TEST(Cholesky, InverseIsInverse) {
+  Xoshiro256 rng(9);
+  const Matrix a = random_spd(12, rng);
+  const Matrix inv = CholeskyDecomposition(a).inverse();
+  EXPECT_LT(a.multiply(inv).max_abs_diff(Matrix::identity(12)), 1e-8);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const Matrix a = {{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(CholeskyDecomposition{a}, NumericError);
+  EXPECT_FALSE(is_positive_definite(a));
+  EXPECT_TRUE(is_positive_definite(Matrix{{2.0, 1.0}, {1.0, 2.0}}));
+}
+
+TEST(Cholesky, SemidefiniteRejected) {
+  // Laplacian of a disconnected-from-ground island pair: singular.
+  const Matrix a = {{1.0, -1.0}, {-1.0, 1.0}};
+  EXPECT_FALSE(is_positive_definite(a));
+}
+
+}  // namespace
+}  // namespace semsim

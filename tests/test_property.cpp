@@ -1,0 +1,186 @@
+// End-to-end property tests: the adaptive Monte-Carlo engine against the
+// master-equation oracle on randomized multi-island circuits, and engine
+// internal invariants (potential-cache exactness at refresh points).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/current.h"
+#include "base/constants.h"
+#include "base/random.h"
+#include "core/engine.h"
+#include "master/master_equation.h"
+
+namespace semsim {
+namespace {
+
+struct RandomCircuit {
+  Circuit c;
+  NodeId left = 0, right = 0, gate = 0;
+};
+
+// A random series array of 1-3 islands between two leads, with a gate and
+// random couplings — electrically valid by construction.
+RandomCircuit make_random_circuit(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  RandomCircuit out;
+  out.left = out.c.add_external("left");
+  out.right = out.c.add_external("right");
+  out.gate = out.c.add_external("gate");
+  const int n_islands = 1 + static_cast<int>(rng.uniform_below(3));
+  NodeId prev = out.left;
+  for (int i = 0; i < n_islands; ++i) {
+    const NodeId isl = out.c.add_island();
+    // Draw into locals: function-argument evaluation order is unspecified.
+    const double r = 1e6 * (0.5 + rng.uniform01());
+    const double cj = 1e-18 * (0.5 + rng.uniform01());
+    out.c.add_junction(prev, isl, r, cj);
+    out.c.add_capacitor(out.gate, isl, 1e-18 * (0.5 + 2.0 * rng.uniform01()));
+    if (rng.uniform01() < 0.5) {
+      out.c.add_capacitor(isl, Circuit::kGroundNode,
+                          1e-18 * (0.5 + 4.0 * rng.uniform01()));
+    }
+    if (rng.uniform01() < 0.3) {
+      out.c.set_background_charge(isl, rng.uniform01());
+    }
+    prev = isl;
+  }
+  const double r_last = 1e6 * (0.5 + rng.uniform01());
+  const double cj_last = 1e-18 * (0.5 + rng.uniform01());
+  out.c.add_junction(prev, out.right, r_last, cj_last);
+
+  const double v_half = 0.01 + 0.04 * rng.uniform01();
+  out.c.set_source(out.left, Waveform::dc(v_half));
+  out.c.set_source(out.right, Waveform::dc(-v_half));
+  out.c.set_source(out.gate, Waveform::dc(0.03 * (rng.uniform01() - 0.5)));
+  return out;
+}
+
+class McVsMeRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(McVsMeRandom, AdaptiveCurrentMatchesMasterEquation) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  RandomCircuit rc = make_random_circuit(seed);
+  EngineOptions o;
+  o.temperature = 2.0;
+  MasterEquationSolver me(rc.c, o);
+  const double i_me = me.junction_current(0);
+
+  o.seed = seed * 13 + 1;
+  Engine mc(rc.c, o);
+  // Biased multi-island circuits can be glassy: start the Monte-Carlo run
+  // inside the basin the master equation solved, so both methods sample the
+  // same branch (see MasterEquationSolver::most_probable_state).
+  const ChargeState mode = me.most_probable_state();
+  std::vector<std::pair<NodeId, long>> init;
+  for (std::size_t k = 0; k < mode.size(); ++k) {
+    init.push_back({me.island_nodes()[k], mode[k]});
+  }
+  mc.set_electron_counts(init);
+  const CurrentEstimate est = measure_mean_current(
+      mc, {{0, 1.0}}, CurrentMeasureConfig{5000, 120000, 8});
+
+  if (std::abs(i_me) < 1e-14) {
+    // Effectively blockaded: the Monte-Carlo estimate must be tiny too.
+    EXPECT_LT(std::abs(est.mean), 1e-12) << "ME " << i_me;
+  } else {
+    EXPECT_NEAR(est.mean / i_me, 1.0, 0.10)
+        << "seed " << seed << ": ME " << i_me << " vs MC " << est.mean
+        << " +- " << est.stderr_mean;
+  }
+  // Flux balance of the series array: both end junctions carry the same
+  // expected current.
+  const std::size_t last = rc.c.junction_count() - 1;
+  if (std::abs(i_me) > 1e-14) {
+    EXPECT_NEAR(me.junction_current(last) / i_me, 1.0, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McVsMeRandom, ::testing::Range(1, 13));
+
+// ---- engine invariants ------------------------------------------------------------
+
+TEST(EngineInvariant, PotentialCacheExactAtRefreshBoundary) {
+  // Right after a periodic refresh the adaptive potential cache must equal
+  // the from-scratch solution.
+  RandomCircuit rc = make_random_circuit(99);
+  EngineOptions o;
+  o.temperature = 2.0;
+  o.adaptive.refresh_interval = 500;
+  o.seed = 4;
+  Engine e(rc.c, o);
+  e.run_events(500);  // lands exactly on a refresh
+
+  const ElectrostaticModel& m = e.model();
+  std::vector<double> q(m.island_count());
+  for (std::size_t k = 0; k < q.size(); ++k) {
+    const NodeId node = m.island_node(k);
+    q[k] = kElementaryCharge * (rc.c.background_charge_e(node) -
+                                static_cast<double>(e.electron_count(node)));
+  }
+  std::vector<double> v_ext(m.external_count());
+  for (std::size_t i = 0; i < v_ext.size(); ++i) {
+    v_ext[i] = e.node_voltage(m.external_node(i));
+  }
+  const std::vector<double> exact = m.island_potentials(q, v_ext);
+  for (std::size_t k = 0; k < exact.size(); ++k) {
+    EXPECT_NEAR(e.node_voltage(m.island_node(k)), exact[k], 1e-12)
+        << "island " << k;
+  }
+}
+
+TEST(EngineInvariant, AdaptiveDriftStaysBoundedBetweenRefreshes) {
+  // Between refreshes the selective cache may drift, but for a locally
+  // coupled circuit the drift must stay well below the logic/energy scales
+  // (here: a fraction of a millivolt).
+  RandomCircuit rc = make_random_circuit(7);
+  EngineOptions o;
+  o.temperature = 2.0;
+  o.adaptive.refresh_interval = 100000;  // effectively never refresh
+  o.seed = 11;
+  Engine e(rc.c, o);
+  e.run_events(20000);
+
+  const ElectrostaticModel& m = e.model();
+  std::vector<double> q(m.island_count());
+  for (std::size_t k = 0; k < q.size(); ++k) {
+    const NodeId node = m.island_node(k);
+    q[k] = kElementaryCharge * (rc.c.background_charge_e(node) -
+                                static_cast<double>(e.electron_count(node)));
+  }
+  std::vector<double> v_ext(m.external_count());
+  for (std::size_t i = 0; i < v_ext.size(); ++i) {
+    v_ext[i] = e.node_voltage(m.external_node(i));
+  }
+  const std::vector<double> exact = m.island_potentials(q, v_ext);
+  for (std::size_t k = 0; k < exact.size(); ++k) {
+    EXPECT_NEAR(e.node_voltage(m.island_node(k)), exact[k], 1e-3)
+        << "island " << k;
+  }
+}
+
+TEST(EngineInvariant, ChargeNeutralityOfTransfers) {
+  // Net electrons entering islands == net electrons leaving leads, i.e. the
+  // sum of island counts matches the junction transfer bookkeeping.
+  RandomCircuit rc = make_random_circuit(21);
+  EngineOptions o;
+  o.temperature = 3.0;
+  o.seed = 2;
+  Engine e(rc.c, o);
+  Event ev;
+  long net_from_leads = 0;
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(e.step(&ev));
+    const long n = static_cast<long>(std::lround(-ev.charge / kElementaryCharge));
+    const bool from_lead = !rc.c.is_island(ev.from);
+    const bool to_lead = !rc.c.is_island(ev.to);
+    if (from_lead && !to_lead) net_from_leads += n;
+    if (to_lead && !from_lead) net_from_leads -= n;
+  }
+  long total_on_islands = 0;
+  for (const NodeId isl : rc.c.islands()) total_on_islands += e.electron_count(isl);
+  EXPECT_EQ(total_on_islands, net_from_leads);
+}
+
+}  // namespace
+}  // namespace semsim

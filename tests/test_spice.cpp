@@ -1,0 +1,194 @@
+// Tests for the SPICE-style analytical baseline: the SET compact model, the
+// Newton/backward-Euler transient engine, and the logic mapping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/constants.h"
+#include "base/error.h"
+#include "logic/benchmarks.h"
+#include "spice/circuit.h"
+#include "spice/map_logic.h"
+#include "spice/set_model.h"
+#include "spice/transient.h"
+
+namespace semsim {
+namespace {
+
+SetModelParams logic_model() {
+  SetModelParams m;  // defaults mirror SetLogicParams
+  return m;
+}
+
+// ---- compact model ----------------------------------------------------------
+
+TEST(SetModel, ZeroBiasZeroCurrent) {
+  const SetModelParams m = logic_model();
+  EXPECT_NEAR(set_drain_current(m, 0.0, 0.0, 0.0, 0.0), 0.0, 1e-18);
+  EXPECT_NEAR(set_drain_current(m, 0.01, 0.01, 0.005, 0.0), 0.0, 1e-18);
+}
+
+TEST(SetModel, AntisymmetricInBias) {
+  const SetModelParams m = logic_model();
+  const double vg = 0.012, vb = 0.0;
+  const double ip = set_drain_current(m, 0.01, 0.0, vg, vb);
+  const double in = set_drain_current(m, 0.0, 0.01, vg, vb);
+  EXPECT_NEAR(ip, -in, 1e-12 + 1e-6 * std::abs(ip));
+}
+
+TEST(SetModel, GateModulatesCurrent) {
+  // At a drain bias inside the worst-case blockade, the gate swings the
+  // device between blocked and conducting — the heart of SET logic.
+  const SetModelParams m = logic_model();
+  const double e = kElementaryCharge;
+  const double c_sigma = 2.0 * m.c_j + m.c_g + m.c_b;
+  const double vds = 0.4 * e / c_sigma;
+  // Degeneracy gate voltage: C_g Vg = e/2 (leads near 0).
+  const double vg_on = 0.5 * e / m.c_g;
+  const double i_off = set_drain_current(m, vds, 0.0, 0.0, 0.0);
+  const double i_on = set_drain_current(m, vds, 0.0, vg_on, 0.0);
+  EXPECT_GT(std::abs(i_on), 100.0 * std::abs(i_off));
+  EXPECT_GT(i_on, 0.0);
+}
+
+TEST(SetModel, PeriodicInGate) {
+  const SetModelParams m = logic_model();
+  const double period = kElementaryCharge / m.c_g;
+  const double i1 = set_drain_current(m, 0.008, 0.0, 0.013, 0.0);
+  const double i2 = set_drain_current(m, 0.008, 0.0, 0.013 + period, 0.0);
+  EXPECT_NEAR(i2, i1, 1e-3 * std::abs(i1) + 1e-16);
+}
+
+TEST(SetModel, SmoothInTerminalVoltages) {
+  // Newton needs C1 behaviour: finite differences at two nearby points
+  // should agree (no state-window popping artifacts at this scale).
+  const SetModelParams m = logic_model();
+  const double h = 1e-5;
+  for (double vd : {0.002, 0.011, 0.023}) {
+    const double d1 = (set_drain_current(m, vd + h, 0.0, 0.01, 0.0) -
+                       set_drain_current(m, vd, 0.0, 0.01, 0.0)) / h;
+    const double d2 = (set_drain_current(m, vd + 2 * h, 0.0, 0.01, 0.0) -
+                       set_drain_current(m, vd + h, 0.0, 0.01, 0.0)) / h;
+    EXPECT_NEAR(d1, d2, 0.05 * std::abs(d1) + 1e-12);
+  }
+}
+
+TEST(SetModel, RequiresPositiveTemperature) {
+  SetModelParams m = logic_model();
+  m.temperature = 0.0;
+  EXPECT_THROW(set_drain_current(m, 0.01, 0.0, 0.0, 0.0), Error);
+}
+
+// ---- transient engine ----------------------------------------------------------
+
+TEST(Transient, RcChargingMatchesAnalytic) {
+  // R from a 1 V source to a node with C to ground: v(t) = 1 - exp(-t/RC).
+  SpiceCircuit c;
+  const int src = c.add_node("src");
+  c.set_source(src, Waveform::dc(1.0));
+  const int n = c.add_node("out");
+  c.add_resistor(src, n, 1e6);
+  c.add_capacitor(n, SpiceCircuit::kGround, 1e-12);  // tau = 1 us
+  TransientOptions o;
+  o.dt = 1e-8;
+  o.v_damp = 1.0;  // linear problem: no damping needed
+  TransientSolver s(c, o);
+  s.run_until(1e-6);
+  const double expected = 1.0 - std::exp(-1.0);
+  EXPECT_NEAR(s.voltage(n), expected, 0.01);
+}
+
+TEST(Transient, DcResistorDivider) {
+  SpiceCircuit c;
+  const int src = c.add_node("src");
+  c.set_source(src, Waveform::dc(2.0));
+  const int mid = c.add_node("mid");
+  c.add_resistor(src, mid, 1e3);
+  c.add_resistor(mid, SpiceCircuit::kGround, 3e3);
+  TransientOptions o;
+  o.v_damp = 10.0;
+  TransientSolver s(c, o);
+  s.solve_dc();
+  EXPECT_NEAR(s.voltage(mid), 1.5, 1e-6);
+}
+
+TEST(Transient, StepSourceHonoursBreakpoint) {
+  SpiceCircuit c;
+  const int src = c.add_node("src");
+  c.set_source(src, Waveform::step(0.0, 1.0, 1e-7));
+  const int n = c.add_node("out");
+  c.add_resistor(src, n, 1e3);
+  c.add_capacitor(n, SpiceCircuit::kGround, 1e-12);
+  TransientOptions o;
+  o.dt = 3e-8;  // deliberately incommensurate with the edge
+  o.v_damp = 1.0;
+  TransientSolver s(c, o);
+  s.run_until(0.99e-7);
+  EXPECT_NEAR(s.voltage(n), 0.0, 1e-9);
+  s.run_until(5e-7);  // several RC after the step
+  EXPECT_NEAR(s.voltage(n), 1.0, 1e-3);
+}
+
+TEST(Transient, NonConvergenceThrows) {
+  // A SET inverter with an absurd one-iteration Newton budget must report
+  // non-convergence, the same failure mode the paper tabulates for SPICE.
+  const LogicBenchmark b = make_benchmark("full-adder");
+  SetLogicParams p;
+  TransientOptions o;
+  o.max_newton = 1;
+  EXPECT_THROW(spice_delay_experiment(b, p, o, 5e-9, 50e-9), NumericError);
+}
+
+// ---- logic mapping ----------------------------------------------------------------
+
+TEST(SpiceMap, DeviceAndNodeCounts) {
+  GateNetlist n;
+  const SignalId a = n.add_input("a");
+  n.mark_output(n.add(GateOp::kInv, a));
+  const SpiceLogicCircuit sl = map_to_spice(n, SetLogicParams{});
+  EXPECT_EQ(sl.circuit.sets().size(), 2u);        // pSET + nSET
+  EXPECT_EQ(sl.circuit.capacitors().size(), 1u);  // output wire load
+}
+
+TEST(SpiceMap, InverterDcLevels) {
+  GateNetlist n;
+  const SignalId a = n.add_input("a");
+  const SignalId y = n.add(GateOp::kInv, a);
+  n.mark_output(y);
+  SetLogicParams p;
+  for (const bool high : {false, true}) {
+    SpiceLogicCircuit sl = map_to_spice(n, p);
+    sl.circuit.set_source(sl.node(a), Waveform::dc(high ? p.vdd : 0.0));
+    TransientSolver s(sl.circuit, TransientOptions{});
+    s.solve_dc({{sl.node(y), high ? 0.0 : p.vdd}});
+    // Settle any residual with a short transient.
+    s.run_until(30e-9);
+    const double v = s.voltage(sl.node(y));
+    if (high) {
+      EXPECT_LT(v, 0.3 * p.vdd);
+    } else {
+      EXPECT_GT(v, 0.7 * p.vdd);
+    }
+  }
+}
+
+TEST(SpiceMap, FullAdderDelayMeasurable) {
+  const LogicBenchmark b = make_benchmark("full-adder");
+  const SpiceDelayResult r =
+      spice_delay_experiment(b, SetLogicParams{}, TransientOptions{}, 5e-9,
+                             200e-9);
+  ASSERT_FALSE(std::isnan(r.delay)) << "no transition in the SPICE transient";
+  EXPECT_GT(r.delay, 1e-11);
+  EXPECT_LT(r.delay, 150e-9);
+}
+
+TEST(SpiceMap, PerformanceWindowRuns) {
+  const LogicBenchmark b = make_benchmark("2-to-10-decoder");
+  const SpicePerfResult r = spice_performance_window(
+      b, SetLogicParams{}, TransientOptions{}, 100e-9);
+  EXPECT_GT(r.steps, 100u);
+  EXPECT_NEAR(r.simulated_seconds, 100e-9, 1e-9);
+}
+
+}  // namespace
+}  // namespace semsim

@@ -1,0 +1,123 @@
+// semsim — command-line front end, the shape the paper describes:
+// "Circuit information is passed to SEMSIM via an input file containing all
+// the necessary information ... the results are stored in a file."
+//
+//   semsim <input-file> [--seed N] [--non-adaptive] [--out FILE.tsv]
+//          [--master-check]
+//
+// Runs the Monte-Carlo simulation an input file requests (see
+// src/netlist/parser.h for the grammar) and prints/writes the results.
+// --master-check additionally solves the steady-state master equation and
+// prints its currents next to the Monte-Carlo values (small circuits only).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/driver.h"
+#include "io/table_writer.h"
+#include "master/master_equation.h"
+
+using namespace semsim;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s <input-file> [--seed N] [--non-adaptive] [--out FILE.tsv]\n"
+      "          [--master-check]\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input_path;
+  std::string out_path;
+  DriverOptions opt;
+  bool master_check = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--seed" && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--non-adaptive") {
+      opt.adaptive = false;
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "--master-check") {
+      master_check = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!a.empty() && a[0] != '-' && input_path.empty()) {
+      input_path = a;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (input_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    const SimulationInput input = parse_simulation_file(input_path);
+    std::printf("# %s: %zu nodes, %zu junctions, T = %g K, %s solver%s\n",
+                input_path.c_str(), input.circuit.node_count(),
+                input.circuit.junction_count(), input.temperature,
+                opt.adaptive ? "adaptive" : "non-adaptive",
+                input.cotunneling ? ", cotunneling" : "");
+
+    const DriverResult r = run_simulation(input, opt);
+
+    if (!r.sweep.empty()) {
+      TableWriter table({"v_swept_V", "current_A", "stderr_A"});
+      table.add_comment("semsim sweep of node " +
+                        std::to_string(input.sweep->source));
+      for (const IvPoint& p : r.sweep) {
+        table.add_row({p.bias, p.current, p.stderr_mean});
+      }
+      if (!out_path.empty()) {
+        table.write_file(out_path);
+        std::printf("# wrote %zu sweep points to %s\n", r.sweep.size(),
+                    out_path.c_str());
+      } else {
+        table.write(std::cout);
+      }
+    } else if (r.current) {
+      std::printf("I = %.6e A +- %.1e  (%llu events, %.3e s simulated)\n",
+                  r.current->mean, r.current->stderr_mean,
+                  static_cast<unsigned long long>(r.events),
+                  r.simulated_time);
+      if (!out_path.empty()) {
+        TableWriter table({"current_A", "stderr_A", "events", "sim_time_s"});
+        table.add_row({r.current->mean, r.current->stderr_mean,
+                       static_cast<double>(r.events), r.simulated_time});
+        table.write_file(out_path);
+      }
+    }
+    std::printf("# work: %llu rate evaluations over %llu events\n",
+                static_cast<unsigned long long>(r.stats.rate_evaluations),
+                static_cast<unsigned long long>(r.stats.events));
+
+    if (master_check) {
+      EngineOptions eo;
+      eo.temperature = input.temperature;
+      eo.cotunneling = input.cotunneling;
+      MasterEquationSolver me(input.circuit, eo);
+      std::printf("# master-equation check (%zu states):\n", me.state_count());
+      for (const std::size_t j : input.record_junctions) {
+        std::printf("#   junction %zu: I_me = %.6e A\n", j + 1,
+                    me.junction_current(j));
+      }
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "semsim: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
