@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_counting_statistics.dir/ext_counting_statistics.cpp.o"
+  "CMakeFiles/ext_counting_statistics.dir/ext_counting_statistics.cpp.o.d"
+  "ext_counting_statistics"
+  "ext_counting_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_counting_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_set_iv.dir/fig1b_set_iv.cpp.o"
+  "CMakeFiles/fig1b_set_iv.dir/fig1b_set_iv.cpp.o.d"
+  "fig1b_set_iv"
+  "fig1b_set_iv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_set_iv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

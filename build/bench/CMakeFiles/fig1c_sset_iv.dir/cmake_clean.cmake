@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1c_sset_iv.dir/fig1c_sset_iv.cpp.o"
+  "CMakeFiles/fig1c_sset_iv.dir/fig1c_sset_iv.cpp.o.d"
+  "fig1c_sset_iv"
+  "fig1c_sset_iv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1c_sset_iv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1c_sset_iv.
+# This may be replaced when dependencies are built.

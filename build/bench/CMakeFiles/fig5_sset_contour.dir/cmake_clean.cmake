@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sset_contour.dir/fig5_sset_contour.cpp.o"
+  "CMakeFiles/fig5_sset_contour.dir/fig5_sset_contour.cpp.o.d"
+  "fig5_sset_contour"
+  "fig5_sset_contour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sset_contour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

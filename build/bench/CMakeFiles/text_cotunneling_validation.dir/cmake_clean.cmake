@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_cotunneling_validation.dir/text_cotunneling_validation.cpp.o"
+  "CMakeFiles/text_cotunneling_validation.dir/text_cotunneling_validation.cpp.o.d"
+  "text_cotunneling_validation"
+  "text_cotunneling_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_cotunneling_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

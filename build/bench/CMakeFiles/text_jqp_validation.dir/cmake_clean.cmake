@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_jqp_validation.dir/text_jqp_validation.cpp.o"
+  "CMakeFiles/text_jqp_validation.dir/text_jqp_validation.cpp.o.d"
+  "text_jqp_validation"
+  "text_jqp_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_jqp_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cotunneling_blockade.dir/cotunneling_blockade.cpp.o"
+  "CMakeFiles/cotunneling_blockade.dir/cotunneling_blockade.cpp.o.d"
+  "cotunneling_blockade"
+  "cotunneling_blockade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cotunneling_blockade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

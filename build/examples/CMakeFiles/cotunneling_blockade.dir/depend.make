@@ -1,0 +1,2 @@
+# Empty dependencies file for cotunneling_blockade.
+# This may be replaced when dependencies are built.

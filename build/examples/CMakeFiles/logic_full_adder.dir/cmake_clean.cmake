@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_full_adder.dir/logic_full_adder.cpp.o"
+  "CMakeFiles/logic_full_adder.dir/logic_full_adder.cpp.o.d"
+  "logic_full_adder"
+  "logic_full_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_full_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

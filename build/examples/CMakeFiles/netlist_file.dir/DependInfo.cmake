@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/netlist_file.cpp" "examples/CMakeFiles/netlist_file.dir/netlist_file.cpp.o" "gcc" "examples/CMakeFiles/netlist_file.dir/netlist_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/semsim_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/semsim_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/semsim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/semsim_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/semsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/semsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/semsim_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/semsim_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/master/CMakeFiles/semsim_master.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/semsim_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

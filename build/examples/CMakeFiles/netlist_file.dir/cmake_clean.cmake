@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_file.dir/netlist_file.cpp.o"
+  "CMakeFiles/netlist_file.dir/netlist_file.cpp.o.d"
+  "netlist_file"
+  "netlist_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sset_djqp.dir/sset_djqp.cpp.o"
+  "CMakeFiles/sset_djqp.dir/sset_djqp.cpp.o.d"
+  "sset_djqp"
+  "sset_djqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sset_djqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

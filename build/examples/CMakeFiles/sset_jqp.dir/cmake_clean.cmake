@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sset_jqp.dir/sset_jqp.cpp.o"
+  "CMakeFiles/sset_jqp.dir/sset_jqp.cpp.o.d"
+  "sset_jqp"
+  "sset_jqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sset_jqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sset_jqp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sset_jqp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_methods.dir/three_methods.cpp.o"
+  "CMakeFiles/three_methods.dir/three_methods.cpp.o.d"
+  "three_methods"
+  "three_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/current.cpp" "src/analysis/CMakeFiles/semsim_analysis.dir/current.cpp.o" "gcc" "src/analysis/CMakeFiles/semsim_analysis.dir/current.cpp.o.d"
+  "/root/repo/src/analysis/delay.cpp" "src/analysis/CMakeFiles/semsim_analysis.dir/delay.cpp.o" "gcc" "src/analysis/CMakeFiles/semsim_analysis.dir/delay.cpp.o.d"
+  "/root/repo/src/analysis/driver.cpp" "src/analysis/CMakeFiles/semsim_analysis.dir/driver.cpp.o" "gcc" "src/analysis/CMakeFiles/semsim_analysis.dir/driver.cpp.o.d"
+  "/root/repo/src/analysis/noise.cpp" "src/analysis/CMakeFiles/semsim_analysis.dir/noise.cpp.o" "gcc" "src/analysis/CMakeFiles/semsim_analysis.dir/noise.cpp.o.d"
+  "/root/repo/src/analysis/sweep.cpp" "src/analysis/CMakeFiles/semsim_analysis.dir/sweep.cpp.o" "gcc" "src/analysis/CMakeFiles/semsim_analysis.dir/sweep.cpp.o.d"
+  "/root/repo/src/analysis/trace.cpp" "src/analysis/CMakeFiles/semsim_analysis.dir/trace.cpp.o" "gcc" "src/analysis/CMakeFiles/semsim_analysis.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/semsim_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/semsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/semsim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/semsim_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/semsim_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

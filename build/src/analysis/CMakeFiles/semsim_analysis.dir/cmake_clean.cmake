@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_analysis.dir/current.cpp.o"
+  "CMakeFiles/semsim_analysis.dir/current.cpp.o.d"
+  "CMakeFiles/semsim_analysis.dir/delay.cpp.o"
+  "CMakeFiles/semsim_analysis.dir/delay.cpp.o.d"
+  "CMakeFiles/semsim_analysis.dir/driver.cpp.o"
+  "CMakeFiles/semsim_analysis.dir/driver.cpp.o.d"
+  "CMakeFiles/semsim_analysis.dir/noise.cpp.o"
+  "CMakeFiles/semsim_analysis.dir/noise.cpp.o.d"
+  "CMakeFiles/semsim_analysis.dir/sweep.cpp.o"
+  "CMakeFiles/semsim_analysis.dir/sweep.cpp.o.d"
+  "CMakeFiles/semsim_analysis.dir/trace.cpp.o"
+  "CMakeFiles/semsim_analysis.dir/trace.cpp.o.d"
+  "libsemsim_analysis.a"
+  "libsemsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

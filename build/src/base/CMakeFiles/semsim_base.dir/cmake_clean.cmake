@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_base.dir/math_util.cpp.o"
+  "CMakeFiles/semsim_base.dir/math_util.cpp.o.d"
+  "CMakeFiles/semsim_base.dir/random.cpp.o"
+  "CMakeFiles/semsim_base.dir/random.cpp.o.d"
+  "CMakeFiles/semsim_base.dir/string_util.cpp.o"
+  "CMakeFiles/semsim_base.dir/string_util.cpp.o.d"
+  "libsemsim_base.a"
+  "libsemsim_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_solver.cpp" "src/core/CMakeFiles/semsim_core.dir/adaptive_solver.cpp.o" "gcc" "src/core/CMakeFiles/semsim_core.dir/adaptive_solver.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/semsim_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/semsim_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/potential_tracker.cpp" "src/core/CMakeFiles/semsim_core.dir/potential_tracker.cpp.o" "gcc" "src/core/CMakeFiles/semsim_core.dir/potential_tracker.cpp.o.d"
+  "/root/repo/src/core/rate_calculator.cpp" "src/core/CMakeFiles/semsim_core.dir/rate_calculator.cpp.o" "gcc" "src/core/CMakeFiles/semsim_core.dir/rate_calculator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/semsim_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/semsim_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/semsim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/semsim_physics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

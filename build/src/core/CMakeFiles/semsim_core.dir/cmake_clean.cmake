@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_core.dir/adaptive_solver.cpp.o"
+  "CMakeFiles/semsim_core.dir/adaptive_solver.cpp.o.d"
+  "CMakeFiles/semsim_core.dir/engine.cpp.o"
+  "CMakeFiles/semsim_core.dir/engine.cpp.o.d"
+  "CMakeFiles/semsim_core.dir/potential_tracker.cpp.o"
+  "CMakeFiles/semsim_core.dir/potential_tracker.cpp.o.d"
+  "CMakeFiles/semsim_core.dir/rate_calculator.cpp.o"
+  "CMakeFiles/semsim_core.dir/rate_calculator.cpp.o.d"
+  "libsemsim_core.a"
+  "libsemsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_io.dir/table_writer.cpp.o"
+  "CMakeFiles/semsim_io.dir/table_writer.cpp.o.d"
+  "libsemsim_io.a"
+  "libsemsim_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/semsim_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/semsim_linalg.dir/lu.cpp.o"
+  "CMakeFiles/semsim_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/semsim_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/semsim_linalg.dir/matrix.cpp.o.d"
+  "libsemsim_linalg.a"
+  "libsemsim_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/benchmarks.cpp" "src/logic/CMakeFiles/semsim_logic.dir/benchmarks.cpp.o" "gcc" "src/logic/CMakeFiles/semsim_logic.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/logic/builder.cpp" "src/logic/CMakeFiles/semsim_logic.dir/builder.cpp.o" "gcc" "src/logic/CMakeFiles/semsim_logic.dir/builder.cpp.o.d"
+  "/root/repo/src/logic/elaborate.cpp" "src/logic/CMakeFiles/semsim_logic.dir/elaborate.cpp.o" "gcc" "src/logic/CMakeFiles/semsim_logic.dir/elaborate.cpp.o.d"
+  "/root/repo/src/logic/gate_netlist.cpp" "src/logic/CMakeFiles/semsim_logic.dir/gate_netlist.cpp.o" "gcc" "src/logic/CMakeFiles/semsim_logic.dir/gate_netlist.cpp.o.d"
+  "/root/repo/src/logic/logic_parser.cpp" "src/logic/CMakeFiles/semsim_logic.dir/logic_parser.cpp.o" "gcc" "src/logic/CMakeFiles/semsim_logic.dir/logic_parser.cpp.o.d"
+  "/root/repo/src/logic/random_logic.cpp" "src/logic/CMakeFiles/semsim_logic.dir/random_logic.cpp.o" "gcc" "src/logic/CMakeFiles/semsim_logic.dir/random_logic.cpp.o.d"
+  "/root/repo/src/logic/testbench.cpp" "src/logic/CMakeFiles/semsim_logic.dir/testbench.cpp.o" "gcc" "src/logic/CMakeFiles/semsim_logic.dir/testbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/semsim_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/semsim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/semsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/semsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/semsim_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/semsim_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

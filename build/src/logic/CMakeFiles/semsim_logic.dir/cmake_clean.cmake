@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_logic.dir/benchmarks.cpp.o"
+  "CMakeFiles/semsim_logic.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/semsim_logic.dir/builder.cpp.o"
+  "CMakeFiles/semsim_logic.dir/builder.cpp.o.d"
+  "CMakeFiles/semsim_logic.dir/elaborate.cpp.o"
+  "CMakeFiles/semsim_logic.dir/elaborate.cpp.o.d"
+  "CMakeFiles/semsim_logic.dir/gate_netlist.cpp.o"
+  "CMakeFiles/semsim_logic.dir/gate_netlist.cpp.o.d"
+  "CMakeFiles/semsim_logic.dir/logic_parser.cpp.o"
+  "CMakeFiles/semsim_logic.dir/logic_parser.cpp.o.d"
+  "CMakeFiles/semsim_logic.dir/random_logic.cpp.o"
+  "CMakeFiles/semsim_logic.dir/random_logic.cpp.o.d"
+  "CMakeFiles/semsim_logic.dir/testbench.cpp.o"
+  "CMakeFiles/semsim_logic.dir/testbench.cpp.o.d"
+  "libsemsim_logic.a"
+  "libsemsim_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

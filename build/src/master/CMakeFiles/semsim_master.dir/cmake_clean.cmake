@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_master.dir/master_equation.cpp.o"
+  "CMakeFiles/semsim_master.dir/master_equation.cpp.o.d"
+  "CMakeFiles/semsim_master.dir/state_space.cpp.o"
+  "CMakeFiles/semsim_master.dir/state_space.cpp.o.d"
+  "libsemsim_master.a"
+  "libsemsim_master.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_master.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/circuit.cpp" "src/netlist/CMakeFiles/semsim_netlist.dir/circuit.cpp.o" "gcc" "src/netlist/CMakeFiles/semsim_netlist.dir/circuit.cpp.o.d"
+  "/root/repo/src/netlist/electrostatics.cpp" "src/netlist/CMakeFiles/semsim_netlist.dir/electrostatics.cpp.o" "gcc" "src/netlist/CMakeFiles/semsim_netlist.dir/electrostatics.cpp.o.d"
+  "/root/repo/src/netlist/parser.cpp" "src/netlist/CMakeFiles/semsim_netlist.dir/parser.cpp.o" "gcc" "src/netlist/CMakeFiles/semsim_netlist.dir/parser.cpp.o.d"
+  "/root/repo/src/netlist/waveform.cpp" "src/netlist/CMakeFiles/semsim_netlist.dir/waveform.cpp.o" "gcc" "src/netlist/CMakeFiles/semsim_netlist.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/semsim_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/semsim_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

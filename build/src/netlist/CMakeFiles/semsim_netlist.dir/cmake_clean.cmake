@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_netlist.dir/circuit.cpp.o"
+  "CMakeFiles/semsim_netlist.dir/circuit.cpp.o.d"
+  "CMakeFiles/semsim_netlist.dir/electrostatics.cpp.o"
+  "CMakeFiles/semsim_netlist.dir/electrostatics.cpp.o.d"
+  "CMakeFiles/semsim_netlist.dir/parser.cpp.o"
+  "CMakeFiles/semsim_netlist.dir/parser.cpp.o.d"
+  "CMakeFiles/semsim_netlist.dir/waveform.cpp.o"
+  "CMakeFiles/semsim_netlist.dir/waveform.cpp.o.d"
+  "libsemsim_netlist.a"
+  "libsemsim_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

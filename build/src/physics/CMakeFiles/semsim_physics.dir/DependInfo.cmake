@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physics/bcs.cpp" "src/physics/CMakeFiles/semsim_physics.dir/bcs.cpp.o" "gcc" "src/physics/CMakeFiles/semsim_physics.dir/bcs.cpp.o.d"
+  "/root/repo/src/physics/cooper_pair.cpp" "src/physics/CMakeFiles/semsim_physics.dir/cooper_pair.cpp.o" "gcc" "src/physics/CMakeFiles/semsim_physics.dir/cooper_pair.cpp.o.d"
+  "/root/repo/src/physics/cotunneling.cpp" "src/physics/CMakeFiles/semsim_physics.dir/cotunneling.cpp.o" "gcc" "src/physics/CMakeFiles/semsim_physics.dir/cotunneling.cpp.o.d"
+  "/root/repo/src/physics/free_energy.cpp" "src/physics/CMakeFiles/semsim_physics.dir/free_energy.cpp.o" "gcc" "src/physics/CMakeFiles/semsim_physics.dir/free_energy.cpp.o.d"
+  "/root/repo/src/physics/qp_rate.cpp" "src/physics/CMakeFiles/semsim_physics.dir/qp_rate.cpp.o" "gcc" "src/physics/CMakeFiles/semsim_physics.dir/qp_rate.cpp.o.d"
+  "/root/repo/src/physics/rates.cpp" "src/physics/CMakeFiles/semsim_physics.dir/rates.cpp.o" "gcc" "src/physics/CMakeFiles/semsim_physics.dir/rates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/semsim_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/semsim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/semsim_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_physics.dir/bcs.cpp.o"
+  "CMakeFiles/semsim_physics.dir/bcs.cpp.o.d"
+  "CMakeFiles/semsim_physics.dir/cooper_pair.cpp.o"
+  "CMakeFiles/semsim_physics.dir/cooper_pair.cpp.o.d"
+  "CMakeFiles/semsim_physics.dir/cotunneling.cpp.o"
+  "CMakeFiles/semsim_physics.dir/cotunneling.cpp.o.d"
+  "CMakeFiles/semsim_physics.dir/free_energy.cpp.o"
+  "CMakeFiles/semsim_physics.dir/free_energy.cpp.o.d"
+  "CMakeFiles/semsim_physics.dir/qp_rate.cpp.o"
+  "CMakeFiles/semsim_physics.dir/qp_rate.cpp.o.d"
+  "CMakeFiles/semsim_physics.dir/rates.cpp.o"
+  "CMakeFiles/semsim_physics.dir/rates.cpp.o.d"
+  "libsemsim_physics.a"
+  "libsemsim_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_spice.dir/circuit.cpp.o"
+  "CMakeFiles/semsim_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/semsim_spice.dir/map_logic.cpp.o"
+  "CMakeFiles/semsim_spice.dir/map_logic.cpp.o.d"
+  "CMakeFiles/semsim_spice.dir/set_model.cpp.o"
+  "CMakeFiles/semsim_spice.dir/set_model.cpp.o.d"
+  "CMakeFiles/semsim_spice.dir/transient.cpp.o"
+  "CMakeFiles/semsim_spice.dir/transient.cpp.o.d"
+  "libsemsim_spice.a"
+  "libsemsim_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

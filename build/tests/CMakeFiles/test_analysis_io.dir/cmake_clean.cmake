@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_io.dir/test_analysis_io.cpp.o"
+  "CMakeFiles/test_analysis_io.dir/test_analysis_io.cpp.o.d"
+  "test_analysis_io"
+  "test_analysis_io.pdb"
+  "test_analysis_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

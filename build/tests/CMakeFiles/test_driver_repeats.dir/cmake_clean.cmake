@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_driver_repeats.dir/test_driver_repeats.cpp.o"
+  "CMakeFiles/test_driver_repeats.dir/test_driver_repeats.cpp.o.d"
+  "test_driver_repeats"
+  "test_driver_repeats.pdb"
+  "test_driver_repeats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_driver_repeats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
