@@ -3,11 +3,13 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/options.h"
 #include "io/table_writer.h"
 
 namespace semsim::bench {
@@ -15,6 +17,11 @@ namespace semsim::bench {
 struct BenchArgs {
   bool full = false;        ///< paper-fidelity event counts / grids
   std::string out_dir = "bench_out";
+  /// Worker threads for the parallel sweep / multi-seed paths (0 = all
+  /// cores). Results are bitwise identical for every value; only wall time
+  /// changes. Timing-sensitive benches (fig6) ignore this for the measured
+  /// windows and parallelize only across independent runs.
+  unsigned threads = 1;
 
   static BenchArgs parse(int argc, char** argv) {
     // Benches run for minutes; make progress visible through pipes.
@@ -26,8 +33,17 @@ struct BenchArgs {
         a.full = true;
       } else if (s.rfind("--out=", 0) == 0) {
         a.out_dir = s.substr(6);
+      } else if (s.rfind("--threads=", 0) == 0) {
+        char* end = nullptr;
+        a.threads = static_cast<unsigned>(
+            std::strtoul(s.c_str() + 10, &end, 10));
+        if (end == s.c_str() + 10 || *end != '\0') {
+          std::fprintf(stderr, "--threads=: not a number: %s\n",
+                       s.c_str() + 10);
+          std::exit(2);
+        }
       } else if (s == "--help" || s == "-h") {
-        std::printf("usage: %s [--full] [--out=DIR]\n", argv[0]);
+        std::printf("usage: %s [--full] [--out=DIR] [--threads=N]\n", argv[0]);
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", s.c_str());
@@ -37,6 +53,18 @@ struct BenchArgs {
     return a;
   }
 };
+
+/// One-line run-counter report every bench prints after a parallel region.
+inline void report_counters(const char* what, const RunCounters& c) {
+  std::printf(
+      "# %s: %u thread(s), %llu unit(s), %llu events, %llu rate evals, "
+      "%llu flags, %llu refreshes, %.3f s wall\n",
+      what, c.threads, static_cast<unsigned long long>(c.units),
+      static_cast<unsigned long long>(c.events),
+      static_cast<unsigned long long>(c.rate_evaluations),
+      static_cast<unsigned long long>(c.flags_raised),
+      static_cast<unsigned long long>(c.full_refreshes), c.wall_seconds);
+}
 
 /// Prints the table to stdout and writes it under out_dir/name.tsv.
 inline void emit(const BenchArgs& args, const std::string& name,

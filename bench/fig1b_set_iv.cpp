@@ -29,7 +29,11 @@ int main(int argc, char** argv) {
   std::printf("# blockade threshold (analytic): e/C_sigma = %.1f mV at Vg = 0\n",
               1e3 * kElementaryCharge / 5e-18);
 
-  // One current column per gate voltage.
+  // One current column per gate voltage. Each curve runs through the
+  // deterministic parallel sweep: the columns are identical for every
+  // --threads value (only the wall time changes).
+  const ParallelExecutor exec(args.threads);
+  RunCounters counters;
   std::vector<std::vector<IvPoint>> curves;
   for (const double vg : gates) {
     Circuit c;
@@ -44,8 +48,6 @@ int main(int argc, char** argv) {
 
     EngineOptions o;
     o.temperature = 5.0;
-    o.seed = 42;
-    Engine engine(c, o);
 
     IvSweepConfig cfg;
     cfg.swept = src;
@@ -55,8 +57,13 @@ int main(int argc, char** argv) {
     cfg.step = step / 2.0;
     cfg.probes = {{0, 1.0}, {1, 1.0}};
     cfg.measure = CurrentMeasureConfig{events / 10, events, 8};
-    curves.push_back(run_iv_sweep(engine, cfg));
+
+    ParallelSweepConfig par;
+    par.base_seed = 42;
+    par.points_per_unit = 4;
+    curves.push_back(run_iv_sweep(c, o, cfg, exec, par, &counters));
   }
+  bench::report_counters("fig1b sweeps", counters);
 
   TableWriter table({"vds_V", "i_vg0_A", "i_vg10mV_A", "i_vg20mV_A", "i_vg30mV_A"});
   table.add_comment("Fig. 1b reproduction: SET I-V, T = 5 K");

@@ -19,7 +19,9 @@ using namespace semsim;
 namespace {
 
 std::vector<IvPoint> run_curve(bool superconducting, double vg, double step,
-                               std::uint64_t events) {
+                               std::uint64_t events,
+                               const ParallelExecutor& exec,
+                               RunCounters& counters) {
   Circuit c;
   const NodeId src = c.add_external("src");
   const NodeId drn = c.add_external("drn");
@@ -35,9 +37,7 @@ std::vector<IvPoint> run_curve(bool superconducting, double vg, double step,
 
   EngineOptions o;
   o.temperature = 0.05;
-  o.seed = 42;
   o.qp_table_half_range = 40.0 * 0.2e-3 * kElectronVolt;
-  Engine engine(c, o);
 
   IvSweepConfig cfg;
   cfg.swept = src;
@@ -47,7 +47,13 @@ std::vector<IvPoint> run_curve(bool superconducting, double vg, double step,
   cfg.step = step / 2.0;
   cfg.probes = {{0, 1.0}, {1, 1.0}};
   cfg.measure = CurrentMeasureConfig{events / 10, events, 8};
-  return run_iv_sweep(engine, cfg);
+
+  // Larger chunks than fig1b: every engine rebuilds the quasi-particle
+  // rate tables, so amortize that over several bias points per unit.
+  ParallelSweepConfig par;
+  par.base_seed = 42;
+  par.points_per_unit = 5;
+  return run_iv_sweep(c, o, cfg, exec, par, &counters);
 }
 
 }  // namespace
@@ -63,11 +69,17 @@ int main(int argc, char** argv) {
               1e3 * (kElementaryCharge / 5e-18 +
                      4.0 * 0.2e-3));
 
+  const ParallelExecutor exec(args.threads);
+  RunCounters counters;
   std::vector<std::vector<IvPoint>> curves;
-  for (const double vg : gates) curves.push_back(run_curve(true, vg, step, events));
+  for (const double vg : gates) {
+    curves.push_back(run_curve(true, vg, step, events, exec, counters));
+  }
   // A normal-state reference curve at the same temperature for the
   // gap-enlargement comparison.
-  const std::vector<IvPoint> normal = run_curve(false, 0.0, step, events);
+  const std::vector<IvPoint> normal =
+      run_curve(false, 0.0, step, events, exec, counters);
+  bench::report_counters("fig1c sweeps", counters);
 
   TableWriter table({"vds_V", "i_vg0_A", "i_vg10mV_A", "i_vg20mV_A",
                      "i_vg30mV_A", "i_normal_vg0_A"});

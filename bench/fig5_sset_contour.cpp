@@ -98,9 +98,7 @@ int main(int argc, char** argv) {
   Device dev = make_sset();
   EngineOptions o;
   o.temperature = kTemp;
-  o.seed = 11;
   o.qp_table_half_range = 20.0 * gap;
-  Engine engine(dev.c, o);
 
   StabilityMapConfig cfg;
   cfg.bias_node = dev.src;
@@ -118,7 +116,14 @@ int main(int argc, char** argv) {
   cfg.probes = {{0, 1.0}, {1, 1.0}};
   cfg.measure = CurrentMeasureConfig{events / 10, events, 6};
 
-  const auto map = run_stability_map(engine, cfg);
+  // One work unit per gate row, row seeds derived from base seed 11: the
+  // grid is identical for every --threads value.
+  const ParallelExecutor exec(args.threads);
+  RunCounters counters;
+  ParallelSweepConfig par;
+  par.base_seed = 11;
+  const auto map = run_stability_map(dev.c, o, cfg, exec, par, &counters);
+  bench::report_counters("fig5 grid", counters);
 
   TableWriter grid({"vgate_V", "vbias_V", "abs_current_A"});
   grid.add_comment("Fig. 5 reproduction: |I|(V_bias, V_gate), log-scale contour");

@@ -32,6 +32,19 @@ double seconds_since(Clock::time_point t0) {
 }
 }  // namespace
 
+namespace {
+
+// Everything one benchmark contributes: the table row plus the lines to
+// print. Units run concurrently under --threads, so nothing prints from
+// inside a unit; rows come back and are emitted in benchmark order.
+struct BenchRow {
+  std::vector<double> row;
+  std::string log;
+  RunCounters counters;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   const double target_span = 10e-6;  // the paper's normalization
@@ -43,68 +56,108 @@ int main(int argc, char** argv) {
                      "evals_per_event_adaptive"});
   table.add_comment("Fig. 6 reproduction; rows in paper order (see names below)");
 
-  for (LogicBenchmark& b : make_all_benchmarks()) {
-    const std::size_t j = b.netlist.junction_count();
-    std::printf("[%s] %zu junctions (paper: %zu)\n", b.name.c_str(), j,
-                b.paper_junctions);
+  // Work units are whole benchmarks: the measured windows stay serial
+  // inside a unit so their wall-clock ratios remain meaningful. The
+  // adaptive-vs-non-adaptive comparison additionally rests on the
+  // machine-independent evals/event columns.
+  const ParallelExecutor exec(args.threads);
+  if (exec.threads() > 1) {
+    std::printf("# note: %u concurrent benchmarks share memory bandwidth; "
+                "absolute wall times are inflated, ratios stay indicative\n",
+                exec.threads());
+  }
+  const std::vector<LogicBenchmark> benches = make_all_benchmarks();
 
-    const auto t_setup = Clock::now();
-    ElaboratedCircuit elab = elaborate(b.netlist, SetLogicParams{});
-    auto model = std::make_shared<const ElectrostaticModel>(elab.circuit());
-    const double setup_s = seconds_since(t_setup);
-    const std::size_t islands = model->island_count();
+  const std::vector<BenchRow> rows =
+      exec.map<BenchRow>(benches.size(), [&](std::size_t i) {
+        const LogicBenchmark& b = benches[i];
+        const std::size_t j = b.netlist.junction_count();
+        BenchRow out;
+        char buf[256];
 
-    const std::uint64_t base_events = args.full ? 20000 : 6000;
-    const std::uint64_t events_small =
-        j > 3000 ? base_events / 3 : base_events;
+        const auto t_setup = Clock::now();
+        ElaboratedCircuit elab = elaborate(b.netlist, SetLogicParams{});
+        auto model = std::make_shared<const ElectrostaticModel>(elab.circuit());
+        const double setup_s = seconds_since(t_setup);
+        const std::size_t islands = model->island_count();
 
-    PerfRunConfig ca;
-    ca.events = events_small;
-    ca.engine.adaptive.enabled = true;
-    const PerfRunResult ra = run_performance_window(b, elab, model, ca);
+        const std::uint64_t base_events = args.full ? 20000 : 6000;
+        const std::uint64_t events_small =
+            j > 3000 ? base_events / 3 : base_events;
 
-    PerfRunConfig cn;
-    cn.events = j > 3000 ? events_small / 2 : events_small;
-    cn.engine.adaptive.enabled = false;
-    const PerfRunResult rn = run_performance_window(b, elab, model, cn);
+        PerfRunConfig ca;
+        ca.events = events_small;
+        ca.engine.adaptive.enabled = true;
+        const PerfRunResult ra = run_performance_window(b, elab, model, ca);
 
-    const double t_adaptive =
-        ra.wall_seconds / ra.simulated_seconds * target_span;
-    const double t_nonadaptive =
-        rn.wall_seconds / rn.simulated_seconds * target_span;
+        PerfRunConfig cn;
+        cn.events = j > 3000 ? events_small / 2 : events_small;
+        cn.engine.adaptive.enabled = false;
+        const PerfRunResult rn = run_performance_window(b, elab, model, cn);
 
-    double t_spice = std::nan("");
-    if (j <= 2500 || args.full) {
-      try {
-        TransientOptions to;
-        const double span = args.full ? 200e-9 : 60e-9;
-        const SpicePerfResult rs =
-            spice_performance_window(b, SetLogicParams{}, to, span);
-        t_spice = rs.wall_seconds / rs.simulated_seconds * target_span;
-      } catch (const NumericError& e) {
-        std::printf("  SPICE: non-convergence (%s) — reported like the "
-                    "paper's SPICE failures\n",
-                    e.what());
-      }
-    } else {
-      std::printf("  SPICE: skipped at this size (enable with --full)\n");
-    }
+        const double t_adaptive =
+            ra.wall_seconds / ra.simulated_seconds * target_span;
+        const double t_nonadaptive =
+            rn.wall_seconds / rn.simulated_seconds * target_span;
 
-    const double evals_n = static_cast<double>(rn.stats.rate_evaluations) /
-                           static_cast<double>(rn.stats.events);
-    const double evals_a = static_cast<double>(ra.stats.rate_evaluations) /
-                           static_cast<double>(ra.stats.events);
-    std::printf("  non-adaptive %.3g s | SEMSIM %.3g s | SPICE %.3g s "
-                "| speedup %.1fx | evals/event %.0f -> %.1f\n",
-                t_nonadaptive, t_adaptive, t_spice,
-                t_nonadaptive / t_adaptive, evals_n, evals_a);
+        double t_spice = std::nan("");
+        if (j <= 2500 || args.full) {
+          try {
+            TransientOptions to;
+            const double span = args.full ? 200e-9 : 60e-9;
+            const SpicePerfResult rs =
+                spice_performance_window(b, SetLogicParams{}, to, span);
+            t_spice = rs.wall_seconds / rs.simulated_seconds * target_span;
+          } catch (const NumericError& e) {
+            std::snprintf(buf, sizeof(buf),
+                          "  SPICE: non-convergence (%s) — reported like the "
+                          "paper's SPICE failures\n",
+                          e.what());
+            out.log += buf;
+          }
+        } else {
+          out.log += "  SPICE: skipped at this size (enable with --full)\n";
+        }
 
-    table.add_row({static_cast<double>(j),
+        const double evals_n = static_cast<double>(rn.stats.rate_evaluations) /
+                               static_cast<double>(rn.stats.events);
+        const double evals_a = static_cast<double>(ra.stats.rate_evaluations) /
+                               static_cast<double>(ra.stats.events);
+        std::snprintf(buf, sizeof(buf),
+                      "  non-adaptive %.3g s | SEMSIM %.3g s | SPICE %.3g s "
+                      "| speedup %.1fx | evals/event %.0f -> %.1f\n",
+                      t_nonadaptive, t_adaptive, t_spice,
+                      t_nonadaptive / t_adaptive, evals_n, evals_a);
+        out.log += buf;
+
+        out.counters.threads = exec.threads();
+        out.counters.wall_seconds = ra.wall_seconds + rn.wall_seconds;
+        out.counters.absorb(ra.stats);
+        out.counters.absorb(rn.stats);
+        out.row = {static_cast<double>(j),
                    static_cast<double>(b.paper_junctions),
                    static_cast<double>(islands), setup_s, t_nonadaptive,
                    t_adaptive, t_spice, t_nonadaptive / t_adaptive, evals_n,
-                   evals_a});
+                   evals_a};
+        return out;
+      });
+
+  RunCounters totals;
+  totals.threads = exec.threads();
+  for (std::size_t i = 0; i < benches.size(); ++i) {
+    std::printf("[%s] %zu junctions (paper: %zu)\n", benches[i].name.c_str(),
+                benches[i].netlist.junction_count(),
+                benches[i].paper_junctions);
+    std::fputs(rows[i].log.c_str(), stdout);
+    table.add_row(rows[i].row);
+    totals.units += rows[i].counters.units;
+    totals.events += rows[i].counters.events;
+    totals.rate_evaluations += rows[i].counters.rate_evaluations;
+    totals.flags_raised += rows[i].counters.flags_raised;
+    totals.full_refreshes += rows[i].counters.full_refreshes;
+    totals.wall_seconds += rows[i].counters.wall_seconds;
   }
+  bench::report_counters("fig6 windows (summed per-window wall)", totals);
 
   bench::emit(args, "fig6_performance", table);
   std::printf("paper expectation: speedup grows with junction count, "

@@ -16,6 +16,8 @@
 // cost the paper's Fig. 6 documents).
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -31,6 +33,7 @@ int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   const int ref_seeds = args.full ? 5 : 3;
   const int semsim_seeds = 9;  // as in the paper
+  const ParallelExecutor exec(args.threads);
 
   std::printf("== Fig. 7: propagation-delay error vs non-adaptive reference ==\n");
   TableWriter table({"junctions", "ref_delay_s", "semsim_delay_s",
@@ -39,6 +42,8 @@ int main(int argc, char** argv) {
 
   double err_sum = 0.0, spice_err_sum = 0.0;
   int err_n = 0, spice_n = 0;
+  std::string scale_bench;  // heaviest benchmark run: scaling self-check target
+  std::size_t scale_junctions = 0;
 
   for (LogicBenchmark& b : make_all_benchmarks()) {
     const std::size_t j = b.netlist.junction_count();
@@ -49,23 +54,25 @@ int main(int argc, char** argv) {
       continue;
     }
     std::printf("[%s] %zu junctions\n", b.name.c_str(), j);
+    if (j > scale_junctions) {
+      scale_junctions = j;
+      scale_bench = b.name;
+    }
     ElaboratedCircuit elab = elaborate(b.netlist, SetLogicParams{});
     auto model = std::make_shared<const ElectrostaticModel>(elab.circuit());
 
+    // The seed loops are the parallel fan-out: each seed is a work unit
+    // with its own engine and a (seed0, index)-derived RNG stream, so the
+    // delays — and the error percentages below — are identical for every
+    // --threads value.
     auto mean_delay = [&](bool adaptive, int n_runs, std::uint64_t seed0) {
-      double acc = 0.0;
-      int n = 0;
-      for (int s = 0; s < n_runs; ++s) {
-        DelayRunConfig cfg;
-        cfg.engine.adaptive.enabled = adaptive;
-        cfg.seed = seed0 + static_cast<std::uint64_t>(s);
-        const DelayRunResult r = run_delay_experiment(b, elab, model, cfg);
-        if (delay_valid(r.delay)) {
-          acc += r.delay;
-          ++n;
-        }
-      }
-      return n > 0 ? acc / n : std::nan("");
+      DelayRunConfig cfg;
+      cfg.engine.adaptive.enabled = adaptive;
+      const MultiSeedDelayResult r = run_delay_experiment_seeds(
+          b, elab, model, cfg, seed0, static_cast<std::size_t>(n_runs), exec);
+      bench::report_counters(adaptive ? "  semsim seeds" : "  reference seeds",
+                             r.counters);
+      return r.mean_delay;
     };
 
     const double ref = mean_delay(false, ref_seeds, 9000);
@@ -106,6 +113,40 @@ int main(int argc, char** argv) {
     if (!std::isnan(spice_err)) {
       spice_err_sum += spice_err;
       ++spice_n;
+    }
+  }
+
+  // Scaling self-check: the same 9-seed adaptive run serially vs with the
+  // requested pool, on the heaviest benchmark that ran (small benchmarks
+  // finish in milliseconds per seed and the longest single seed bounds the
+  // speedup). Delays are identical by construction; only the wall time
+  // (reported by the counters) changes.
+  if (exec.threads() > 1 && !scale_bench.empty()) {
+    for (LogicBenchmark& b0 : make_all_benchmarks()) {
+      if (b0.name != scale_bench) continue;
+      ElaboratedCircuit elab0 = elaborate(b0.netlist, SetLogicParams{});
+      auto model0 = std::make_shared<const ElectrostaticModel>(elab0.circuit());
+      DelayRunConfig cfg;
+      cfg.engine.adaptive.enabled = true;
+      const ParallelExecutor serial(1);
+      const MultiSeedDelayResult r1 = run_delay_experiment_seeds(
+          b0, elab0, model0, cfg, 100, semsim_seeds, serial);
+      const MultiSeedDelayResult rn = run_delay_experiment_seeds(
+          b0, elab0, model0, cfg, 100, semsim_seeds, exec);
+      std::printf("scaling [%s]: 9-seed run %.3f s at 1 thread, %.3f s at %u "
+                  "threads -> %.2fx speedup (identical delays: %s)\n",
+                  b0.name.c_str(), r1.counters.wall_seconds,
+                  rn.counters.wall_seconds, rn.counters.threads,
+                  r1.counters.wall_seconds / rn.counters.wall_seconds,
+                  r1.delays == rn.delays ? "yes" : "NO");
+      const unsigned hw = std::thread::hardware_concurrency();
+      if (hw < exec.threads()) {
+        std::printf("  note: host exposes %u hardware thread(s) — wall-clock "
+                    "speedup needs a multicore host; results are identical "
+                    "either way\n",
+                    hw);
+      }
+      break;
     }
   }
 

@@ -1,10 +1,31 @@
 #include "analysis/driver.h"
 
+#include <chrono>
+#include <memory>
+
 #include "base/constants.h"
-#include "base/math_util.h"
 #include "base/error.h"
+#include "base/math_util.h"
+#include "base/random.h"
+#include "base/thread_pool.h"
 
 namespace semsim {
+
+namespace {
+
+void merge_stats(SolverStats& into, const SolverStats& s) {
+  into.events += s.events;
+  into.rate_evaluations += s.rate_evaluations;
+  into.cp_rate_evaluations += s.cp_rate_evaluations;
+  into.cot_rate_evaluations += s.cot_rate_evaluations;
+  into.potential_node_updates += s.potential_node_updates;
+  into.junctions_tested += s.junctions_tested;
+  into.junctions_flagged += s.junctions_flagged;
+  into.full_refreshes += s.full_refreshes;
+  into.source_updates += s.source_updates;
+}
+
+}  // namespace
 
 DriverResult run_simulation(const SimulationInput& input,
                             const DriverOptions& options) {
@@ -13,20 +34,37 @@ DriverResult run_simulation(const SimulationInput& input,
   eo.cotunneling = input.cotunneling;
   eo.adaptive.enabled = options.adaptive;
   eo.seed = options.seed;
-  Engine engine(input.circuit, eo);
 
   std::vector<CurrentProbe> probes;
   for (const std::size_t j : input.record_junctions) probes.push_back({j, 1.0});
+
+  const ParallelExecutor exec(options.threads);
 
   DriverResult result;
   if (input.sweep) {
     require(!probes.empty(),
             "run_simulation: sweep requires a `record` directive");
-    IvSweepConfig cfg = sweep_config_from_input(input);
-    result.sweep = run_iv_sweep(engine, cfg);
-  } else if (input.max_time > 0.0) {
-    // Fixed simulated span: measure over the whole window after a warm-up
-    // tenth (paper: "until the desired simulation time is met").
+    const IvSweepConfig cfg = sweep_config_from_input(input);
+    ParallelSweepConfig par;
+    par.base_seed = options.seed;
+    result.sweep =
+        run_iv_sweep(input.circuit, eo, cfg, exec, par, &result.counters);
+    result.events = result.counters.events;
+    // The per-unit SolverStats are merged into the counters; mirror the
+    // totals into `stats` for callers that only look there.
+    result.stats.events = result.counters.events;
+    result.stats.rate_evaluations = result.counters.rate_evaluations;
+    result.stats.junctions_flagged = result.counters.flags_raised;
+    result.stats.full_refreshes = result.counters.full_refreshes;
+    return result;
+  }
+
+  if (input.max_time > 0.0) {
+    // Fixed simulated span: a single transient, inherently serial. Measure
+    // over the whole window after a warm-up tenth (paper: "until the
+    // desired simulation time is met").
+    const auto wall0 = std::chrono::steady_clock::now();
+    Engine engine(input.circuit, eo);
     engine.run_until(0.1 * input.max_time);
     const double t0 = engine.time();
     std::vector<double> q0;
@@ -47,38 +85,66 @@ DriverResult run_simulation(const SimulationInput& input,
       est.events = engine.event_count();
       result.current = est;
     }
-  } else {
-    require(!probes.empty(),
-            "run_simulation: current measurement requires `record`");
-    const std::uint64_t jumps = input.max_jumps > 0 ? input.max_jumps : 10000;
-    CurrentMeasureConfig cfg;
-    cfg.measure_events = jumps;
-    cfg.warmup_events = std::max<std::uint64_t>(jumps / 10, 100);
-    // The paper's `jumps <count> <repeats>`: independent reruns averaged
-    // (Fig. 7 uses nine such repeats per point).
-    const std::uint32_t repeats = std::max<std::uint32_t>(input.repeats, 1);
-    RunningStats runs;
-    CurrentEstimate last;
-    std::uint64_t events_acc = 0;
-    for (std::uint32_t rpt = 0; rpt < repeats; ++rpt) {
-      if (rpt > 0) engine.reset(options.seed + rpt);
-      last = measure_mean_current(engine, probes, cfg);
-      runs.add(last.mean);
-      events_acc += engine.event_count();
-    }
-    CurrentEstimate est = last;
-    est.mean = runs.mean();
-    if (repeats > 1) est.stderr_mean = runs.stderr_mean();
-    result.current = est;
     result.simulated_time = engine.time();
-    result.events = events_acc;
+    result.events = engine.event_count();
     result.stats = engine.stats();
+    result.counters.threads = 1;
+    result.counters.wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+            .count();
+    result.counters.absorb(result.stats);
     return result;
   }
 
-  result.simulated_time = engine.time();
-  result.events = engine.event_count();
-  result.stats = engine.stats();
+  require(!probes.empty(),
+          "run_simulation: current measurement requires `record`");
+  const std::uint64_t jumps = input.max_jumps > 0 ? input.max_jumps : 10000;
+  CurrentMeasureConfig cfg;
+  cfg.measure_events = jumps;
+  cfg.warmup_events = std::max<std::uint64_t>(jumps / 10, 100);
+  // The paper's `jumps <count> <repeats>`: independent reruns averaged
+  // (Fig. 7 uses nine such repeats per point). Each repeat is a work unit
+  // with its own engine, seeded from (seed, repeat_index) so the averaged
+  // estimate is identical for every thread count.
+  const std::uint32_t repeats = std::max<std::uint32_t>(input.repeats, 1);
+
+  input.circuit.build_caches();
+  auto model = std::make_shared<const ElectrostaticModel>(input.circuit);
+
+  struct RepeatResult {
+    CurrentEstimate estimate;
+    double sim_time = 0.0;
+    SolverStats stats;
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<RepeatResult> runs_out =
+      exec.map<RepeatResult>(repeats, [&](std::size_t rpt) {
+        EngineOptions unit_eo = eo;
+        unit_eo.seed = derive_stream_seed(options.seed, rpt);
+        Engine engine(input.circuit, unit_eo, model);
+        RepeatResult r;
+        r.estimate = measure_mean_current(engine, probes, cfg);
+        r.sim_time = engine.time();
+        r.stats = engine.stats();
+        return r;
+      });
+  result.counters.threads = exec.threads();
+  result.counters.wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  RunningStats runs;
+  for (const RepeatResult& r : runs_out) {
+    runs.add(r.estimate.mean);
+    result.simulated_time += r.sim_time;
+    merge_stats(result.stats, r.stats);
+    result.counters.absorb(r.stats);
+  }
+  CurrentEstimate est = runs_out.back().estimate;
+  est.mean = runs.mean();
+  if (repeats > 1) est.stderr_mean = runs.stderr_mean();
+  result.current = est;
+  result.events = result.stats.events;
   return result;
 }
 

@@ -18,6 +18,11 @@ namespace semsim {
 struct DriverOptions {
   std::uint64_t seed = 1;
   bool adaptive = true;   ///< false = conventional non-adaptive solver
+  /// Worker threads for sweeps and multi-seed (`jumps <n> <repeats>`) runs;
+  /// 0 = all hardware threads. Results are bitwise identical for every
+  /// value: work units are seeded from (seed, unit_index), never from the
+  /// executing thread (see base/thread_pool.h).
+  unsigned threads = 1;
 };
 
 struct DriverResult {
@@ -28,6 +33,9 @@ struct DriverResult {
   double simulated_time = 0.0;  ///< [s]
   std::uint64_t events = 0;
   SolverStats stats;
+  /// Work/observability totals over all work units (sweep points, repeat
+  /// runs), independent of the thread count except for wall_seconds.
+  RunCounters counters;
 };
 
 /// Runs the simulation an input file describes. Throws on structurally

@@ -1,10 +1,31 @@
 #include "analysis/sweep.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <memory>
 
 #include "base/error.h"
+#include "base/random.h"
 
 namespace semsim {
+
+namespace {
+
+/// The bias points a sweep config describes: from, from+step, ..., <= to+eps.
+std::vector<double> sweep_points(const IvSweepConfig& cfg) {
+  std::vector<double> points;
+  const double eps = 0.5 * cfg.step;
+  for (double v = cfg.from; v <= cfg.to + eps; v += cfg.step) points.push_back(v);
+  return points;
+}
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 std::vector<IvPoint> run_iv_sweep(Engine& engine, const IvSweepConfig& cfg) {
   require(cfg.step > 0.0, "run_iv_sweep: step must be positive");
@@ -12,8 +33,7 @@ std::vector<IvPoint> run_iv_sweep(Engine& engine, const IvSweepConfig& cfg) {
   require(!cfg.probes.empty(), "run_iv_sweep: no recorded junctions");
 
   std::vector<IvPoint> points;
-  const double eps = 0.5 * cfg.step;
-  for (double v = cfg.from; v <= cfg.to + eps; v += cfg.step) {
+  for (const double v : sweep_points(cfg)) {
     engine.set_dc_source(cfg.swept, v);
     if (cfg.mirror >= 0) engine.set_dc_source(cfg.mirror, -v);
     engine.rebase_time();  // blockade points can leave t at ~1e17 s
@@ -22,6 +42,54 @@ std::vector<IvPoint> run_iv_sweep(Engine& engine, const IvSweepConfig& cfg) {
     points.push_back(IvPoint{v, est.mean, est.stderr_mean});
   }
   return points;
+}
+
+std::vector<IvPoint> run_iv_sweep(const Circuit& circuit,
+                                  const EngineOptions& options,
+                                  const IvSweepConfig& cfg,
+                                  const ParallelExecutor& exec,
+                                  const ParallelSweepConfig& par,
+                                  RunCounters* counters) {
+  require(cfg.step > 0.0, "run_iv_sweep: step must be positive");
+  require(cfg.to >= cfg.from, "run_iv_sweep: to < from");
+  require(!cfg.probes.empty(), "run_iv_sweep: no recorded junctions");
+  require(par.points_per_unit >= 1,
+          "run_iv_sweep: points_per_unit must be >= 1");
+
+  const std::vector<double> points = sweep_points(cfg);
+  const std::size_t n_units =
+      (points.size() + par.points_per_unit - 1) / par.points_per_unit;
+
+  // Shared read-only state: one capacitance inversion for all engines, and
+  // warm adjacency caches so concurrent engine construction is race-free.
+  circuit.build_caches();
+  auto model = std::make_shared<const ElectrostaticModel>(circuit);
+
+  std::vector<IvPoint> out(points.size());
+  std::vector<SolverStats> unit_stats(n_units);
+  const auto t0 = std::chrono::steady_clock::now();
+  exec.for_each(n_units, [&](std::size_t u) {
+    EngineOptions eo = options;
+    eo.seed = derive_stream_seed(par.base_seed, u);
+    Engine engine(circuit, eo, model);
+    const std::size_t begin = u * par.points_per_unit;
+    const std::size_t end = std::min(points.size(), begin + par.points_per_unit);
+    for (std::size_t i = begin; i < end; ++i) {
+      engine.set_dc_source(cfg.swept, points[i]);
+      if (cfg.mirror >= 0) engine.set_dc_source(cfg.mirror, -points[i]);
+      engine.rebase_time();
+      const CurrentEstimate est =
+          measure_mean_current(engine, cfg.probes, cfg.measure);
+      out[i] = IvPoint{points[i], est.mean, est.stderr_mean};
+    }
+    unit_stats[u] = engine.stats();
+  });
+  if (counters != nullptr) {
+    counters->threads = exec.threads();
+    counters->wall_seconds += wall_seconds_since(t0);
+    for (const SolverStats& s : unit_stats) counters->absorb(s);
+  }
+  return out;
 }
 
 IvSweepConfig sweep_config_from_input(const SimulationInput& input) {
@@ -61,6 +129,43 @@ std::vector<std::vector<double>> run_stability_map(
           measure_mean_current(engine, cfg.probes, cfg.measure);
       map[g][b] = std::fabs(est.mean);
     }
+  }
+  return map;
+}
+
+std::vector<std::vector<double>> run_stability_map(
+    const Circuit& circuit, const EngineOptions& options,
+    const StabilityMapConfig& cfg, const ParallelExecutor& exec,
+    const ParallelSweepConfig& par, RunCounters* counters) {
+  require(!cfg.probes.empty(), "run_stability_map: no recorded junctions");
+
+  circuit.build_caches();
+  auto model = std::make_shared<const ElectrostaticModel>(circuit);
+
+  std::vector<std::vector<double>> map(
+      cfg.gate_values.size(), std::vector<double>(cfg.bias_values.size(), 0.0));
+  std::vector<SolverStats> unit_stats(cfg.gate_values.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  exec.for_each(cfg.gate_values.size(), [&](std::size_t g) {
+    EngineOptions eo = options;
+    eo.seed = derive_stream_seed(par.base_seed, g);
+    Engine engine(circuit, eo, model);
+    engine.set_dc_source(cfg.gate_node, cfg.gate_values[g]);
+    for (std::size_t b = 0; b < cfg.bias_values.size(); ++b) {
+      const double v = cfg.bias_values[b];
+      engine.set_dc_source(cfg.bias_node, v);
+      if (cfg.mirror >= 0) engine.set_dc_source(cfg.mirror, -v);
+      engine.rebase_time();
+      const CurrentEstimate est =
+          measure_mean_current(engine, cfg.probes, cfg.measure);
+      map[g][b] = std::fabs(est.mean);
+    }
+    unit_stats[g] = engine.stats();
+  });
+  if (counters != nullptr) {
+    counters->threads = exec.threads();
+    counters->wall_seconds += wall_seconds_since(t0);
+    for (const SolverStats& s : unit_stats) counters->absorb(s);
   }
   return map;
 }

@@ -1,14 +1,23 @@
 // Bias sweeps and 2-D stability maps built on the Monte-Carlo engine.
 //
-// Sweeps reuse one engine across points (set_dc_source does not touch the
-// capacitance matrices), so the charge state warm-starts from the previous
-// bias point — the same trick real SEMSIM runs use to keep equilibration
-// cheap along a sweep.
+// Two execution modes:
+//   * the single-engine overloads reuse one engine across points
+//     (set_dc_source does not touch the capacitance matrices), so the
+//     charge state warm-starts from the previous bias point — the classic
+//     serial SEMSIM trick to keep equilibration cheap along a sweep;
+//   * the ParallelExecutor overloads split the sweep into fixed chunks of
+//     consecutive points (2-D maps: one gate row per unit) and run each
+//     chunk on its own engine, seeded by derive_stream_seed(base_seed,
+//     chunk_index). The decomposition and the seeds depend only on the
+//     configuration, never on the worker count, so every thread count
+//     produces bitwise-identical tables (tests/test_parallel.cpp).
+//     Within a chunk, points still warm-start from their predecessor.
 #pragma once
 
 #include <vector>
 
 #include "analysis/current.h"
+#include "base/thread_pool.h"
 #include "core/engine.h"
 #include "netlist/parser.h"
 
@@ -33,6 +42,29 @@ struct IvSweepConfig {
 /// Runs the sweep in place. Points are from, from+step, ..., <= to (+eps).
 std::vector<IvPoint> run_iv_sweep(Engine& engine, const IvSweepConfig& cfg);
 
+/// Work-unit decomposition and seeding of the parallel sweep overloads.
+struct ParallelSweepConfig {
+  /// Base seed every work unit's RNG stream is derived from.
+  std::uint64_t base_seed = 1;
+  /// Consecutive sweep points per work unit (>= 1). Part of the result's
+  /// identity: changing it changes the decomposition (and therefore the
+  /// sampled streams), changing the thread count never does. Larger chunks
+  /// amortize engine setup (QP tables for superconducting circuits) and
+  /// keep the warm-start trick within the chunk.
+  std::size_t points_per_unit = 1;
+};
+
+/// Deterministic parallel I-V sweep: one engine per chunk of points, each
+/// seeded from (base_seed, chunk_index). `counters`, when non-null, gets
+/// the solver work of all units (merged in index order) and the wall time
+/// of the parallel region.
+std::vector<IvPoint> run_iv_sweep(const Circuit& circuit,
+                                  const EngineOptions& options,
+                                  const IvSweepConfig& cfg,
+                                  const ParallelExecutor& exec,
+                                  const ParallelSweepConfig& par = {},
+                                  RunCounters* counters = nullptr);
+
 /// Builds an IvSweepConfig from a parsed input file's sweep/record/jumps
 /// directives (paper Example Input File 1 end-to-end path).
 IvSweepConfig sweep_config_from_input(const SimulationInput& input);
@@ -51,5 +83,14 @@ struct StabilityMapConfig {
 /// (Magnitude, matching the log-scale contour of the paper's Fig. 5.)
 std::vector<std::vector<double>> run_stability_map(Engine& engine,
                                                    const StabilityMapConfig& cfg);
+
+/// Deterministic parallel stability map: one work unit per GATE ROW (the
+/// bias sweep inside a row warm-starts serially, as in the single-engine
+/// overload), row seeds derived from (base_seed, row_index);
+/// points_per_unit is ignored. Bitwise-identical for every thread count.
+std::vector<std::vector<double>> run_stability_map(
+    const Circuit& circuit, const EngineOptions& options,
+    const StabilityMapConfig& cfg, const ParallelExecutor& exec,
+    const ParallelSweepConfig& par = {}, RunCounters* counters = nullptr);
 
 }  // namespace semsim

@@ -4,14 +4,18 @@
 #include <limits>
 
 namespace semsim {
+
+std::uint64_t splitmix64_mix(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 namespace {
 
 // SplitMix64 step used only for seeding.
 std::uint64_t splitmix64(std::uint64_t& state) noexcept {
-  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return splitmix64_mix(state += 0x9e3779b97f4a7c15ULL);
 }
 
 }  // namespace

@@ -65,4 +65,23 @@ class Xoshiro256 {
 /// dt = -ln(r) / rate_sum, r uniform in (0,1]  (paper Eq. 5).
 double exponential_waiting_time(Xoshiro256& rng, double rate_sum) noexcept;
 
+/// SplitMix64 finalizer: a bijective 64-bit mixer with full avalanche
+/// (Stafford variant 13, the one inside the SplitMix64 generator).
+std::uint64_t splitmix64_mix(std::uint64_t x) noexcept;
+
+/// RNG stream seed for work unit `unit_index` of a run seeded `base_seed`.
+///
+/// Parallel sweeps and multi-seed statistics derive every work unit's
+/// Xoshiro256 seed from this hash of (base_seed, unit_index) — NEVER from
+/// the identity of the thread that happens to execute the unit — so results
+/// are bitwise identical for every thread count. Two SplitMix64 rounds give
+/// full avalanche between nearby base seeds and nearby unit indices (plain
+/// `base + index` would make unit i of seed s collide with unit i-1 of
+/// seed s+1).
+inline std::uint64_t derive_stream_seed(std::uint64_t base_seed,
+                                        std::uint64_t unit_index) noexcept {
+  return splitmix64_mix(splitmix64_mix(base_seed + 0x9e3779b97f4a7c15ULL) +
+                        unit_index);
+}
+
 }  // namespace semsim

@@ -1,0 +1,128 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/error.h"
+
+namespace semsim {
+
+ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity) {
+  require(threads >= 1, "ThreadPool: need at least one worker");
+  capacity_ = queue_capacity > 0 ? queue_capacity : 2 * threads;
+  queue_.reserve(capacity_ + 1);
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock, [this] { return queue_.size() - head_ < capacity_; });
+    if (head_ > 0 && queue_.size() >= capacity_) {
+      // Compact the consumed prefix so the buffer stays bounded.
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return head_ == queue_.size() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || head_ < queue_.size(); });
+      if (head_ == queue_.size()) return;  // stop_ and drained
+      task = std::move(queue_[head_]);
+      ++head_;
+      ++active_;
+      if (head_ == queue_.size()) {
+        queue_.clear();
+        head_ = 0;
+      }
+    }
+    cv_space_.notify_one();
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (head_ == queue_.size() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // All units run even if some throw; afterwards the lowest-index exception
+  // is rethrown so failures are independent of worker scheduling.
+  struct Failure {
+    std::mutex mu;
+    std::size_t index = ~std::size_t{0};
+    std::exception_ptr error;
+  };
+  auto failure = std::make_shared<Failure>();
+
+  struct Remaining {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t count;
+  };
+  auto remaining = std::make_shared<Remaining>();
+  remaining->count = n;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    pool->submit([i, &fn, failure, remaining] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(failure->mu);
+        if (i < failure->index) {
+          failure->index = i;
+          failure->error = std::current_exception();
+        }
+      }
+      std::lock_guard<std::mutex> lock(remaining->mu);
+      if (--remaining->count == 0) remaining->cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(remaining->mu);
+    remaining->cv.wait(lock, [&] { return remaining->count == 0; });
+  }
+  if (failure->error) std::rethrow_exception(failure->error);
+}
+
+ParallelExecutor::ParallelExecutor(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_ = threads;
+  if (threads_ > 1) pool_ = std::make_shared<ThreadPool>(threads_);
+}
+
+}  // namespace semsim

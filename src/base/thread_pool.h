@@ -1,0 +1,112 @@
+// Deterministic parallel execution for embarrassingly-parallel work units
+// (I-V sweep points, stability-map rows, multi-seed repeats).
+//
+// Design rules that make parallel runs reproducible:
+//   * work units are identified by INDEX, never by the thread that runs
+//     them — every per-unit RNG stream is derived from (base_seed,
+//     unit_index) via derive_stream_seed() (base/random.h);
+//   * results are written into index-addressed slots and reductions happen
+//     on the calling thread in index order after the region completes;
+//   * the unit decomposition is part of the configuration (e.g. points per
+//     chunk), so it cannot depend on the worker count.
+// Under these rules any thread count — including 1 — produces bitwise
+// identical output, which tests/test_parallel.cpp enforces end to end.
+//
+// The pool itself is deliberately simple: a fixed set of workers pulling
+// from one bounded FIFO queue (no work stealing — units here are large
+// Monte-Carlo runs, milliseconds to minutes each, so queue contention is
+// irrelevant and a single queue keeps the code auditable under TSan).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace semsim {
+
+/// Fixed-size worker pool over a bounded task queue.
+///
+/// submit() blocks while the queue is full (backpressure instead of
+/// unbounded memory); the destructor drains the queue and joins. Tasks must
+/// not throw — wrap user code and capture exceptions (parallel_for does).
+class ThreadPool {
+ public:
+  /// `threads` >= 1 workers; `queue_capacity` 0 selects 2 * threads.
+  explicit ThreadPool(unsigned threads, std::size_t queue_capacity = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task; blocks until queue space is available.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;   // workers wait for tasks
+  std::condition_variable cv_space_;  // submitters wait for queue space
+  std::condition_variable cv_idle_;   // wait_idle waits for quiescence
+  std::vector<std::function<void()>> queue_;  // FIFO via head index
+  std::size_t head_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t active_ = 0;  // tasks currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0), fn(1), ..., fn(n-1) on the pool and blocks until all have
+/// finished. A null pool (or a 1-worker pool, or n <= 1) runs inline on the
+/// calling thread. If units throw, all units still run to completion and
+/// the exception of the LOWEST unit index is rethrown — a deterministic
+/// choice that does not depend on scheduling.
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+/// parallel_for that collects fn(i) into a vector in index order.
+/// T must be default-constructible (slots are pre-allocated).
+template <typename T>
+std::vector<T> parallel_map(ThreadPool* pool, std::size_t n,
+                            const std::function<T(std::size_t)>& fn) {
+  std::vector<T> out(n);
+  parallel_for(pool, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Value-semantics facade the analysis drivers take: "run my units on N
+/// threads". Owns the pool; threads() == 1 means serial inline execution
+/// with zero threading overhead (and, by the determinism rules above, the
+/// same results as any other thread count).
+class ParallelExecutor {
+ public:
+  /// `threads` 0 selects std::thread::hardware_concurrency().
+  explicit ParallelExecutor(unsigned threads = 1);
+
+  unsigned threads() const noexcept { return threads_; }
+
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn) const {
+    parallel_for(pool_.get(), n, fn);
+  }
+
+  template <typename T>
+  std::vector<T> map(std::size_t n, const std::function<T(std::size_t)>& fn) const {
+    return parallel_map<T>(pool_.get(), n, fn);
+  }
+
+ private:
+  unsigned threads_ = 1;
+  std::shared_ptr<ThreadPool> pool_;  // null when threads_ == 1
+};
+
+}  // namespace semsim

@@ -69,4 +69,28 @@ struct SolverStats {
   std::uint64_t source_updates = 0;
 };
 
+/// Per-run observability counters for the parallel drivers: solver work
+/// summed over all work units (each unit runs on one engine; units are
+/// merged on the calling thread in index order, so the totals are
+/// thread-count independent) plus the wall time of the parallel region,
+/// which is the only field that legitimately varies with the thread count.
+struct RunCounters {
+  unsigned threads = 1;           ///< worker count of the parallel region
+  std::uint64_t units = 0;        ///< work units executed (points/rows/seeds)
+  std::uint64_t events = 0;       ///< tunnel events simulated
+  std::uint64_t rate_evaluations = 0;  ///< SE/QP + CP + cotunneling evals
+  std::uint64_t flags_raised = 0;      ///< adaptive junctions flagged
+  std::uint64_t full_refreshes = 0;
+  double wall_seconds = 0.0;      ///< wall clock of the parallel region
+
+  void absorb(const SolverStats& s) noexcept {
+    ++units;
+    events += s.events;
+    rate_evaluations +=
+        s.rate_evaluations + s.cp_rate_evaluations + s.cot_rate_evaluations;
+    flags_raised += s.junctions_flagged;
+    full_refreshes += s.full_refreshes;
+  }
+};
+
 }  // namespace semsim

@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "analysis/delay.h"
 #include "base/error.h"
+#include "base/random.h"
 
 namespace semsim {
 namespace {
@@ -32,6 +34,27 @@ void program_inputs(const LogicBenchmark& bench, ElaboratedCircuit& elab,
                                 Waveform::dc(bench.base_vector[i] ? vdd : 0.0));
     }
   }
+}
+
+// The output-crossing detector config shared by every delay run of a
+// benchmark (direction from the functional model).
+DelayConfig delay_detector_config(const LogicBenchmark& bench,
+                                  const ElaboratedCircuit& elab,
+                                  const DelayRunConfig& cfg) {
+  std::vector<bool> after = bench.base_vector;
+  after[bench.toggle_input] = !after[bench.toggle_input];
+  const SignalId out_sig = bench.netlist.outputs()[bench.observe_output];
+  const bool rising =
+      bench.netlist.evaluate(after)[static_cast<std::size_t>(out_sig)];
+
+  DelayConfig dc;
+  dc.output = elab.node(out_sig);
+  dc.t_step = cfg.t_settle;
+  dc.v_threshold = 0.5 * elab.builder.params().vdd;
+  dc.rising = rising;
+  dc.smoothing_tau = cfg.smoothing_tau;
+  dc.t_max = cfg.t_settle + cfg.t_max_after;
+  return dc;
 }
 
 }  // namespace
@@ -81,26 +104,77 @@ DelayRunResult run_delay_experiment(const LogicBenchmark& bench,
   Engine engine(elab.circuit(), opt, std::move(model));
   engine.set_electron_counts(dc_preseed(bench, elab, bench.base_vector));
 
-  // Expected output transition direction from the functional model.
-  std::vector<bool> after = bench.base_vector;
-  after[bench.toggle_input] = !after[bench.toggle_input];
-  const SignalId out_sig = bench.netlist.outputs()[bench.observe_output];
-  const bool rising =
-      bench.netlist.evaluate(after)[static_cast<std::size_t>(out_sig)];
-
-  DelayConfig dc;
-  dc.output = elab.node(out_sig);
-  dc.t_step = cfg.t_settle;
-  dc.v_threshold = 0.5 * vdd;
-  dc.rising = rising;
-  dc.smoothing_tau = cfg.smoothing_tau;
-  dc.t_max = cfg.t_settle + cfg.t_max_after;
+  const DelayConfig dc = delay_detector_config(bench, elab, cfg);
 
   DelayRunResult res;
   res.delay = measure_propagation_delay(engine, dc);
   res.wall_seconds = seconds_since(t0);
   res.events = engine.event_count();
   res.stats = engine.stats();
+  return res;
+}
+
+MultiSeedDelayResult run_delay_experiment_seeds(
+    const LogicBenchmark& bench, ElaboratedCircuit& elab,
+    std::shared_ptr<const ElectrostaticModel> model,
+    const DelayRunConfig& base_cfg, std::uint64_t base_seed,
+    std::size_t n_seeds, const ParallelExecutor& exec) {
+  require(is_sensitized(bench),
+          "run_delay_experiment_seeds: benchmark vector is not sensitized");
+  const SetLogicParams& p = elab.builder.params();
+  const double vdd = p.vdd;
+
+  // Mutate the elaborated circuit ONCE, before the fan-out; every work
+  // unit then only reads it (Waveform evaluation is const and stateless).
+  const bool base_level = bench.base_vector[bench.toggle_input];
+  const Waveform step = Waveform::step(base_level ? vdd : 0.0,
+                                       base_level ? 0.0 : vdd,
+                                       base_cfg.t_settle);
+  program_inputs(bench, elab, &step);
+  elab.circuit().build_caches();
+  if (model == nullptr) {
+    model = std::make_shared<const ElectrostaticModel>(elab.circuit());
+  }
+
+  const std::vector<std::pair<NodeId, long>> preseed =
+      dc_preseed(bench, elab, bench.base_vector);
+  const DelayConfig dc = delay_detector_config(bench, elab, base_cfg);
+
+  EngineOptions opt = base_cfg.engine;
+  opt.temperature = p.temperature;
+
+  struct SeedOut {
+    double delay = 0.0;
+    SolverStats stats;
+  };
+  const auto t0 = Clock::now();
+  const std::vector<SeedOut> outs =
+      exec.map<SeedOut>(n_seeds, [&](std::size_t s) {
+        EngineOptions seed_opt = opt;
+        seed_opt.seed = derive_stream_seed(base_seed, s);
+        Engine engine(elab.circuit(), seed_opt, model);
+        engine.set_electron_counts(preseed);
+        SeedOut o;
+        o.delay = measure_propagation_delay(engine, dc);
+        o.stats = engine.stats();
+        return o;
+      });
+
+  MultiSeedDelayResult res;
+  res.counters.threads = exec.threads();
+  res.counters.wall_seconds = seconds_since(t0);
+  double acc = 0.0;
+  for (const SeedOut& o : outs) {
+    res.delays.push_back(o.delay);
+    res.counters.absorb(o.stats);
+    if (std::isfinite(o.delay)) {
+      acc += o.delay;
+      ++res.valid;
+    }
+  }
+  res.mean_delay = res.valid > 0
+                       ? acc / static_cast<double>(res.valid)
+                       : std::numeric_limits<double>::quiet_NaN();
   return res;
 }
 

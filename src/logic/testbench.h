@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "base/thread_pool.h"
 #include "core/engine.h"
 #include "logic/benchmarks.h"
 #include "logic/elaborate.h"
@@ -34,6 +35,24 @@ DelayRunResult run_delay_experiment(const LogicBenchmark& bench,
                                     ElaboratedCircuit& elab,
                                     std::shared_ptr<const ElectrostaticModel> model,
                                     const DelayRunConfig& cfg);
+
+struct MultiSeedDelayResult {
+  std::vector<double> delays;  ///< per-seed delay [s], index order; NaN = no crossing
+  double mean_delay = 0.0;     ///< mean over the finite delays (NaN when none)
+  std::size_t valid = 0;       ///< number of finite delays
+  RunCounters counters;        ///< solver work over all seeds + wall time
+};
+
+/// The Fig. 7 statistics loop: `n_seeds` independent delay measurements of
+/// the same benchmark, averaged. Inputs are programmed ONCE (the elaborated
+/// circuit is then shared read-only), and seed `s` runs with the RNG stream
+/// derive_stream_seed(base_seed, s) — so the per-seed delays, and their
+/// mean, are bitwise identical for every thread count of `exec`.
+MultiSeedDelayResult run_delay_experiment_seeds(
+    const LogicBenchmark& bench, ElaboratedCircuit& elab,
+    std::shared_ptr<const ElectrostaticModel> model,
+    const DelayRunConfig& base_cfg, std::uint64_t base_seed,
+    std::size_t n_seeds, const ParallelExecutor& exec);
 
 struct PerfRunConfig {
   EngineOptions engine;

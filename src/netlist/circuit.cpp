@@ -178,6 +178,12 @@ std::vector<NodeId> Circuit::externals() const {
   return out;
 }
 
+void Circuit::build_caches() const {
+  if (nodes_.empty()) return;
+  junctions_of(0);
+  coupled_junctions_of(0);
+}
+
 void Circuit::validate() const {
   std::vector<int> degree(nodes_.size(), 0);
   for (const Junction& j : junctions_) {

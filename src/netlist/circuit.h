@@ -135,6 +135,12 @@ class Circuit {
   /// potential — is checked by ElectrostaticModel via Cholesky.)
   void validate() const;
 
+  /// Forces construction of the lazy adjacency caches. Parallel drivers
+  /// call this before sharing one circuit across engine-building workers:
+  /// afterwards every const member is safe for concurrent use (the caches
+  /// are the only mutable state).
+  void build_caches() const;
+
  private:
   void invalidate_adjacency() noexcept {
     adjacency_.clear();

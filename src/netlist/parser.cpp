@@ -81,6 +81,18 @@ SimulationInput parse_simulation_input(std::istream& in) {
 
   // Pass 2: everything else.
   std::optional<NodeId> symm_node;
+  // One voltage source per node: a second vdc/vstep/vpwl/vpulse on the same
+  // lead would silently overwrite the first, so reject it here.
+  std::vector<std::size_t> source_line(static_cast<std::size_t>(num_nodes) + 1,
+                                       0);
+  auto claim_source = [&](NodeId n, std::size_t ln) {
+    std::size_t& prev = source_line[static_cast<std::size_t>(n)];
+    if (prev != 0) {
+      fail(ln, "node " + std::to_string(n) + " already has a source (line " +
+                   std::to_string(prev) + ")");
+    }
+    prev = ln;
+  };
   for (const RawLine& l : lines) {
     const auto& t = l.tokens;
     const std::string& kw = t[0];
@@ -104,10 +116,12 @@ SimulationInput parse_simulation_input(std::istream& in) {
       } else if (kw == "vdc") {
         if (t.size() != 3) fail(l.line_no, "vdc <node> <V>");
         const NodeId n = check_node(integer(t, 1, l.line_no), l.line_no);
+        claim_source(n, l.line_no);
         out.circuit.set_source(n, Waveform::dc(num(t, 2, l.line_no)));
       } else if (kw == "vstep") {
         if (t.size() != 5) fail(l.line_no, "vstep <node> <lo> <hi> <t>");
         const NodeId n = check_node(integer(t, 1, l.line_no), l.line_no);
+        claim_source(n, l.line_no);
         out.circuit.set_source(
             n, Waveform::step(num(t, 2, l.line_no), num(t, 3, l.line_no),
                               num(t, 4, l.line_no)));
@@ -116,6 +130,7 @@ SimulationInput parse_simulation_input(std::istream& in) {
           fail(l.line_no, "vpwl <node> <t1> <v1> [<t2> <v2> ...]");
         }
         const NodeId n = check_node(integer(t, 1, l.line_no), l.line_no);
+        claim_source(n, l.line_no);
         std::vector<double> times, values;
         for (std::size_t i = 2; i + 1 < t.size(); i += 2) {
           times.push_back(num(t, i, l.line_no));
@@ -130,6 +145,7 @@ SimulationInput parse_simulation_input(std::istream& in) {
       } else if (kw == "vpulse") {
         if (t.size() != 7) fail(l.line_no, "vpulse <node> <lo> <hi> <delay> <width> <period>");
         const NodeId n = check_node(integer(t, 1, l.line_no), l.line_no);
+        claim_source(n, l.line_no);
         out.circuit.set_source(
             n, Waveform::pulse(num(t, 2, l.line_no), num(t, 3, l.line_no),
                                num(t, 4, l.line_no), num(t, 5, l.line_no),
@@ -185,6 +201,15 @@ SimulationInput parse_simulation_input(std::istream& in) {
     }
   }
 
+  if (out.cotunneling && out.circuit.superconducting()) {
+    // The rate model supports cotunneling for normal circuits only (the
+    // paper treats superconducting transport with qp/CP channels instead).
+    // Rejecting the combination here gives a line-file diagnostic instead
+    // of a CircuitError at engine construction.
+    throw ParseError(
+        "'cotunnel' cannot be combined with 'super': cotunneling rates are "
+        "implemented for normal-state circuits only");
+  }
   if (num_junc >= 0 &&
       static_cast<long>(out.circuit.junction_count()) != num_junc) {
     throw ParseError("declared 'num j " + std::to_string(num_junc) +

@@ -26,6 +26,13 @@
 // Numeric tokens accept SPICE magnitude suffixes (1meg, 3a, 210k, ...).
 // Node ids follow the paper's convention: ground is 0, externals 1..num_ext,
 // islands num_ext+1..num_nodes; these map one-to-one onto Circuit NodeIds.
+//
+// Rejected at parse time (ParseError): malformed directives, a second
+// v* source on a node that already has one, and `cotunnel` combined with
+// `super` (cotunneling rates exist for normal-state circuits only).
+// Structurally bad circuits (dangling islands, bad element values) raise
+// CircuitError from Circuit::validate()/element constructors, wrapped with
+// the offending line number where one exists.
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,9 @@
 #include "analysis/driver.h"
 #include "analysis/trace.h"
 #include "base/constants.h"
+#include "logic/benchmarks.h"
+#include "logic/elaborate.h"
+#include "logic/testbench.h"
 #include "netlist/parser.h"
 
 namespace semsim {
@@ -108,6 +111,86 @@ temp 5
 jumps 1000
 )"));
   EXPECT_THROW(run_simulation(in), Error);
+}
+
+// ---- figure-shaped golden smoke tests --------------------------------------
+
+TEST(GoldenSmoke, Fig1bBlockadeDepthAndAntisymmetry) {
+  // Fast-mode fig1b shape: the paper's SET (R = 1 MOhm, C = 1 aF, Cg = 3 aF)
+  // at T = 5 K, Vg = 0. Golden tolerances, not bitwise: the blockade floor
+  // sits orders of magnitude below the on-current and the ends of the
+  // antisymmetric curve agree to ~15%.
+  Circuit c;
+  const NodeId src = c.add_external("src");
+  const NodeId drn = c.add_external("drn");
+  const NodeId gate = c.add_external("gate");
+  const NodeId island = c.add_island("island");
+  c.add_junction(src, island, 1e6, 1e-18);
+  c.add_junction(island, drn, 1e6, 1e-18);
+  c.add_capacitor(gate, island, 3e-18);
+  c.set_source(gate, Waveform::dc(0.0));
+
+  EngineOptions o;
+  o.temperature = 5.0;
+
+  IvSweepConfig cfg;
+  cfg.swept = src;
+  cfg.mirror = drn;
+  cfg.from = -0.02;
+  cfg.to = 0.02;
+  cfg.step = 0.002;
+  cfg.probes = {{0, 1.0}, {1, 1.0}};
+  cfg.measure = CurrentMeasureConfig{800, 8000, 8};
+
+  const ParallelExecutor exec(2);
+  ParallelSweepConfig par;
+  par.base_seed = 42;
+  RunCounters counters;
+  const std::vector<IvPoint> curve =
+      run_iv_sweep(c, o, cfg, exec, par, &counters);
+  ASSERT_EQ(curve.size(), 21u);
+  const double i_mid = std::abs(curve[10].current);
+  const double i_hi = std::abs(curve.back().current);
+  const double i_lo = std::abs(curve.front().current);
+  // Vds = +-40 mV is above the e/C_sigma = 32 mV threshold; 0 is deep
+  // inside the blockade.
+  EXPECT_GT(i_hi, 1e-9);
+  EXPECT_LT(i_mid, 0.05 * i_hi);
+  EXPECT_NEAR(i_lo / i_hi, 1.0, 0.15);
+  EXPECT_EQ(counters.units, 21u);
+  EXPECT_GT(counters.events, 0u);
+}
+
+TEST(GoldenSmoke, Fig6AdaptiveBeatsNonAdaptiveInEvalsPerEvent) {
+  // Fig. 6's ordering in its machine-independent form: on a locally
+  // coupled logic circuit the adaptive solver spends far fewer rate
+  // evaluations per event than the conventional solver, which pays
+  // O(junctions) per event (wall-clock ordering is asserted by the
+  // benches, not here, to keep CI timing-agnostic).
+  LogicBenchmark b = make_benchmark("74LS138");
+  ElaboratedCircuit elab = elaborate(b.netlist, SetLogicParams{});
+  auto model = std::make_shared<const ElectrostaticModel>(elab.circuit());
+
+  PerfRunConfig ca;
+  ca.events = 3000;
+  ca.engine.adaptive.enabled = true;
+  const PerfRunResult ra = run_performance_window(b, elab, model, ca);
+
+  PerfRunConfig cn;
+  cn.events = 3000;
+  cn.engine.adaptive.enabled = false;
+  const PerfRunResult rn = run_performance_window(b, elab, model, cn);
+
+  ASSERT_GT(ra.stats.events, 0u);
+  ASSERT_GT(rn.stats.events, 0u);
+  const double per_event_a = static_cast<double>(ra.stats.rate_evaluations) /
+                             static_cast<double>(ra.stats.events);
+  const double per_event_n = static_cast<double>(rn.stats.rate_evaluations) /
+                             static_cast<double>(rn.stats.events);
+  // The paper's Fig. 6 shows order-of-magnitude savings at this size; 3x
+  // is a conservative golden tolerance for the reduced window.
+  EXPECT_LT(per_event_a, per_event_n / 3.0)
+      << "adaptive " << per_event_a << " vs non-adaptive " << per_event_n;
 }
 
 // ---- vpwl ------------------------------------------------------------------

@@ -392,5 +392,70 @@ sweep 2 0.01 0.001
                ParseError);
 }
 
+TEST(Parser, DuplicateSourceRejected) {
+  // A second source on the same lead would silently overwrite the first;
+  // the diagnostic names both lines.
+  try {
+    parse_simulation_input(std::string(R"(num ext 1
+num nodes 2
+junc 1 1 2 1meg 1a
+vdc 1 0.02
+vstep 1 0.0 0.02 1e-9
+)"));
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("already has a source"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+  }
+  // Same kind twice is just as wrong.
+  EXPECT_THROW(parse_simulation_input(std::string(R"(
+num ext 1
+num nodes 2
+junc 1 1 2 1meg 1a
+vdc 1 0.02
+vdc 1 0.03
+)")),
+               ParseError);
+}
+
+TEST(Parser, MixedSuperconductingAndCotunnelingRejected) {
+  // Cotunneling rates exist for normal-state circuits only; the combination
+  // is a ParseError at parse time, not a CircuitError at engine build.
+  EXPECT_THROW(parse_simulation_input(std::string(R"(
+num ext 2
+num nodes 3
+junc 1 1 3 210k 110a
+junc 2 3 2 210k 110a
+temp 0.52
+super 0.21 1.2
+cotunnel
+)")),
+               ParseError);
+  // Directive order must not matter.
+  EXPECT_THROW(parse_simulation_input(std::string(R"(
+num ext 2
+num nodes 3
+junc 1 1 3 210k 110a
+junc 2 3 2 210k 110a
+temp 0.52
+cotunnel
+super 0.21 1.2
+)")),
+               ParseError);
+}
+
+TEST(Parser, DanglingIslandRejected) {
+  // Node 3 is declared an island but connects to nothing: Circuit::validate
+  // reports it as a CircuitError (which is also a semsim::Error).
+  EXPECT_THROW(parse_simulation_input(std::string(R"(
+num ext 1
+num nodes 3
+junc 1 1 2 1meg 1a
+)")),
+               CircuitError);
+}
+
 }  // namespace
 }  // namespace semsim

@@ -9,6 +9,9 @@
 #include "base/constants.h"
 #include "base/random.h"
 #include "core/engine.h"
+#include "logic/benchmarks.h"
+#include "logic/elaborate.h"
+#include "logic/testbench.h"
 #include "master/master_equation.h"
 
 namespace semsim {
@@ -156,6 +159,58 @@ TEST(EngineInvariant, AdaptiveDriftStaysBoundedBetweenRefreshes) {
   for (std::size_t k = 0; k < exact.size(); ++k) {
     EXPECT_NEAR(e.node_voltage(m.island_node(k)), exact[k], 1e-3)
         << "island " << k;
+  }
+}
+
+TEST(EngineInvariant, DegenerateAdaptiveReproducesNonAdaptiveEventSequence) {
+  // With threshold alpha -> 0 every junction is flagged after every event,
+  // and refresh_interval = 1 recomputes all potentials and rates from
+  // scratch each event — the adaptive solver degenerates to the
+  // conventional one. Both solvers draw the same two RNG variates per
+  // event (waiting time + channel selector), so on a DC-driven circuit the
+  // executed event sequences must coincide channel-for-channel.
+  LogicBenchmark b = make_benchmark("74LS138");
+  ElaboratedCircuit elab = elaborate(b.netlist, SetLogicParams{});
+  const SetLogicParams& p = elab.builder.params();
+  // DC inputs only (no waveform breakpoints): both engines then consume
+  // their RNG streams identically.
+  const auto& ins = b.netlist.inputs();
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    elab.circuit().set_source(elab.node(ins[i]),
+                              Waveform::dc(b.base_vector[i] ? p.vdd : 0.0));
+  }
+  const auto preseed = dc_preseed(b, elab, b.base_vector);
+
+  EngineOptions base;
+  base.temperature = p.temperature;
+  base.seed = 1234;
+
+  EngineOptions non_adaptive = base;
+  non_adaptive.adaptive.enabled = false;
+  Engine ref(elab.circuit(), non_adaptive);
+  ref.set_electron_counts(preseed);
+
+  EngineOptions degenerate = base;
+  degenerate.adaptive.enabled = true;
+  // alpha -> 0: the smallest positive threshold the solver accepts flags
+  // every tested junction on any drift.
+  degenerate.adaptive.threshold = 1e-300;
+  degenerate.adaptive.refresh_interval = 1;
+  Engine adapt(elab.circuit(), degenerate);
+  adapt.set_electron_counts(preseed);
+
+  Event ea, eb;
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(ref.step(&ea)) << "event " << i;
+    ASSERT_TRUE(adapt.step(&eb)) << "event " << i;
+    ASSERT_EQ(ea.kind, eb.kind) << "event " << i;
+    ASSERT_EQ(ea.index, eb.index) << "event " << i;
+    ASSERT_EQ(ea.from, eb.from) << "event " << i;
+    ASSERT_EQ(ea.to, eb.to) << "event " << i;
+    ASSERT_EQ(ea.charge, eb.charge) << "event " << i;
+    // Times may differ by FP rounding (incremental vs from-scratch
+    // potentials enter the rates), but only at the ulp level.
+    ASSERT_NEAR(eb.time / ea.time, 1.0, 1e-9) << "event " << i;
   }
 }
 

@@ -2,8 +2,8 @@
 // "Circuit information is passed to SEMSIM via an input file containing all
 // the necessary information ... the results are stored in a file."
 //
-//   semsim <input-file> [--seed N] [--non-adaptive] [--out FILE.tsv]
-//          [--master-check]
+//   semsim <input-file> [--seed N] [--threads N] [--non-adaptive]
+//          [--out FILE.tsv] [--master-check]
 //
 // Runs the Monte-Carlo simulation an input file requests (see
 // src/netlist/parser.h for the grammar) and prints/writes the results.
@@ -25,8 +25,10 @@ namespace {
 
 void usage(const char* argv0) {
   std::printf(
-      "usage: %s <input-file> [--seed N] [--non-adaptive] [--out FILE.tsv]\n"
-      "          [--master-check]\n",
+      "usage: %s <input-file> [--seed N] [--threads N] [--non-adaptive]\n"
+      "          [--out FILE.tsv] [--master-check]\n"
+      "  --threads N   worker threads for sweeps / repeated runs (0 = all\n"
+      "                cores); results are identical for every N\n",
       argv0);
 }
 
@@ -42,6 +44,13 @@ int main(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--seed" && i + 1 < argc) {
       opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--threads" && i + 1 < argc) {
+      char* end = nullptr;
+      opt.threads = static_cast<unsigned>(std::strtoul(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "--threads: not a number: %s\n", argv[i]);
+        return 2;
+      }
     } else if (a == "--non-adaptive") {
       opt.adaptive = false;
     } else if (a == "--out" && i + 1 < argc) {
@@ -103,6 +112,15 @@ int main(int argc, char** argv) {
     std::printf("# work: %llu rate evaluations over %llu events\n",
                 static_cast<unsigned long long>(r.stats.rate_evaluations),
                 static_cast<unsigned long long>(r.stats.events));
+    std::printf(
+        "# run: %u thread(s), %llu unit(s), %llu events, %llu rate evals, "
+        "%llu flags, %llu refreshes, %.3f s wall\n",
+        r.counters.threads, static_cast<unsigned long long>(r.counters.units),
+        static_cast<unsigned long long>(r.counters.events),
+        static_cast<unsigned long long>(r.counters.rate_evaluations),
+        static_cast<unsigned long long>(r.counters.flags_raised),
+        static_cast<unsigned long long>(r.counters.full_refreshes),
+        r.counters.wall_seconds);
 
     if (master_check) {
       EngineOptions eo;
