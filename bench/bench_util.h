@@ -22,6 +22,29 @@ struct BenchArgs {
   /// changes. Timing-sensitive benches (fig6) ignore this for the measured
   /// windows and parallelize only across independent runs.
   unsigned threads = 1;
+  /// Overrides for a bench's built-in base seed / repeat count; 0 keeps the
+  /// bench default (every bench documents its own, e.g. fig7 uses 9 seeds).
+  std::uint64_t seed = 0;
+  std::uint64_t repeats = 0;
+  /// Non-empty enables per-unit crash-safe checkpointing: finished work
+  /// units are recorded to this file and restored on rerun (obs/checkpoint).
+  std::string checkpoint;
+
+  /// Strict `--flag=` value parse: anything but a plain non-negative
+  /// decimal integer is fatal (exit 2), matching the driver CLI.
+  static std::uint64_t parse_u64_flag(const std::string& s,
+                                      std::size_t prefix_len) {
+    char* end = nullptr;
+    const char* text = s.c_str() + prefix_len;
+    const std::uint64_t v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' ||
+        s.find('-', prefix_len) != std::string::npos) {
+      std::fprintf(stderr, "%.*s not a non-negative integer: %s\n",
+                   static_cast<int>(prefix_len), s.c_str(), text);
+      std::exit(2);
+    }
+    return v;
+  }
 
   static BenchArgs parse(int argc, char** argv) {
     // Benches run for minutes; make progress visible through pipes.
@@ -34,16 +57,22 @@ struct BenchArgs {
       } else if (s.rfind("--out=", 0) == 0) {
         a.out_dir = s.substr(6);
       } else if (s.rfind("--threads=", 0) == 0) {
-        char* end = nullptr;
-        a.threads = static_cast<unsigned>(
-            std::strtoul(s.c_str() + 10, &end, 10));
-        if (end == s.c_str() + 10 || *end != '\0') {
-          std::fprintf(stderr, "--threads=: not a number: %s\n",
-                       s.c_str() + 10);
+        a.threads = static_cast<unsigned>(parse_u64_flag(s, 10));
+      } else if (s.rfind("--seed=", 0) == 0) {
+        a.seed = parse_u64_flag(s, 7);
+      } else if (s.rfind("--repeats=", 0) == 0) {
+        a.repeats = parse_u64_flag(s, 10);
+        if (a.repeats == 0) {
+          std::fprintf(stderr, "--repeats= must be >= 1\n");
           std::exit(2);
         }
+      } else if (s.rfind("--checkpoint=", 0) == 0) {
+        a.checkpoint = s.substr(13);
       } else if (s == "--help" || s == "-h") {
-        std::printf("usage: %s [--full] [--out=DIR] [--threads=N]\n", argv[0]);
+        std::printf(
+            "usage: %s [--full] [--out=DIR] [--threads=N] [--seed=N]\n"
+            "          [--repeats=N] [--checkpoint=FILE]\n",
+            argv[0]);
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", s.c_str());

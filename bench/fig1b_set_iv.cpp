@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   const ParallelExecutor exec(args.threads);
   RunCounters counters;
   std::vector<std::vector<IvPoint>> curves;
+  std::size_t curve_index = 0;
   for (const double vg : gates) {
     Circuit c;
     const NodeId src = c.add_external("src");
@@ -59,9 +60,17 @@ int main(int argc, char** argv) {
     cfg.measure = CurrentMeasureConfig{events / 10, events, 8};
 
     ParallelSweepConfig par;
-    par.base_seed = 42;
+    par.base_seed = args.seed > 0 ? args.seed : 42;
     par.points_per_unit = 4;
-    curves.push_back(run_iv_sweep(c, o, cfg, exec, par, &counters));
+    // --checkpoint=FILE: one checkpoint file per gate curve (sweep chunks
+    // are the units inside each file).
+    CheckpointConfig ckpt;
+    if (!args.checkpoint.empty()) {
+      ckpt.path = args.checkpoint + "." + std::to_string(curve_index);
+      ckpt.fingerprint = fnv1a64("fig1b curve " + std::to_string(curve_index));
+    }
+    curves.push_back(run_iv_sweep(c, o, cfg, exec, par, &counters, ckpt));
+    ++curve_index;
   }
   bench::report_counters("fig1b sweeps", counters);
 

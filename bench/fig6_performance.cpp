@@ -16,11 +16,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
 #include "logic/benchmarks.h"
 #include "logic/elaborate.h"
 #include "logic/testbench.h"
+#include "obs/checkpoint.h"
 #include "spice/map_logic.h"
 
 using namespace semsim;
@@ -42,6 +44,34 @@ struct BenchRow {
   std::string log;
   RunCounters counters;
 };
+
+std::vector<std::uint8_t> encode_bench_row(const BenchRow& r) {
+  BinaryWriter w;
+  w.vec_f64(r.row);
+  w.str(r.log);
+  w.u64(r.counters.units);
+  w.u64(r.counters.events);
+  w.u64(r.counters.rate_evaluations);
+  w.u64(r.counters.flags_raised);
+  w.u64(r.counters.full_refreshes);
+  w.f64(r.counters.wall_seconds);
+  return w.take();
+}
+
+BenchRow decode_bench_row(const std::vector<std::uint8_t>& bytes) {
+  BinaryReader rd(bytes);
+  BenchRow r;
+  r.row = rd.vec_f64();
+  r.log = rd.str();
+  r.counters.units = rd.u64();
+  r.counters.events = rd.u64();
+  r.counters.rate_evaluations = rd.u64();
+  r.counters.flags_raised = rd.u64();
+  r.counters.full_refreshes = rd.u64();
+  r.counters.wall_seconds = rd.f64();
+  rd.require_done();
+  return r;
+}
 
 }  // namespace
 
@@ -68,8 +98,27 @@ int main(int argc, char** argv) {
   }
   const std::vector<LogicBenchmark> benches = make_all_benchmarks();
 
+  // --checkpoint=FILE: each finished benchmark's row is recorded, so an
+  // interrupted bench run resumes where it stopped instead of re-measuring
+  // (restored rows keep their originally measured wall times).
+  std::unique_ptr<RunCheckpoint> cp;
+  if (!args.checkpoint.empty()) {
+    BinaryWriter fp;
+    fp.str("fig6");
+    fp.u8(args.full ? 1 : 0);
+    fp.u64(benches.size());
+    cp = std::make_unique<RunCheckpoint>(
+        args.checkpoint, fnv1a64(fp.bytes().data(), fp.bytes().size()),
+        benches.size());
+    if (cp->completed() > 0) {
+      std::printf("# checkpoint %s: %zu/%zu benchmarks already done\n",
+                  args.checkpoint.c_str(), cp->completed(), benches.size());
+    }
+  }
+
   const std::vector<BenchRow> rows =
       exec.map<BenchRow>(benches.size(), [&](std::size_t i) {
+        if (cp && cp->has(i)) return decode_bench_row(cp->payload(i));
         const LogicBenchmark& b = benches[i];
         const std::size_t j = b.netlist.junction_count();
         BenchRow out;
@@ -139,6 +188,7 @@ int main(int argc, char** argv) {
                    static_cast<double>(islands), setup_s, t_nonadaptive,
                    t_adaptive, t_spice, t_nonadaptive / t_adaptive, evals_n,
                    evals_a};
+        if (cp) cp->record(i, encode_bench_row(out));
         return out;
       });
 

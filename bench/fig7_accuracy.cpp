@@ -16,6 +16,7 @@
 // cost the paper's Fig. 6 documents).
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "logic/benchmarks.h"
 #include "logic/elaborate.h"
 #include "logic/testbench.h"
+#include "obs/checkpoint.h"
 #include "spice/map_logic.h"
 
 using namespace semsim;
@@ -32,7 +34,13 @@ using namespace semsim;
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   const int ref_seeds = args.full ? 5 : 3;
-  const int semsim_seeds = 9;  // as in the paper
+  // Paper default: nine adaptive runs per benchmark; --repeats= overrides.
+  const int semsim_seeds =
+      args.repeats > 0 ? static_cast<int>(args.repeats) : 9;
+  // --seed= shifts both seed families together (reference seeds stay
+  // disjoint from the adaptive ones).
+  const std::uint64_t semsim_seed0 = args.seed > 0 ? args.seed : 100;
+  const std::uint64_t ref_seed0 = semsim_seed0 + 8900;
   const ParallelExecutor exec(args.threads);
 
   std::printf("== Fig. 7: propagation-delay error vs non-adaptive reference ==\n");
@@ -45,7 +53,26 @@ int main(int argc, char** argv) {
   std::string scale_bench;  // heaviest benchmark run: scaling self-check target
   std::size_t scale_junctions = 0;
 
-  for (LogicBenchmark& b : make_all_benchmarks()) {
+  std::vector<LogicBenchmark> benches = make_all_benchmarks();
+
+  // --checkpoint=FILE: each benchmark's finished row is recorded so an
+  // interrupted accuracy run resumes instead of re-simulating.
+  std::unique_ptr<RunCheckpoint> cp;
+  if (!args.checkpoint.empty()) {
+    BinaryWriter fp;
+    fp.str("fig7");
+    fp.u8(args.full ? 1 : 0);
+    fp.u64(static_cast<std::uint64_t>(ref_seeds));
+    fp.u64(static_cast<std::uint64_t>(semsim_seeds));
+    fp.u64(semsim_seed0);
+    fp.u64(benches.size());
+    cp = std::make_unique<RunCheckpoint>(
+        args.checkpoint, fnv1a64(fp.bytes().data(), fp.bytes().size()),
+        benches.size());
+  }
+
+  for (std::size_t bi = 0; bi < benches.size(); ++bi) {
+    LogicBenchmark& b = benches[bi];
     const std::size_t j = b.netlist.junction_count();
     if (!args.full && b.paper_junctions > 2500) {
       std::printf("[%s] skipped by default (reference runs are expensive at "
@@ -57,6 +84,23 @@ int main(int argc, char** argv) {
     if (j > scale_junctions) {
       scale_junctions = j;
       scale_bench = b.name;
+    }
+    if (cp && cp->has(bi)) {
+      const std::vector<std::uint8_t> bytes = cp->payload(bi);
+      BinaryReader rd(bytes);
+      const std::vector<double> row = rd.vec_f64();
+      rd.require_done();
+      std::printf("  restored from checkpoint %s\n", args.checkpoint.c_str());
+      table.add_row(row);
+      if (!std::isnan(row[3])) {
+        err_sum += row[3];
+        ++err_n;
+      }
+      if (!std::isnan(row[5])) {
+        spice_err_sum += row[5];
+        ++spice_n;
+      }
+      continue;
     }
     ElaboratedCircuit elab = elaborate(b.netlist, SetLogicParams{});
     auto model = std::make_shared<const ElectrostaticModel>(elab.circuit());
@@ -75,8 +119,8 @@ int main(int argc, char** argv) {
       return r.mean_delay;
     };
 
-    const double ref = mean_delay(false, ref_seeds, 9000);
-    const double semsim = mean_delay(true, semsim_seeds, 100);
+    const double ref = mean_delay(false, ref_seeds, ref_seed0);
+    const double semsim = mean_delay(true, semsim_seeds, semsim_seed0);
     const double err =
         std::isnan(ref) || std::isnan(semsim)
             ? std::nan("")
@@ -104,8 +148,15 @@ int main(int argc, char** argv) {
     std::printf("  ref %.3e s | SEMSIM %.3e s (err %.2f%%) | SPICE %.3e s "
                 "(err %.2f%%)\n",
                 ref, semsim, err, spice_delay, spice_err);
-    table.add_row({static_cast<double>(j), ref, semsim, err, spice_delay,
-                   spice_err});
+    const std::vector<double> row = {static_cast<double>(j), ref,    semsim,
+                                     err,                    spice_delay,
+                                     spice_err};
+    if (cp) {
+      BinaryWriter w;
+      w.vec_f64(row);
+      cp->record(bi, w.take());
+    }
+    table.add_row(row);
     if (!std::isnan(err)) {
       err_sum += err;
       ++err_n;
@@ -130,9 +181,9 @@ int main(int argc, char** argv) {
       cfg.engine.adaptive.enabled = true;
       const ParallelExecutor serial(1);
       const MultiSeedDelayResult r1 = run_delay_experiment_seeds(
-          b0, elab0, model0, cfg, 100, semsim_seeds, serial);
+          b0, elab0, model0, cfg, semsim_seed0, semsim_seeds, serial);
       const MultiSeedDelayResult rn = run_delay_experiment_seeds(
-          b0, elab0, model0, cfg, 100, semsim_seeds, exec);
+          b0, elab0, model0, cfg, semsim_seed0, semsim_seeds, exec);
       std::printf("scaling [%s]: 9-seed run %.3f s at 1 thread, %.3f s at %u "
                   "threads -> %.2fx speedup (identical delays: %s)\n",
                   b0.name.c_str(), r1.counters.wall_seconds,

@@ -59,4 +59,84 @@ CurrentEstimate measure_junction_current(Engine& engine, std::size_t junction,
   return measure_mean_current(engine, {CurrentProbe{junction, 1.0}}, cfg);
 }
 
+namespace {
+
+/// Chunk length of the streaming estimator: short enough that the binning
+/// hierarchy has plenty of samples to resolve the autocorrelation plateau,
+/// long enough that the per-chunk dt is rarely zero.
+constexpr std::uint64_t kEventsPerChunk = 16;
+
+}  // namespace
+
+ConvergedCurrentResult measure_current_converged(
+    Engine& engine, const std::vector<CurrentProbe>& probes,
+    std::uint64_t warmup_events, const StopCriterion& stop) {
+  require(!probes.empty(), "measure_current_converged: no probes given");
+  require(stop.max_events > 0 || stop.convergence_enabled(),
+          "measure_current_converged: need max_events or a target_rel_error");
+
+  engine.run_events(warmup_events);
+
+  ConvergedCurrentResult out;
+  const double t_begin = engine.time();
+  // Auto interval: enough chunks between checks that binned_error has levels
+  // to work with early on, without checks ever dominating the run.
+  const std::uint64_t check_interval =
+      stop.check_interval > 0 ? stop.check_interval : 4096;
+  std::uint64_t executed_total = 0;
+  std::uint64_t next_check = check_interval;
+  std::vector<double> c0(probes.size());
+
+  while (true) {
+    std::uint64_t chunk = kEventsPerChunk;
+    if (stop.max_events > 0) {
+      if (executed_total >= stop.max_events) break;
+      chunk = std::min<std::uint64_t>(chunk, stop.max_events - executed_total);
+    }
+    const double t0 = engine.time();
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      c0[i] = engine.junction_transferred_e(probes[i].junction);
+    }
+    const std::uint64_t done = engine.run_events(chunk);
+    executed_total += done;
+    const double dt = engine.time() - t0;
+    if (done == 0 || dt <= 0.0) {
+      // Engine is stuck (deep Coulomb blockade with no open channel): the
+      // physical steady-state current is exactly zero, and no amount of
+      // further simulation changes that — report converged.
+      out.samples.add(0.0);
+      out.converged = true;
+      break;
+    }
+    double i_sum = 0.0;
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      const double dq_e =
+          engine.junction_transferred_e(probes[i].junction) - c0[i];
+      i_sum += probes[i].sign * kElementaryCharge * dq_e / dt;
+    }
+    out.samples.add(i_sum / static_cast<double>(probes.size()));
+
+    if (stop.convergence_enabled() && executed_total >= next_check) {
+      next_check = executed_total + check_interval;
+      // Below ~2 * kMinBinsForError samples the binned estimator has no
+      // plateau to read and the error is unreliable (or exactly 0 for a
+      // single sample) — never declare convergence that early.
+      if (out.samples.count() < 128) continue;
+      const double rel = out.samples.rel_error();
+      if (rel <= stop.target_rel_error) {
+        out.converged = true;
+        break;
+      }
+    }
+  }
+
+  out.estimate.mean = out.samples.mean();
+  out.estimate.stderr_mean = out.samples.binned_error();
+  out.estimate.sim_time = engine.time() - t_begin;
+  out.estimate.events = executed_total;
+  out.tau_int = out.samples.tau_int();
+  out.rel_error = out.samples.rel_error();
+  return out;
+}
+
 }  // namespace semsim

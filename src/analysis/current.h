@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/accumulator.h"
 
 namespace semsim {
 
@@ -48,5 +49,28 @@ CurrentEstimate measure_mean_current(Engine& engine,
 /// Single-junction convenience overload.
 CurrentEstimate measure_junction_current(Engine& engine, std::size_t junction,
                                          const CurrentMeasureConfig& cfg);
+
+/// Result of a convergence-stopped measurement (obs subsystem).
+struct ConvergedCurrentResult {
+  /// stderr_mean is the autocorrelation-aware BINNED error, not the naive
+  /// iid one.
+  CurrentEstimate estimate;
+  double tau_int = 0.5;     ///< integrated autocorrelation time (in chunks)
+  double rel_error = 0.0;   ///< binned error / |mean|
+  bool converged = false;   ///< target reached before the event cap
+  /// Per-chunk current samples; mergeable across work units in index order
+  /// (BinningAccumulator::merge) for thread-count-independent statistics.
+  BinningAccumulator samples;
+};
+
+/// Streams per-chunk current estimates (charge counting over short fixed
+/// event chunks) into a BinningAccumulator and stops as soon as the binned
+/// relative error of the mean current drops below stop.target_rel_error —
+/// checked every stop.check_interval events — or at stop.max_events.
+/// A stuck engine (deep blockade, no open channel) reports an exactly-zero
+/// converged current, like measure_mean_current.
+ConvergedCurrentResult measure_current_converged(
+    Engine& engine, const std::vector<CurrentProbe>& probes,
+    std::uint64_t warmup_events, const StopCriterion& stop);
 
 }  // namespace semsim

@@ -25,7 +25,61 @@ void merge_stats(SolverStats& into, const SolverStats& s) {
   into.source_updates += s.source_updates;
 }
 
+/// Checkpoint request from the driver options; resume_path wins and demands
+/// an existing file.
+CheckpointConfig checkpoint_config(const SimulationInput& input,
+                                   const DriverOptions& options) {
+  CheckpointConfig ckpt;
+  if (!options.resume_path.empty()) {
+    ckpt.path = options.resume_path;
+    ckpt.require_existing = true;
+  } else {
+    ckpt.path = options.checkpoint_path;
+  }
+  if (ckpt.enabled()) ckpt.fingerprint = run_fingerprint(input, options);
+  return ckpt;
+}
+
 }  // namespace
+
+std::uint64_t run_fingerprint(const SimulationInput& input,
+                              const DriverOptions& options) {
+  BinaryWriter w;
+  w.u64(input.circuit.node_count());
+  w.u64(input.circuit.junction_count());
+  for (const Junction& j : input.circuit.junctions()) {
+    w.i64(j.a);
+    w.i64(j.b);
+    w.f64(j.resistance);
+    w.f64(j.capacitance);
+  }
+  w.u64(input.circuit.capacitor_count());
+  for (const Capacitor& c : input.circuit.capacitors()) {
+    w.i64(c.a);
+    w.i64(c.b);
+    w.f64(c.capacitance);
+  }
+  w.f64(input.temperature);
+  w.u8(input.cotunneling ? 1 : 0);
+  w.u64(input.max_jumps);
+  w.u32(input.repeats);
+  w.f64(input.max_time);
+  w.u64(input.record_junctions.size());
+  for (const std::size_t j : input.record_junctions) w.u64(j);
+  w.u8(input.sweep.has_value() ? 1 : 0);
+  if (input.sweep) {
+    w.i64(input.sweep->source);
+    w.i64(input.sweep->mirror);
+    w.f64(input.sweep->max);
+    w.f64(input.sweep->step);
+  }
+  w.u64(options.seed);
+  w.u8(options.adaptive ? 1 : 0);
+  w.u64(options.stop.max_events);
+  w.f64(options.stop.target_rel_error);
+  w.u64(options.stop.check_interval);
+  return fnv1a64(w.bytes().data(), w.bytes().size());
+}
 
 DriverResult run_simulation(const SimulationInput& input,
                             const DriverOptions& options) {
@@ -39,16 +93,23 @@ DriverResult run_simulation(const SimulationInput& input,
   for (const std::size_t j : input.record_junctions) probes.push_back({j, 1.0});
 
   const ParallelExecutor exec(options.threads);
+  const CheckpointConfig ckpt = checkpoint_config(input, options);
 
   DriverResult result;
   if (input.sweep) {
     require(!probes.empty(),
             "run_simulation: sweep requires a `record` directive");
-    const IvSweepConfig cfg = sweep_config_from_input(input);
+    IvSweepConfig cfg = sweep_config_from_input(input);
+    if (options.stop.convergence_enabled()) {
+      cfg.stop = options.stop;
+      // `jumps` keeps meaning an event budget: reuse it as the hard cap
+      // when the stop criterion does not bring its own.
+      if (cfg.stop.max_events == 0) cfg.stop.max_events = input.max_jumps;
+    }
     ParallelSweepConfig par;
     par.base_seed = options.seed;
     result.sweep =
-        run_iv_sweep(input.circuit, eo, cfg, exec, par, &result.counters);
+        run_iv_sweep(input.circuit, eo, cfg, exec, par, &result.counters, ckpt);
     result.events = result.counters.events;
     // The per-unit SolverStats are merged into the counters; mirror the
     // totals into `stats` for callers that only look there.
@@ -65,13 +126,68 @@ DriverResult run_simulation(const SimulationInput& input,
     // desired simulation time is met").
     const auto wall0 = std::chrono::steady_clock::now();
     Engine engine(input.circuit, eo);
-    engine.run_until(0.1 * input.max_time);
-    const double t0 = engine.time();
+    const double warmup_t = 0.1 * input.max_time;
+    double t0 = 0.0;
     std::vector<double> q0;
-    for (const CurrentProbe& p : probes) {
-      q0.push_back(engine.junction_transferred_e(p.junction));
+    if (!ckpt.enabled()) {
+      engine.run_until(warmup_t);
+      t0 = engine.time();
+      for (const CurrentProbe& p : probes) {
+        q0.push_back(engine.junction_transferred_e(p.junction));
+      }
+      engine.run_until(input.max_time);
+    } else {
+      // Checkpointed transient: the run is cut into fixed time slices and
+      // the engine snapshot after each slice is recorded, so a crash loses
+      // at most one slice. Slicing itself perturbs the trajectory (each
+      // slice boundary clamps one waiting-time draw, and each snapshot
+      // performs a canonicalizing full refresh), so a checkpointed run is
+      // compared against a checkpointed run — interrupted + resumed is then
+      // bitwise identical to uninterrupted, because the slice grid is fixed
+      // by the configuration alone. Unit 0 is the warm-up, units 1..N the
+      // measurement slices; unit k's payload subsumes all earlier ones.
+      constexpr std::uint64_t kSlices = 32;
+      BinaryWriter fp;
+      fp.u64(ckpt.fingerprint);
+      fp.str("transient");
+      fp.u64(kSlices);
+      RunCheckpoint cp(ckpt.path,
+                       fnv1a64(fp.bytes().data(), fp.bytes().size()),
+                       kSlices + 1, ckpt.require_existing);
+      std::int64_t done = cp.last_unit();
+      if (done >= 0) {
+        const std::vector<std::uint8_t> bytes =
+            cp.payload(static_cast<std::size_t>(done));
+        BinaryReader r(bytes);
+        engine.restore(decode_engine_snapshot(r));
+        t0 = r.f64();
+        q0 = r.vec_f64();
+        r.require_done();
+      }
+      for (std::uint64_t k = static_cast<std::uint64_t>(done + 1);
+           k <= kSlices; ++k) {
+        if (k == 0) {
+          engine.run_until(warmup_t);
+          t0 = engine.time();
+          q0.clear();
+          for (const CurrentProbe& p : probes) {
+            q0.push_back(engine.junction_transferred_e(p.junction));
+          }
+        } else {
+          const double t_end =
+              k == kSlices
+                  ? input.max_time
+                  : warmup_t + static_cast<double>(k) *
+                                   (input.max_time - warmup_t) / kSlices;
+          engine.run_until(t_end);
+        }
+        BinaryWriter w;
+        encode_engine_snapshot(w, engine.snapshot());
+        w.f64(t0);
+        w.vec_f64(q0);
+        cp.record(k, w.take());
+      }
     }
-    engine.run_until(input.max_time);
     if (!probes.empty()) {
       CurrentEstimate est;
       const double dt = engine.time() - t0;
@@ -115,17 +231,81 @@ DriverResult run_simulation(const SimulationInput& input,
     CurrentEstimate estimate;
     double sim_time = 0.0;
     SolverStats stats;
+    /// Convergence mode only: the repeat's sample statistics.
+    ConvergedCurrentResult converged;
   };
+  const bool use_convergence = options.stop.convergence_enabled();
+  StopCriterion stop = options.stop;
+  if (use_convergence && stop.max_events == 0) stop.max_events = jumps;
+
+  std::unique_ptr<RunCheckpoint> cp;
+  if (ckpt.enabled()) {
+    BinaryWriter fp;
+    fp.u64(ckpt.fingerprint);
+    fp.str("repeats");
+    fp.u64(repeats);
+    cp = std::make_unique<RunCheckpoint>(
+        ckpt.path, fnv1a64(fp.bytes().data(), fp.bytes().size()), repeats,
+        ckpt.require_existing);
+  }
+  const auto encode_repeat = [&](const RepeatResult& r) {
+    BinaryWriter w;
+    w.f64(r.estimate.mean);
+    w.f64(r.estimate.stderr_mean);
+    w.f64(r.estimate.sim_time);
+    w.u64(r.estimate.events);
+    w.f64(r.sim_time);
+    encode_solver_stats(w, r.stats);
+    w.u8(use_convergence ? 1 : 0);
+    if (use_convergence) {
+      r.converged.samples.encode(w);
+      w.f64(r.converged.tau_int);
+      w.f64(r.converged.rel_error);
+      w.u8(r.converged.converged ? 1 : 0);
+    }
+    return w.take();
+  };
+  const auto decode_repeat = [&](const std::vector<std::uint8_t>& bytes) {
+    BinaryReader rd(bytes);
+    RepeatResult r;
+    r.estimate.mean = rd.f64();
+    r.estimate.stderr_mean = rd.f64();
+    r.estimate.sim_time = rd.f64();
+    r.estimate.events = rd.u64();
+    r.sim_time = rd.f64();
+    r.stats = decode_solver_stats(rd);
+    const bool has_samples = rd.u8() != 0;
+    require(has_samples == use_convergence,
+            "checkpoint: repeat payload does not match the stop criterion");
+    if (has_samples) {
+      r.converged.samples = BinningAccumulator::decode(rd);
+      r.converged.tau_int = rd.f64();
+      r.converged.rel_error = rd.f64();
+      r.converged.converged = rd.u8() != 0;
+      r.converged.estimate = r.estimate;
+    }
+    rd.require_done();
+    return r;
+  };
+
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<RepeatResult> runs_out =
       exec.map<RepeatResult>(repeats, [&](std::size_t rpt) {
+        if (cp && cp->has(rpt)) return decode_repeat(cp->payload(rpt));
         EngineOptions unit_eo = eo;
         unit_eo.seed = derive_stream_seed(options.seed, rpt);
         Engine engine(input.circuit, unit_eo, model);
         RepeatResult r;
-        r.estimate = measure_mean_current(engine, probes, cfg);
+        if (use_convergence) {
+          r.converged = measure_current_converged(engine, probes,
+                                                  cfg.warmup_events, stop);
+          r.estimate = r.converged.estimate;
+        } else {
+          r.estimate = measure_mean_current(engine, probes, cfg);
+        }
         r.sim_time = engine.time();
         r.stats = engine.stats();
+        if (cp) cp->record(rpt, encode_repeat(r));
         return r;
       });
   result.counters.threads = exec.threads();
@@ -133,16 +313,37 @@ DriverResult run_simulation(const SimulationInput& input,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
+  // Merge in repeat-index order on this thread: every statistic below is
+  // bitwise independent of the worker count.
   RunningStats runs;
+  ConvergedCurrentResult merged;
+  bool all_converged = true;
   for (const RepeatResult& r : runs_out) {
     runs.add(r.estimate.mean);
     result.simulated_time += r.sim_time;
     merge_stats(result.stats, r.stats);
     result.counters.absorb(r.stats);
+    if (use_convergence) {
+      merged.samples.merge(r.converged.samples);
+      all_converged = all_converged && r.converged.converged;
+    }
   }
   CurrentEstimate est = runs_out.back().estimate;
-  est.mean = runs.mean();
-  if (repeats > 1) est.stderr_mean = runs.stderr_mean();
+  if (use_convergence) {
+    // Across independent repeats the merged accumulator is the natural
+    // estimator: its binned error accounts for in-stream autocorrelation,
+    // which the naive spread over a handful of repeat means cannot.
+    est.mean = merged.samples.mean();
+    est.stderr_mean = merged.samples.binned_error();
+    merged.estimate = est;
+    merged.tau_int = merged.samples.tau_int();
+    merged.rel_error = merged.samples.rel_error();
+    merged.converged = all_converged;
+    result.converged = std::move(merged);
+  } else {
+    est.mean = runs.mean();
+    if (repeats > 1) est.stderr_mean = runs.stderr_mean();
+  }
   result.current = est;
   result.events = result.stats.events;
   return result;

@@ -7,11 +7,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "analysis/current.h"
 #include "analysis/sweep.h"
 #include "netlist/parser.h"
+#include "obs/checkpoint.h"
 
 namespace semsim {
 
@@ -23,6 +25,22 @@ struct DriverOptions {
   /// value: work units are seeded from (seed, unit_index), never from the
   /// executing thread (see base/thread_pool.h).
   unsigned threads = 1;
+
+  /// Convergence-based stopping (obs subsystem): when
+  /// stop.convergence_enabled(), measurements run until the binned relative
+  /// error of the current meets stop.target_rel_error instead of a fixed
+  /// `jumps` budget (which then only serves as stop.max_events fallback).
+  StopCriterion stop;
+
+  /// Non-empty enables crash-safe checkpointing to this file: completed
+  /// work units (sweep chunks, repeat runs, transient slices) are recorded
+  /// after each unit via an atomic rewrite, and a matching existing file is
+  /// resumed from. The run identity (circuit, directives, seed, solver,
+  /// stop criterion) is fingerprinted into the file; a mismatched file is
+  /// rejected with Error.
+  std::string checkpoint_path;
+  /// Like checkpoint_path, but the file MUST already exist (--resume).
+  std::string resume_path;
 };
 
 struct DriverResult {
@@ -36,7 +54,18 @@ struct DriverResult {
   /// Work/observability totals over all work units (sweep points, repeat
   /// runs), independent of the thread count except for wall_seconds.
   RunCounters counters;
+  /// Filled by the `jumps` path when convergence stopping is enabled:
+  /// the merged (index-order, thread-count-independent) sample statistics
+  /// across all repeats.
+  std::optional<ConvergedCurrentResult> converged;
 };
+
+/// Run identity hash for checkpoint files: everything that determines the
+/// sampled streams and results — circuit topology and element values,
+/// simulation directives, seed, solver choice, stop criterion — but NOT the
+/// thread count, which never affects results.
+std::uint64_t run_fingerprint(const SimulationInput& input,
+                              const DriverOptions& options);
 
 /// Runs the simulation an input file describes. Throws on structurally
 /// invalid inputs (e.g. `record` missing when a current is requested).

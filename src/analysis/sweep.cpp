@@ -25,6 +25,81 @@ double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// One bias point: fixed-budget estimator, or the convergence-stopped one
+/// when the sweep config enables it.
+IvPoint measure_point(Engine& engine, const IvSweepConfig& cfg, double bias) {
+  IvPoint p;
+  p.bias = bias;
+  if (cfg.stop.convergence_enabled()) {
+    const ConvergedCurrentResult r = measure_current_converged(
+        engine, cfg.probes, cfg.measure.warmup_events, cfg.stop);
+    p.current = r.estimate.mean;
+    p.stderr_mean = r.estimate.stderr_mean;
+    p.rel_error = r.rel_error;
+    p.tau_int = r.tau_int;
+    p.events = r.estimate.events;
+  } else {
+    const CurrentEstimate est =
+        measure_mean_current(engine, cfg.probes, cfg.measure);
+    p.current = est.mean;
+    p.stderr_mean = est.stderr_mean;
+    p.rel_error = est.mean != 0.0 ? est.stderr_mean / std::fabs(est.mean) : 0.0;
+    p.events = est.events;
+  }
+  return p;
+}
+
+void encode_iv_point(BinaryWriter& w, const IvPoint& p) {
+  w.f64(p.bias);
+  w.f64(p.current);
+  w.f64(p.stderr_mean);
+  w.f64(p.rel_error);
+  w.f64(p.tau_int);
+  w.u64(p.events);
+}
+
+IvPoint decode_iv_point(BinaryReader& r) {
+  IvPoint p;
+  p.bias = r.f64();
+  p.current = r.f64();
+  p.stderr_mean = r.f64();
+  p.rel_error = r.f64();
+  p.tau_int = r.f64();
+  p.events = r.u64();
+  return p;
+}
+
+/// The sweep checkpoint fingerprint covers everything that defines the
+/// decomposition and the per-unit RNG streams, mixed with the caller's
+/// run identity: resuming under a different sweep shape must be rejected.
+std::uint64_t sweep_checkpoint_fingerprint(const IvSweepConfig& cfg,
+                                           const ParallelSweepConfig& par,
+                                           std::size_t n_points,
+                                           std::uint64_t caller_fingerprint) {
+  BinaryWriter w;
+  w.u64(caller_fingerprint);
+  w.u64(n_points);
+  w.u64(par.points_per_unit);
+  w.u64(par.base_seed);
+  w.i64(cfg.swept);
+  w.i64(cfg.mirror);
+  w.f64(cfg.from);
+  w.f64(cfg.to);
+  w.f64(cfg.step);
+  w.u64(cfg.probes.size());
+  for (const CurrentProbe& p : cfg.probes) {
+    w.u64(p.junction);
+    w.f64(p.sign);
+  }
+  w.u64(cfg.measure.warmup_events);
+  w.u64(cfg.measure.measure_events);
+  w.u32(cfg.measure.blocks);
+  w.u64(cfg.stop.max_events);
+  w.f64(cfg.stop.target_rel_error);
+  w.u64(cfg.stop.check_interval);
+  return fnv1a64(w.bytes().data(), w.bytes().size());
+}
+
 }  // namespace
 
 std::vector<IvPoint> run_iv_sweep(Engine& engine, const IvSweepConfig& cfg) {
@@ -37,9 +112,7 @@ std::vector<IvPoint> run_iv_sweep(Engine& engine, const IvSweepConfig& cfg) {
     engine.set_dc_source(cfg.swept, v);
     if (cfg.mirror >= 0) engine.set_dc_source(cfg.mirror, -v);
     engine.rebase_time();  // blockade points can leave t at ~1e17 s
-    const CurrentEstimate est =
-        measure_mean_current(engine, cfg.probes, cfg.measure);
-    points.push_back(IvPoint{v, est.mean, est.stderr_mean});
+    points.push_back(measure_point(engine, cfg, v));
   }
   return points;
 }
@@ -49,7 +122,8 @@ std::vector<IvPoint> run_iv_sweep(const Circuit& circuit,
                                   const IvSweepConfig& cfg,
                                   const ParallelExecutor& exec,
                                   const ParallelSweepConfig& par,
-                                  RunCounters* counters) {
+                                  RunCounters* counters,
+                                  const CheckpointConfig& ckpt) {
   require(cfg.step > 0.0, "run_iv_sweep: step must be positive");
   require(cfg.to >= cfg.from, "run_iv_sweep: to < from");
   require(!cfg.probes.empty(), "run_iv_sweep: no recorded junctions");
@@ -60,6 +134,14 @@ std::vector<IvPoint> run_iv_sweep(const Circuit& circuit,
   const std::size_t n_units =
       (points.size() + par.points_per_unit - 1) / par.points_per_unit;
 
+  std::unique_ptr<RunCheckpoint> cp;
+  if (ckpt.enabled()) {
+    cp = std::make_unique<RunCheckpoint>(
+        ckpt.path,
+        sweep_checkpoint_fingerprint(cfg, par, points.size(), ckpt.fingerprint),
+        n_units, ckpt.require_existing);
+  }
+
   // Shared read-only state: one capacitance inversion for all engines, and
   // warm adjacency caches so concurrent engine construction is race-free.
   circuit.build_caches();
@@ -69,20 +151,36 @@ std::vector<IvPoint> run_iv_sweep(const Circuit& circuit,
   std::vector<SolverStats> unit_stats(n_units);
   const auto t0 = std::chrono::steady_clock::now();
   exec.for_each(n_units, [&](std::size_t u) {
+    const std::size_t begin = u * par.points_per_unit;
+    const std::size_t end = std::min(points.size(), begin + par.points_per_unit);
+    if (cp && cp->has(u)) {
+      // Chunk finished in a previous run: restore its points verbatim.
+      const std::vector<std::uint8_t> bytes = cp->payload(u);
+      BinaryReader r(bytes);
+      const std::uint64_t n = r.u64();
+      require(n == end - begin, "run_iv_sweep: checkpoint chunk size mismatch");
+      for (std::size_t i = begin; i < end; ++i) out[i] = decode_iv_point(r);
+      unit_stats[u] = decode_solver_stats(r);
+      r.require_done();
+      return;
+    }
     EngineOptions eo = options;
     eo.seed = derive_stream_seed(par.base_seed, u);
     Engine engine(circuit, eo, model);
-    const std::size_t begin = u * par.points_per_unit;
-    const std::size_t end = std::min(points.size(), begin + par.points_per_unit);
     for (std::size_t i = begin; i < end; ++i) {
       engine.set_dc_source(cfg.swept, points[i]);
       if (cfg.mirror >= 0) engine.set_dc_source(cfg.mirror, -points[i]);
       engine.rebase_time();
-      const CurrentEstimate est =
-          measure_mean_current(engine, cfg.probes, cfg.measure);
-      out[i] = IvPoint{points[i], est.mean, est.stderr_mean};
+      out[i] = measure_point(engine, cfg, points[i]);
     }
     unit_stats[u] = engine.stats();
+    if (cp) {
+      BinaryWriter w;
+      w.u64(end - begin);
+      for (std::size_t i = begin; i < end; ++i) encode_iv_point(w, out[i]);
+      encode_solver_stats(w, unit_stats[u]);
+      cp->record(u, w.take());
+    }
   });
   if (counters != nullptr) {
     counters->threads = exec.threads();

@@ -20,6 +20,7 @@
 #include "base/thread_pool.h"
 #include "core/engine.h"
 #include "netlist/parser.h"
+#include "obs/checkpoint.h"
 
 namespace semsim {
 
@@ -27,6 +28,11 @@ struct IvPoint {
   double bias = 0.0;     ///< swept source voltage [V]
   double current = 0.0;  ///< [A]
   double stderr_mean = 0.0;
+  // Filled by the convergence-stopped mode (cfg.stop.convergence_enabled());
+  // defaults describe the fixed-budget estimator.
+  double rel_error = 0.0;   ///< binned stderr / |mean|
+  double tau_int = 0.5;     ///< integrated autocorrelation time [chunks]
+  std::uint64_t events = 0; ///< measurement events spent on this point
 };
 
 struct IvSweepConfig {
@@ -37,6 +43,11 @@ struct IvSweepConfig {
   double step = 0.0;       ///< > 0
   std::vector<CurrentProbe> probes;  ///< recorded junctions (averaged)
   CurrentMeasureConfig measure;
+  /// When convergence stopping is enabled, each bias point runs until the
+  /// binned relative error of its current meets the target (or max_events),
+  /// replacing the fixed measure.measure_events budget; measure.warmup_events
+  /// still applies.
+  StopCriterion stop;
 };
 
 /// Runs the sweep in place. Points are from, from+step, ..., <= to (+eps).
@@ -57,13 +68,18 @@ struct ParallelSweepConfig {
 /// Deterministic parallel I-V sweep: one engine per chunk of points, each
 /// seeded from (base_seed, chunk_index). `counters`, when non-null, gets
 /// the solver work of all units (merged in index order) and the wall time
-/// of the parallel region.
+/// of the parallel region. When `ckpt` is enabled, every finished chunk is
+/// recorded in a RunCheckpoint at ckpt.path (atomic rewrite per unit) and
+/// chunks already present in the file are restored instead of recomputed —
+/// because chunks are pure functions of (config, chunk_index), the resumed
+/// table is bitwise identical to the uninterrupted one at any thread count.
 std::vector<IvPoint> run_iv_sweep(const Circuit& circuit,
                                   const EngineOptions& options,
                                   const IvSweepConfig& cfg,
                                   const ParallelExecutor& exec,
                                   const ParallelSweepConfig& par = {},
-                                  RunCounters* counters = nullptr);
+                                  RunCounters* counters = nullptr,
+                                  const CheckpointConfig& ckpt = {});
 
 /// Builds an IvSweepConfig from a parsed input file's sweep/record/jumps
 /// directives (paper Example Input File 1 end-to-end path).

@@ -28,6 +28,11 @@ void Xoshiro256::reseed(std::uint64_t seed) noexcept {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
+void Xoshiro256::set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+  for (int i = 0; i < 4; ++i) s_[i] = s[i];
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
 std::uint64_t Xoshiro256::uniform_below(std::uint64_t n) noexcept {
   if (n == 0) return 0;
   // Lemire's method with rejection to remove modulo bias.

@@ -6,6 +6,7 @@
 // We implement xoshiro256++ (Blackman & Vigna, 2019) from scratch.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace semsim {
@@ -52,6 +53,16 @@ class Xoshiro256 {
 
   /// Uniform integer in [0, n). Uses Lemire's unbiased multiply-shift method.
   std::uint64_t uniform_below(std::uint64_t n) noexcept;
+
+  /// Raw stream state, for checkpoint/resume (obs/checkpoint.h): restoring
+  /// an exported state continues the exact draw sequence.
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+
+  /// Restores an exported state verbatim. The all-zero state (xoshiro's
+  /// fixed point, which state() can never return) is coerced to a valid one.
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept;
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

@@ -106,6 +106,45 @@ void Engine::reset(std::uint64_t seed) {
   next_breakpoint_ = refresh_next_breakpoint();
 }
 
+EngineSnapshot Engine::snapshot() {
+  // Canonicalize: after full_update() every derived cache (v_isl_, rates_,
+  // adaptive accumulators) is an exact function of the serialized fields,
+  // and the run continuing from here matches a restore() bit for bit.
+  full_update();
+  EngineSnapshot s;
+  s.rng = rng_.state();
+  s.time = time_;
+  s.next_breakpoint = next_breakpoint_;
+  s.electrons = electrons_;
+  s.transferred_e = transferred_e_;
+  s.v_ext = v_ext_;
+  s.overridden.assign(overridden_.begin(), overridden_.end());
+  s.stats = stats_;
+  return s;
+}
+
+void Engine::restore(const EngineSnapshot& s) {
+  require(s.electrons.size() == model_.island_count(),
+          "Engine::restore: snapshot island count mismatch");
+  require(s.transferred_e.size() == circuit_.junction_count(),
+          "Engine::restore: snapshot junction count mismatch");
+  require(s.v_ext.size() == model_.external_count() &&
+              s.overridden.size() == model_.external_count(),
+          "Engine::restore: snapshot external count mismatch");
+  rng_.set_state(s.rng);
+  time_ = s.time;
+  electrons_ = s.electrons;
+  transferred_e_ = s.transferred_e;
+  v_ext_ = s.v_ext;
+  for (std::size_t e = 0; e < overridden_.size(); ++e) {
+    overridden_[e] = s.overridden[e] != 0;
+  }
+  pending_changes_.clear();
+  full_update();  // rebuild all caches from the restored state
+  stats_ = s.stats;  // after full_update: its work must not double-count
+  next_breakpoint_ = s.next_breakpoint;
+}
+
 std::vector<double> Engine::island_charges() const {
   std::vector<double> q(model_.island_count());
   for (std::size_t k = 0; k < q.size(); ++k) {

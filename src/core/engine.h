@@ -22,6 +22,7 @@
 // (options.adaptive.refresh_interval) recomputes everything from scratch.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -47,6 +48,27 @@ struct Event {
   double charge = 0.0;    ///< transferred charge [C] (-e, -2e)
   double dt = 0.0;        ///< waiting time before this event [s]
   double time = 0.0;      ///< simulation time after the event [s]
+};
+
+/// Portable engine state for crash-safe checkpoint/resume (serialized by
+/// obs/checkpoint.h). A snapshot is taken AFTER a canonicalizing full
+/// refresh, so the derived caches (island potentials, channel rates,
+/// adaptive drift accumulators, Fenwick prefix sums) are exact functions of
+/// the fields below: restore() + the same refresh reproduces the in-memory
+/// state bit for bit, and continuing from a snapshot is bitwise identical
+/// to continuing the run that took it.
+struct EngineSnapshot {
+  std::array<std::uint64_t, 4> rng{};  ///< xoshiro256++ stream state
+  double time = 0.0;                   ///< simulation clock [s]
+  /// Stored verbatim, NOT recomputed on restore: an already-processed
+  /// waveform edge sitting exactly at `time` would otherwise be reprocessed,
+  /// consuming one extra RNG draw and desynchronizing the stream.
+  double next_breakpoint = 0.0;
+  std::vector<long> electrons;             ///< per island index
+  std::vector<double> transferred_e;       ///< per junction
+  std::vector<double> v_ext;               ///< per external index
+  std::vector<std::uint8_t> overridden;    ///< set_dc_source flags
+  SolverStats stats;
 };
 
 class Engine {
@@ -95,6 +117,19 @@ class Engine {
 
   /// Returns the engine to t = 0 with all islands neutral, reseeding the RNG.
   void reset(std::uint64_t seed);
+
+  /// Captures the engine state for checkpointing. Canonicalizing: performs
+  /// a full refresh first (exact potentials, all rates recomputed, adaptive
+  /// drift discharged), so the caches need not be serialized and the run
+  /// that continues after snapshot() evolves identically to one restored
+  /// from it. In adaptive mode the refresh perturbs subsequent evolution
+  /// relative to a run that never snapshots — enable checkpointing on both
+  /// runs being compared.
+  EngineSnapshot snapshot();
+
+  /// Restores a snapshot taken from an engine over the same circuit and
+  /// options. Throws Error when the snapshot's shape does not match.
+  void restore(const EngineSnapshot& s);
 
   /// Overwrites the electron counts of the given islands and refreshes all
   /// potentials and rates. Used to start logic simulations near their DC

@@ -54,6 +54,26 @@ struct EngineOptions {
   std::uint64_t seed = 1;
 };
 
+/// Convergence-based stopping for Monte-Carlo measurements (obs subsystem):
+/// instead of a fixed event budget, run until the autocorrelation-aware
+/// (binned) relative error of the measured observable drops below a target.
+/// The stopping decision of a work unit depends only on that unit's own
+/// sample stream, so parallel runs stay bitwise thread-count independent.
+struct StopCriterion {
+  /// Hard event cap per measurement; 0 = unlimited (requires a target).
+  std::uint64_t max_events = 0;
+
+  /// Stop once binned_stderr / |mean| <= this; 0 disables convergence
+  /// stopping (the measurement then runs exactly max_events).
+  double target_rel_error = 0.0;
+
+  /// Events between convergence checks; 0 = auto (a few thousand events,
+  /// cheap relative to the simulation itself).
+  std::uint64_t check_interval = 0;
+
+  bool convergence_enabled() const noexcept { return target_rel_error > 0.0; }
+};
+
 /// Work counters for the performance evaluation (Fig. 6 discusses exactly
 /// this ratio: "the total number of tunnel rate and node potential
 /// calculations solved for the adaptive approach over ... non-adaptive").

@@ -1,5 +1,6 @@
 #include "io/table_writer.h"
 
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -41,10 +42,23 @@ void TableWriter::write(std::ostream& os) const {
 }
 
 void TableWriter::write_file(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) throw Error("TableWriter: cannot open " + path);
-  write(f);
-  if (!f) throw Error("TableWriter: write failed for " + path);
+  // Write-then-rename so an interrupted run (or a concurrent reader) never
+  // sees a half-written table: rename is atomic on POSIX filesystems.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp);
+    if (!f) throw Error("TableWriter: cannot open " + tmp);
+    write(f);
+    f.flush();
+    if (!f) {
+      std::remove(tmp.c_str());
+      throw Error("TableWriter: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("TableWriter: cannot rename " + tmp + " to " + path);
+  }
 }
 
 }  // namespace semsim

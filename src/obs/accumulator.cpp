@@ -1,0 +1,297 @@
+#include "obs/accumulator.h"
+
+#include <cmath>
+#include <limits>
+
+#include "base/error.h"
+#include "obs/checkpoint.h"
+
+namespace semsim {
+
+namespace {
+
+/// Welford single-sample update.
+void welford_add(BinningAccumulator::Level& lv, double x) noexcept {
+  ++lv.bins;
+  const double delta = x - lv.mean;
+  lv.mean += delta / static_cast<double>(lv.bins);
+  lv.m2 += delta * (x - lv.mean);
+}
+
+/// Chan's pairwise combination of two Welford states.
+void welford_merge(BinningAccumulator::Level& a,
+                   const BinningAccumulator::Level& b) noexcept {
+  if (b.bins == 0) return;
+  if (a.bins == 0) {
+    a.bins = b.bins;
+    a.mean = b.mean;
+    a.m2 = b.m2;
+    return;
+  }
+  const double na = static_cast<double>(a.bins);
+  const double nb = static_cast<double>(b.bins);
+  const double delta = b.mean - a.mean;
+  const double n = na + nb;
+  a.mean += delta * nb / n;
+  a.m2 += b.m2 + delta * delta * na * nb / n;
+  a.bins += b.bins;
+}
+
+}  // namespace
+
+// ---- BinningAccumulator ----------------------------------------------------
+
+void BinningAccumulator::add(double x) noexcept {
+  double value = x;
+  for (std::size_t l = 0;; ++l) {
+    if (l == levels_.size()) {
+      if (l >= kMaxLevels) return;  // deeper levels would never stabilize
+      levels_.emplace_back();
+    }
+    Level& lv = levels_[l];
+    welford_add(lv, value);
+    if (!lv.has_carry) {
+      lv.carry = value;
+      lv.has_carry = true;
+      return;
+    }
+    // Two entries complete a bin of 2^(l+1) raw samples; its mean ascends.
+    lv.has_carry = false;
+    value = 0.5 * (lv.carry + value);
+  }
+}
+
+void BinningAccumulator::merge(const BinningAccumulator& other) {
+  if (other.levels_.size() > levels_.size()) {
+    levels_.resize(other.levels_.size());
+  }
+  for (std::size_t l = 0; l < other.levels_.size(); ++l) {
+    welford_merge(levels_[l], other.levels_[l]);
+    // other's pending half-bin is dropped: its partner sample was never
+    // drawn, so the bin it would complete does not exist in either input.
+  }
+}
+
+std::uint64_t BinningAccumulator::count() const noexcept {
+  return levels_.empty() ? 0 : levels_[0].bins;
+}
+
+double BinningAccumulator::mean() const noexcept {
+  return levels_.empty() ? 0.0 : levels_[0].mean;
+}
+
+double BinningAccumulator::variance() const noexcept {
+  if (levels_.empty() || levels_[0].bins < 2) return 0.0;
+  return levels_[0].m2 / static_cast<double>(levels_[0].bins - 1);
+}
+
+double BinningAccumulator::naive_error() const noexcept {
+  if (levels_.empty() || levels_[0].bins < 2) return 0.0;
+  return std::sqrt(variance() / static_cast<double>(levels_[0].bins));
+}
+
+std::uint64_t BinningAccumulator::level_bins(std::size_t l) const {
+  require(l < levels_.size(), "BinningAccumulator: level out of range");
+  return levels_[l].bins;
+}
+
+double BinningAccumulator::level_error(std::size_t l) const {
+  require(l < levels_.size(), "BinningAccumulator: level out of range");
+  const Level& lv = levels_[l];
+  if (lv.bins < 2) return 0.0;
+  const double var = lv.m2 / static_cast<double>(lv.bins - 1);
+  return std::sqrt(var / static_cast<double>(lv.bins));
+}
+
+double BinningAccumulator::binned_error() const noexcept {
+  // Deepest level whose error estimate still has acceptable
+  // variance-of-variance noise; the plateau convention of ALPS-style
+  // binning analyses.
+  for (std::size_t l = levels_.size(); l-- > 0;) {
+    if (levels_[l].bins >= kMinBinsForError) return level_error(l);
+  }
+  return naive_error();
+}
+
+double BinningAccumulator::tau_int() const noexcept {
+  const double naive = naive_error();
+  if (naive <= 0.0) return 0.5;
+  const double ratio = binned_error() / naive;
+  return 0.5 * ratio * ratio;
+}
+
+double BinningAccumulator::rel_error() const noexcept {
+  const double err = binned_error();
+  const double m = std::fabs(mean());
+  if (m > 0.0) return err / m;
+  return err > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+}
+
+void BinningAccumulator::encode(BinaryWriter& w) const {
+  w.u64(levels_.size());
+  for (const Level& lv : levels_) {
+    w.u64(lv.bins);
+    w.f64(lv.mean);
+    w.f64(lv.m2);
+    w.f64(lv.carry);
+    w.u8(lv.has_carry ? 1 : 0);
+  }
+}
+
+BinningAccumulator BinningAccumulator::decode(BinaryReader& r) {
+  BinningAccumulator acc;
+  const std::uint64_t n = r.u64();
+  require(n <= kMaxLevels, "BinningAccumulator: corrupt level count");
+  acc.levels_.resize(n);
+  for (Level& lv : acc.levels_) {
+    lv.bins = r.u64();
+    lv.mean = r.f64();
+    lv.m2 = r.f64();
+    lv.carry = r.f64();
+    lv.has_carry = r.u8() != 0;
+  }
+  return acc;
+}
+
+// ---- JackknifeAccumulator --------------------------------------------------
+
+JackknifeAccumulator::JackknifeAccumulator(std::size_t components,
+                                           std::size_t blocks)
+    : components_(components) {
+  require(components >= 1, "JackknifeAccumulator: need >= 1 component");
+  require(blocks >= 2, "JackknifeAccumulator: need >= 2 blocks");
+  block_n_.assign(blocks, 0);
+  block_sum_.assign(blocks * components, 0.0);
+}
+
+void JackknifeAccumulator::add(const std::vector<double>& sample) {
+  require(sample.size() == components_,
+          "JackknifeAccumulator: component count mismatch");
+  const std::size_t b = static_cast<std::size_t>(count_ % block_n_.size());
+  ++block_n_[b];
+  for (std::size_t c = 0; c < components_; ++c) {
+    block_sum_[b * components_ + c] += sample[c];
+  }
+  ++count_;
+}
+
+void JackknifeAccumulator::add(double a, double b) {
+  require(components_ == 2, "JackknifeAccumulator: not a 2-component set");
+  add(std::vector<double>{a, b});
+}
+
+double JackknifeAccumulator::component_mean(std::size_t c) const {
+  require(c < components_, "JackknifeAccumulator: component out of range");
+  require(count_ > 0, "JackknifeAccumulator: empty");
+  double sum = 0.0;
+  for (std::size_t b = 0; b < block_n_.size(); ++b) {
+    sum += block_sum_[b * components_ + c];
+  }
+  return sum / static_cast<double>(count_);
+}
+
+double JackknifeAccumulator::estimate(const Fn& f) const {
+  std::vector<double> means(components_);
+  for (std::size_t c = 0; c < components_; ++c) means[c] = component_mean(c);
+  return f(means);
+}
+
+double JackknifeAccumulator::error(const Fn& f) const {
+  require(count_ > 0, "JackknifeAccumulator: empty");
+  std::vector<double> total(components_, 0.0);
+  for (std::size_t b = 0; b < block_n_.size(); ++b) {
+    for (std::size_t c = 0; c < components_; ++c) {
+      total[c] += block_sum_[b * components_ + c];
+    }
+  }
+  // Leave-one-block-out estimates over the non-empty blocks.
+  std::vector<double> f_out;
+  std::vector<double> loo(components_);
+  for (std::size_t b = 0; b < block_n_.size(); ++b) {
+    if (block_n_[b] == 0) continue;
+    const double n_rest = static_cast<double>(count_ - block_n_[b]);
+    if (n_rest <= 0.0) continue;  // single non-empty block: no resamples
+    for (std::size_t c = 0; c < components_; ++c) {
+      loo[c] = (total[c] - block_sum_[b * components_ + c]) / n_rest;
+    }
+    f_out.push_back(f(loo));
+  }
+  const std::size_t nb = f_out.size();
+  if (nb < 2) return 0.0;
+  double fbar = 0.0;
+  for (const double v : f_out) fbar += v;
+  fbar /= static_cast<double>(nb);
+  double ss = 0.0;
+  for (const double v : f_out) ss += (v - fbar) * (v - fbar);
+  return std::sqrt(ss * static_cast<double>(nb - 1) / static_cast<double>(nb));
+}
+
+void JackknifeAccumulator::merge(const JackknifeAccumulator& other) {
+  require(other.components_ == components_ &&
+              other.block_n_.size() == block_n_.size(),
+          "JackknifeAccumulator: merge shape mismatch");
+  count_ += other.count_;
+  for (std::size_t b = 0; b < block_n_.size(); ++b) {
+    block_n_[b] += other.block_n_[b];
+  }
+  for (std::size_t i = 0; i < block_sum_.size(); ++i) {
+    block_sum_[i] += other.block_sum_[i];
+  }
+}
+
+void JackknifeAccumulator::encode(BinaryWriter& w) const {
+  w.u64(components_);
+  w.u64(count_);
+  w.vec_u64(block_n_);
+  w.vec_f64(block_sum_);
+}
+
+JackknifeAccumulator JackknifeAccumulator::decode(BinaryReader& r) {
+  const std::uint64_t components = r.u64();
+  const std::uint64_t count = r.u64();
+  std::vector<std::uint64_t> block_n = r.vec_u64();
+  std::vector<double> block_sum = r.vec_f64();
+  require(components >= 1 && block_n.size() >= 2 &&
+              block_sum.size() == block_n.size() * components,
+          "JackknifeAccumulator: corrupt payload");
+  JackknifeAccumulator acc(components, block_n.size());
+  acc.count_ = count;
+  acc.block_n_ = std::move(block_n);
+  acc.block_sum_ = std::move(block_sum);
+  return acc;
+}
+
+// ---- ObservableSet ---------------------------------------------------------
+
+BinningAccumulator& ObservableSet::operator[](const std::string& name) {
+  return obs_[name];
+}
+
+const BinningAccumulator* ObservableSet::find(const std::string& name) const {
+  const auto it = obs_.find(name);
+  return it == obs_.end() ? nullptr : &it->second;
+}
+
+void ObservableSet::merge(const ObservableSet& other) {
+  for (const auto& [name, acc] : other.obs_) obs_[name].merge(acc);
+}
+
+void ObservableSet::encode(BinaryWriter& w) const {
+  w.u64(obs_.size());
+  for (const auto& [name, acc] : obs_) {
+    w.str(name);
+    acc.encode(w);
+  }
+}
+
+ObservableSet ObservableSet::decode(BinaryReader& r) {
+  ObservableSet set;
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    set.obs_[std::move(name)] = BinningAccumulator::decode(r);
+  }
+  return set;
+}
+
+}  // namespace semsim

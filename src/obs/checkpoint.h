@@ -1,0 +1,164 @@
+// Crash-safe checkpoint/resume for long Monte-Carlo runs (semsim_obs).
+//
+// Two layers:
+//
+//   * BinaryWriter / BinaryReader — a tiny length-prefixed little-endian
+//     binary codec. Every variable-length field carries its own length, so
+//     a truncated or bit-flipped file fails loudly (Error) instead of
+//     decoding garbage.
+//
+//   * RunCheckpoint — a versioned snapshot file holding one opaque payload
+//     per completed WORK UNIT of a run (sweep chunks, repeat seeds,
+//     transient slices). Payloads typically contain serialized engine state
+//     (RNG words, island occupations, transported charge), accumulator
+//     contents, and per-unit results. The file is rewritten atomically
+//     (temp file + rename) after every record, so a SIGKILL at any instant
+//     leaves either the previous or the new consistent snapshot — never a
+//     torn one. On open, an existing file is validated against the format
+//     version and the caller's run fingerprint and rejected with a clear
+//     Error on any mismatch, truncation, or checksum failure.
+//
+// File format (all integers little-endian):
+//
+//   u64  magic       "SEMSIMCP"
+//   u32  format version (kFormatVersion)
+//   u32  reserved (0)
+//   u64  run fingerprint (hash of everything that defines the run identity)
+//   u64  unit_count of the run
+//   u64  record_count
+//   record_count x [ u64 unit_index | u64 payload_len | payload bytes
+//                    | u64 fnv1a64(payload) ]
+//
+// Because work units are pure functions of (configuration, unit_index) —
+// the determinism contract of base/thread_pool.h — resuming from any subset
+// of completed units and recomputing the rest reproduces the uninterrupted
+// run bit for bit, at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace semsim {
+
+/// FNV-1a 64-bit hash; used for payload checksums and run fingerprints.
+std::uint64_t fnv1a64(const void* data, std::size_t n) noexcept;
+std::uint64_t fnv1a64(const std::string& s) noexcept;
+
+/// Little-endian append-only byte buffer.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);  ///< IEEE-754 bit pattern, exact round trip
+  void str(const std::string& s);
+  void vec_u64(const std::vector<std::uint64_t>& v);
+  void vec_i64(const std::vector<long>& v);
+  void vec_f64(const std::vector<double>& v);
+  void vec_u8(const std::vector<std::uint8_t>& v);
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a byte span; every overrun throws Error.
+class BinaryReader {
+ public:
+  BinaryReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<std::uint8_t>& bytes)
+      : BinaryReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+  std::vector<std::uint64_t> vec_u64();
+  std::vector<long> vec_i64();
+  std::vector<double> vec_f64();
+  std::vector<std::uint8_t> vec_u8();
+
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+  /// Throws Error if any bytes are left unconsumed (corruption guard).
+  void require_done() const;
+
+ private:
+  const std::uint8_t* need(std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Engine state serialization (RNG words, clock, island occupations,
+/// transported charge, source overrides, work counters).
+void encode_engine_snapshot(BinaryWriter& w, const EngineSnapshot& s);
+EngineSnapshot decode_engine_snapshot(BinaryReader& r);
+
+void encode_solver_stats(BinaryWriter& w, const SolverStats& s);
+SolverStats decode_solver_stats(BinaryReader& r);
+
+/// Versioned per-unit snapshot file; see the format comment above.
+/// Thread-safe: record() may be called concurrently from worker threads.
+class RunCheckpoint {
+ public:
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Binds to `path`. If the file exists it is loaded and validated
+  /// (throws Error on any mismatch or corruption); otherwise an empty
+  /// checkpoint starts. `require_existing` (--resume semantics) makes a
+  /// missing file an Error instead.
+  RunCheckpoint(std::string path, std::uint64_t fingerprint,
+                std::uint64_t unit_count, bool require_existing = false);
+
+  bool has(std::size_t unit) const;
+  /// Payload of a completed unit (copy; throws if absent).
+  std::vector<std::uint8_t> payload(std::size_t unit) const;
+  /// Highest recorded unit index, or -1 when empty (for sequential runs
+  /// where unit i subsumes all earlier ones, e.g. transient slices).
+  std::int64_t last_unit() const;
+  /// Stores (or overwrites) a unit's payload and atomically rewrites the
+  /// file. Throws Error on I/O failure or an out-of-range unit index.
+  void record(std::size_t unit, std::vector<std::uint8_t> payload);
+
+  std::size_t completed() const;
+  std::uint64_t unit_count() const noexcept { return unit_count_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  void load_file();
+  void save_locked() const;
+
+  mutable std::mutex mu_;
+  std::string path_;
+  std::uint64_t fingerprint_ = 0;
+  std::uint64_t unit_count_ = 0;
+  std::map<std::uint64_t, std::vector<std::uint8_t>> units_;
+};
+
+/// Checkpoint request the analysis drivers thread through to their parallel
+/// loops. An empty path disables checkpointing entirely.
+struct CheckpointConfig {
+  std::string path;
+  /// true = --resume semantics: the file must already exist.
+  bool require_existing = false;
+  /// Caller-side run identity (circuit, options, ...); the consumer mixes
+  /// in its own decomposition parameters before opening the file.
+  std::uint64_t fingerprint = 0;
+
+  bool enabled() const noexcept { return !path.empty(); }
+};
+
+}  // namespace semsim

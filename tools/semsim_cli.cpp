@@ -2,17 +2,22 @@
 // "Circuit information is passed to SEMSIM via an input file containing all
 // the necessary information ... the results are stored in a file."
 //
-//   semsim <input-file> [--seed N] [--threads N] [--non-adaptive]
-//          [--out FILE.tsv] [--master-check]
+//   semsim <input-file> [--seed N] [--threads N] [--repeats N]
+//          [--non-adaptive] [--out FILE.tsv] [--master-check]
+//          [--target-rel-error X] [--max-events N]
+//          [--checkpoint FILE] [--resume FILE]
 //
 // Runs the Monte-Carlo simulation an input file requests (see
 // src/netlist/parser.h for the grammar) and prints/writes the results.
 // --master-check additionally solves the steady-state master equation and
 // prints its currents next to the Monte-Carlo values (small circuits only).
+// Every value flag accepts both `--flag VALUE` and `--flag=VALUE`.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "analysis/driver.h"
@@ -25,11 +30,61 @@ namespace {
 
 void usage(const char* argv0) {
   std::printf(
-      "usage: %s <input-file> [--seed N] [--threads N] [--non-adaptive]\n"
-      "          [--out FILE.tsv] [--master-check]\n"
-      "  --threads N   worker threads for sweeps / repeated runs (0 = all\n"
-      "                cores); results are identical for every N\n",
+      "usage: %s <input-file> [--seed N] [--threads N] [--repeats N]\n"
+      "          [--non-adaptive] [--out FILE.tsv] [--master-check]\n"
+      "          [--target-rel-error X] [--max-events N]\n"
+      "          [--checkpoint FILE] [--resume FILE]\n"
+      "  --threads N          worker threads for sweeps / repeated runs\n"
+      "                       (0 = all cores); results are identical for\n"
+      "                       every N\n"
+      "  --repeats N          override the input file's `jumps` repeat count\n"
+      "  --target-rel-error X run each measurement until its binned relative\n"
+      "                       error (autocorrelation-aware) drops below X\n"
+      "  --max-events N       hard per-measurement event cap for\n"
+      "                       --target-rel-error\n"
+      "  --checkpoint FILE    record completed work units to FILE (crash\n"
+      "                       safe; an existing matching file is resumed)\n"
+      "  --resume FILE        like --checkpoint, but FILE must exist\n",
       argv0);
+}
+
+/// Matches `--name VALUE` (consuming the next argv) or `--name=VALUE`.
+bool flag_value(const std::string& a, const char* name, int argc, char** argv,
+                int& i, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (a.compare(0, len, name) == 0 && a.size() > len && a[len] == '=') {
+    *value = a.substr(len + 1);
+    return true;
+  }
+  if (a == name && i + 1 < argc) {
+    *value = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+/// Strict decimal parse; anything but a plain non-negative integer is fatal.
+std::uint64_t parse_u64(const char* flag, const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      text.find('-') != std::string::npos) {
+    std::fprintf(stderr, "%s: not a non-negative integer: %s\n", flag,
+                 text.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+double parse_f64(const char* flag, const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    std::fprintf(stderr, "%s: not a number: %s\n", flag, text.c_str());
+    std::exit(2);
+  }
+  return v;
 }
 
 }  // namespace
@@ -38,23 +93,40 @@ int main(int argc, char** argv) {
   std::string input_path;
   std::string out_path;
   DriverOptions opt;
+  std::optional<std::uint32_t> repeats_override;
   bool master_check = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--seed" && i + 1 < argc) {
-      opt.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (a == "--threads" && i + 1 < argc) {
-      char* end = nullptr;
-      opt.threads = static_cast<unsigned>(std::strtoul(argv[++i], &end, 10));
-      if (end == argv[i] || *end != '\0') {
-        std::fprintf(stderr, "--threads: not a number: %s\n", argv[i]);
+    std::string v;
+    if (flag_value(a, "--seed", argc, argv, i, &v)) {
+      opt.seed = parse_u64("--seed", v);
+    } else if (flag_value(a, "--threads", argc, argv, i, &v)) {
+      opt.threads = static_cast<unsigned>(parse_u64("--threads", v));
+    } else if (flag_value(a, "--repeats", argc, argv, i, &v)) {
+      const std::uint64_t n = parse_u64("--repeats", v);
+      if (n == 0 || n > 0xFFFFFFFFULL) {
+        std::fprintf(stderr, "--repeats: out of range: %s\n", v.c_str());
         return 2;
       }
+      repeats_override = static_cast<std::uint32_t>(n);
+    } else if (flag_value(a, "--target-rel-error", argc, argv, i, &v)) {
+      opt.stop.target_rel_error = parse_f64("--target-rel-error", v);
+      if (!(opt.stop.target_rel_error > 0.0)) {
+        std::fprintf(stderr, "--target-rel-error: must be > 0: %s\n",
+                     v.c_str());
+        return 2;
+      }
+    } else if (flag_value(a, "--max-events", argc, argv, i, &v)) {
+      opt.stop.max_events = parse_u64("--max-events", v);
+    } else if (flag_value(a, "--checkpoint", argc, argv, i, &v)) {
+      opt.checkpoint_path = v;
+    } else if (flag_value(a, "--resume", argc, argv, i, &v)) {
+      opt.resume_path = v;
     } else if (a == "--non-adaptive") {
       opt.adaptive = false;
-    } else if (a == "--out" && i + 1 < argc) {
-      out_path = argv[++i];
+    } else if (flag_value(a, "--out", argc, argv, i, &v)) {
+      out_path = v;
     } else if (a == "--master-check") {
       master_check = true;
     } else if (a == "--help" || a == "-h") {
@@ -74,7 +146,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const SimulationInput input = parse_simulation_file(input_path);
+    SimulationInput input = parse_simulation_file(input_path);
+    if (repeats_override) input.repeats = *repeats_override;
     std::printf("# %s: %zu nodes, %zu junctions, T = %g K, %s solver%s\n",
                 input_path.c_str(), input.circuit.node_count(),
                 input.circuit.junction_count(), input.temperature,
@@ -84,11 +157,13 @@ int main(int argc, char** argv) {
     const DriverResult r = run_simulation(input, opt);
 
     if (!r.sweep.empty()) {
-      TableWriter table({"v_swept_V", "current_A", "stderr_A"});
+      TableWriter table({"v_swept_V", "current_A", "stderr_A", "rel_err",
+                         "tau_int", "events"});
       table.add_comment("semsim sweep of node " +
                         std::to_string(input.sweep->source));
       for (const IvPoint& p : r.sweep) {
-        table.add_row({p.bias, p.current, p.stderr_mean});
+        table.add_row({p.bias, p.current, p.stderr_mean, p.rel_error,
+                       p.tau_int, static_cast<double>(p.events)});
       }
       if (!out_path.empty()) {
         table.write_file(out_path);
@@ -102,6 +177,15 @@ int main(int argc, char** argv) {
                   r.current->mean, r.current->stderr_mean,
                   static_cast<unsigned long long>(r.events),
                   r.simulated_time);
+      if (r.converged) {
+        std::printf(
+            "# convergence: rel_err = %.3e (target %.3e, %s), tau_int = "
+            "%.2f, %llu samples\n",
+            r.converged->rel_error, opt.stop.target_rel_error,
+            r.converged->converged ? "reached" : "event cap hit",
+            r.converged->tau_int,
+            static_cast<unsigned long long>(r.converged->samples.count()));
+      }
       if (!out_path.empty()) {
         TableWriter table({"current_A", "stderr_A", "events", "sim_time_s"});
         table.add_row({r.current->mean, r.current->stderr_mean,
