@@ -11,8 +11,27 @@
 
 #include "core/options.h"
 #include "io/table_writer.h"
+#include "netlist/circuit.h"
 
 namespace semsim::bench {
+
+/// A chain of isolated SET stages (the Fig. 4 / Fig. 6 scaling scenario):
+/// n stages = 2n junctions and n islands, biased at +-10 mV. Shared by the
+/// step micro-benchmarks and the perf gate so both time the same circuit.
+inline Circuit chain_circuit(int stages) {
+  Circuit c;
+  const NodeId vp = c.add_external("vp");
+  const NodeId vn = c.add_external("vn");
+  c.set_source(vp, Waveform::dc(0.01));
+  c.set_source(vn, Waveform::dc(-0.01));
+  for (int s = 0; s < stages; ++s) {
+    const NodeId i = c.add_island();
+    c.add_junction(vp, i, 1e6, 1e-18);
+    c.add_junction(i, vn, 1e6, 1e-18);
+    c.add_capacitor(i, Circuit::kGroundNode, 20e-18);
+  }
+  return c;
+}
 
 struct BenchArgs {
   bool full = false;        ///< paper-fidelity event counts / grids

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "base/constants.h"
+#include "bench_util.h"
 #include "base/fenwick.h"
 #include "base/random.h"
 #include "core/engine.h"
@@ -84,25 +85,8 @@ void BM_FenwickSetAndSample(benchmark::State& state) {
 }
 BENCHMARK(BM_FenwickSetAndSample)->Arg(64)->Arg(1024)->Arg(16384);
 
-// A chain of isolated SET stages (the Fig. 4 scenario): n stages = 2n
-// junctions, n islands.
-Circuit make_chain(int stages) {
-  Circuit c;
-  const NodeId vp = c.add_external("vp");
-  const NodeId vn = c.add_external("vn");
-  c.set_source(vp, Waveform::dc(0.01));
-  c.set_source(vn, Waveform::dc(-0.01));
-  for (int s = 0; s < stages; ++s) {
-    const NodeId i = c.add_island();
-    c.add_junction(vp, i, 1e6, 1e-18);
-    c.add_junction(i, vn, 1e6, 1e-18);
-    c.add_capacitor(i, Circuit::kGroundNode, 20e-18);
-  }
-  return c;
-}
-
 void BM_EngineStepAdaptive(benchmark::State& state) {
-  const Circuit c = make_chain(static_cast<int>(state.range(0)));
+  const Circuit c = bench::chain_circuit(static_cast<int>(state.range(0)));
   EngineOptions o;
   o.temperature = 0.0;
   o.adaptive.enabled = true;
@@ -115,7 +99,7 @@ void BM_EngineStepAdaptive(benchmark::State& state) {
 BENCHMARK(BM_EngineStepAdaptive)->Arg(8)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_EngineStepNonAdaptive(benchmark::State& state) {
-  const Circuit c = make_chain(static_cast<int>(state.range(0)));
+  const Circuit c = bench::chain_circuit(static_cast<int>(state.range(0)));
   EngineOptions o;
   o.temperature = 0.0;
   o.adaptive.enabled = false;

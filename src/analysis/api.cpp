@@ -1,0 +1,143 @@
+#include "analysis/api.h"
+
+#include <cstdio>
+
+#include "base/random.h"
+#include "io/json.h"
+
+namespace semsim {
+
+namespace {
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void write_solver_stats(JsonWriter& w, const SolverStats& s) {
+  w.begin_object();
+  w.field("events", s.events);
+  w.field("rate_evaluations", s.rate_evaluations);
+  w.field("cp_rate_evaluations", s.cp_rate_evaluations);
+  w.field("cot_rate_evaluations", s.cot_rate_evaluations);
+  w.field("potential_node_updates", s.potential_node_updates);
+  w.field("junctions_tested", s.junctions_tested);
+  w.field("junctions_flagged", s.junctions_flagged);
+  w.field("full_refreshes", s.full_refreshes);
+  w.field("source_updates", s.source_updates);
+  w.end_object();
+}
+
+void write_run_counters(JsonWriter& w, const RunCounters& c) {
+  w.begin_object();
+  w.field("threads", c.threads);
+  w.field("units", c.units);
+  w.field("events", c.events);
+  w.field("rate_evaluations", c.rate_evaluations);
+  w.field("flags_raised", c.flags_raised);
+  w.field("full_refreshes", c.full_refreshes);
+  w.field("wall_seconds", c.wall_seconds);
+  w.end_object();
+}
+
+}  // namespace
+
+DriverOptions RunRequest::driver_options() const {
+  DriverOptions o;
+  o.seed = seed;
+  o.adaptive = adaptive;
+  o.threads = threads;
+  o.stop = stop;
+  o.checkpoint_path = checkpoint_path;
+  o.resume_path = resume_path;
+  return o;
+}
+
+EngineOptions RunRequest::engine_options() const {
+  return engine_options_for(input, driver_options());
+}
+
+std::uint64_t RunRequest::fingerprint() const {
+  return run_fingerprint(input, driver_options());
+}
+
+RunResult run(const RunRequest& request) {
+  RunResult r;
+  r.driver = run_simulation(request.input, request.driver_options());
+  r.fingerprint = request.fingerprint();
+  r.seed = request.seed;
+  r.adaptive = request.adaptive;
+  r.threads = request.threads;
+  return r;
+}
+
+std::string RunResult::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", kJsonSchema);
+  w.field("fingerprint", hex_u64(fingerprint));
+  w.field("seed", seed);
+  w.field("adaptive", adaptive);
+  w.field("threads", threads);
+  w.field("events", driver.events);
+  w.field("simulated_time_s", driver.simulated_time);
+
+  if (driver.current) {
+    w.key("current").begin_object();
+    w.field("mean_A", driver.current->mean);
+    w.field("stderr_A", driver.current->stderr_mean);
+    w.field("sim_time_s", driver.current->sim_time);
+    w.field("events", driver.current->events);
+    w.end_object();
+  }
+  if (driver.converged) {
+    w.key("convergence").begin_object();
+    w.field("rel_error", driver.converged->rel_error);
+    w.field("tau_int", driver.converged->tau_int);
+    w.field("converged", driver.converged->converged);
+    w.field("samples", driver.converged->samples.count());
+    w.end_object();
+  }
+  if (!driver.sweep.empty()) {
+    w.key("sweep").begin_array();
+    for (const IvPoint& p : driver.sweep) {
+      w.begin_object();
+      w.field("bias_V", p.bias);
+      w.field("current_A", p.current);
+      w.field("stderr_A", p.stderr_mean);
+      w.field("rel_error", p.rel_error);
+      w.field("tau_int", p.tau_int);
+      w.field("events", p.events);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  w.key("stats");
+  write_solver_stats(w, driver.stats);
+  w.key("counters");
+  write_run_counters(w, driver.counters);
+  w.end_object();
+  return w.take();
+}
+
+EngineOptions engine_options_for(const SimulationInput& input,
+                                 const DriverOptions& options) {
+  EngineOptions eo;
+  eo.temperature = input.temperature;
+  eo.cotunneling = input.cotunneling;
+  eo.adaptive.enabled = options.adaptive;
+  eo.seed = options.seed;
+  return eo;
+}
+
+Engine make_unit_engine(const Circuit& circuit, const EngineOptions& base,
+                        std::uint64_t base_seed, std::size_t unit,
+                        std::shared_ptr<const ElectrostaticModel> model) {
+  EngineOptions eo = base;
+  eo.seed = derive_stream_seed(base_seed, unit);
+  return Engine(circuit, eo, std::move(model));
+}
+
+}  // namespace semsim

@@ -1,0 +1,95 @@
+// The single stable entry point for running a simulation.
+//
+// Every front end used to hand-assemble Engine + EngineOptions +
+// StopCriterion slightly differently (the CLI, the driver's transient and
+// repeats paths, the parallel sweep, the benches). This header collapses
+// that into one request/response pair in the style of the ALPS/VWSIM
+// simulation facades:
+//
+//   RunRequest req;
+//   req.input = parse_simulation_file("set.sem");
+//   req.seed = 42;
+//   RunResult res = run(req);
+//   res.to_json();   // versioned machine-readable document
+//
+// plus the two helpers the drivers themselves are built on —
+// engine_options_for() (one place that maps input + options to
+// EngineOptions) and make_unit_engine() (one place that seeds a work
+// unit's engine from (base_seed, unit)).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "analysis/driver.h"
+#include "core/engine.h"
+
+namespace semsim {
+
+/// Everything that defines a run: the parsed input (circuit + directives)
+/// and the solver/stop/parallelism knobs the CLI exposes.
+struct RunRequest {
+  SimulationInput input;
+
+  std::uint64_t seed = 1;
+  bool adaptive = true;   ///< false = conventional non-adaptive solver
+  /// Worker threads (0 = all hardware threads); results are bitwise
+  /// identical for every value.
+  unsigned threads = 1;
+  /// Convergence-based stopping; see DriverOptions::stop.
+  StopCriterion stop;
+  /// Crash-safe checkpointing; see DriverOptions.
+  std::string checkpoint_path;
+  std::string resume_path;
+
+  /// The equivalent DriverOptions (exact field-for-field mapping).
+  DriverOptions driver_options() const;
+  /// The EngineOptions every engine of this run starts from.
+  EngineOptions engine_options() const;
+  /// Run identity hash (same value as run_fingerprint on the equivalent
+  /// DriverOptions): covers circuit, directives, seed, solver and stop
+  /// criterion, but never the thread count.
+  std::uint64_t fingerprint() const;
+};
+
+/// A completed run: the driver payload plus the request identity, ready to
+/// serialize.
+struct RunResult {
+  /// Version tag carried by every to_json() document. Bump the suffix when
+  /// a field changes meaning or disappears; adding fields is compatible.
+  static constexpr const char* kJsonSchema = "semsim.run_result/v1";
+
+  DriverResult driver;
+  std::uint64_t fingerprint = 0;  ///< RunRequest::fingerprint() of the run
+  std::uint64_t seed = 0;
+  bool adaptive = true;
+  unsigned threads = 1;
+
+  /// Versioned machine-readable document: schema tag, run identity
+  /// (fingerprint as a hex string — JSON numbers cannot carry 64 bits),
+  /// currents with rel_err/tau_int/events, sweep table, solver stats and
+  /// run counters. Parse with JsonValue::parse (io/json.h).
+  std::string to_json() const;
+};
+
+/// Runs the simulation a request describes. Throws on structurally invalid
+/// inputs, exactly like run_simulation.
+RunResult run(const RunRequest& request);
+
+/// One place that derives the engine configuration from a parsed input and
+/// driver options: temperature and cotunneling come from the input file,
+/// solver choice and base seed from the options.
+EngineOptions engine_options_for(const SimulationInput& input,
+                                 const DriverOptions& options);
+
+/// Engine for work unit `unit` of a parallel run: `base` with its seed
+/// replaced by derive_stream_seed(base_seed, unit), sharing `model` (one
+/// capacitance inversion across all units; pass nullptr to build privately).
+/// Unit engines are what make sweeps and multi-seed runs bitwise
+/// thread-count independent: the stream depends on the unit index only.
+Engine make_unit_engine(const Circuit& circuit, const EngineOptions& base,
+                        std::uint64_t base_seed, std::size_t unit,
+                        std::shared_ptr<const ElectrostaticModel> model);
+
+}  // namespace semsim

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <memory>
 
+#include "analysis/api.h"
 #include "base/constants.h"
 #include "base/error.h"
 #include "base/math_util.h"
@@ -83,11 +84,7 @@ std::uint64_t run_fingerprint(const SimulationInput& input,
 
 DriverResult run_simulation(const SimulationInput& input,
                             const DriverOptions& options) {
-  EngineOptions eo;
-  eo.temperature = input.temperature;
-  eo.cotunneling = input.cotunneling;
-  eo.adaptive.enabled = options.adaptive;
-  eo.seed = options.seed;
+  const EngineOptions eo = engine_options_for(input, options);
 
   std::vector<CurrentProbe> probes;
   for (const std::size_t j : input.record_junctions) probes.push_back({j, 1.0});
@@ -292,9 +289,8 @@ DriverResult run_simulation(const SimulationInput& input,
   const std::vector<RepeatResult> runs_out =
       exec.map<RepeatResult>(repeats, [&](std::size_t rpt) {
         if (cp && cp->has(rpt)) return decode_repeat(cp->payload(rpt));
-        EngineOptions unit_eo = eo;
-        unit_eo.seed = derive_stream_seed(options.seed, rpt);
-        Engine engine(input.circuit, unit_eo, model);
+        Engine engine =
+            make_unit_engine(input.circuit, eo, options.seed, rpt, model);
         RepeatResult r;
         if (use_convergence) {
           r.converged = measure_current_converged(engine, probes,

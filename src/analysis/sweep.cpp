@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 
+#include "analysis/api.h"
 #include "base/error.h"
 #include "base/random.h"
 
@@ -164,9 +165,7 @@ std::vector<IvPoint> run_iv_sweep(const Circuit& circuit,
       r.require_done();
       return;
     }
-    EngineOptions eo = options;
-    eo.seed = derive_stream_seed(par.base_seed, u);
-    Engine engine(circuit, eo, model);
+    Engine engine = make_unit_engine(circuit, options, par.base_seed, u, model);
     for (std::size_t i = begin; i < end; ++i) {
       engine.set_dc_source(cfg.swept, points[i]);
       if (cfg.mirror >= 0) engine.set_dc_source(cfg.mirror, -points[i]);
@@ -245,9 +244,7 @@ std::vector<std::vector<double>> run_stability_map(
   std::vector<SolverStats> unit_stats(cfg.gate_values.size());
   const auto t0 = std::chrono::steady_clock::now();
   exec.for_each(cfg.gate_values.size(), [&](std::size_t g) {
-    EngineOptions eo = options;
-    eo.seed = derive_stream_seed(par.base_seed, g);
-    Engine engine(circuit, eo, model);
+    Engine engine = make_unit_engine(circuit, options, par.base_seed, g, model);
     engine.set_dc_source(cfg.gate_node, cfg.gate_values[g]);
     for (std::size_t b = 0; b < cfg.bias_values.size(); ++b) {
       const double v = cfg.bias_values[b];

@@ -44,6 +44,38 @@ class FenwickTree {
     }
   }
 
+  /// Batched set: exactly equivalent to calling set(indices[k], weights[k])
+  /// for k = 0..n-1 in order — including bitwise: every affected tree node
+  /// accumulates the same deltas in the same order, which the engine's
+  /// reproducibility contract depends on — but as one bottom-up pass over
+  /// the affected paths with a single dispatch and bounds check. Used by
+  /// the engine to commit flagged-subset and source-delta rate batches.
+  /// Duplicate indices are legal and apply in order.
+  void set_many(const std::size_t* indices, const double* weights,
+                std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      require(indices[k] < values_.size(),
+              "FenwickTree::set_many: index out of range");
+      require(weights[k] >= 0.0, "FenwickTree::set_many: negative weight");
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = indices[k];
+      const double delta = weights[k] - values_[i];
+      if (delta == 0.0) continue;
+      values_[i] = weights[k];
+      for (std::size_t t = i + 1; t < tree_.size(); t += t & (~t + 1)) {
+        tree_[t] += delta;
+      }
+    }
+  }
+
+  void set_many(const std::vector<std::size_t>& indices,
+                const std::vector<double>& weights) {
+    require(indices.size() == weights.size(),
+            "FenwickTree::set_many: size mismatch");
+    set_many(indices.data(), weights.data(), indices.size());
+  }
+
   /// Sum of weights of channels [0, i). O(log n).
   double prefix_sum(std::size_t i) const {
     double s = 0.0;

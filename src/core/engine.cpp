@@ -36,13 +36,47 @@ Engine::Engine(const Circuit& circuit, EngineOptions options,
 
   rates_.reset(channel_count());
   rate_buf_.resize(channel_count(), 0.0);
-  electrons_.assign(model_.island_count(), 0);
-  v_isl_.assign(model_.island_count(), 0.0);
-  v_ext_.assign(model_.external_count(), 0.0);
-  overridden_.assign(model_.external_count(), false);
+  n_isl_ = model_.island_count();
+  n_ext_ = model_.external_count();
+  electrons_.assign(n_isl_, 0);
+  // Unified potential array: islands, externals, then one ground slot that
+  // stays 0 V forever.
+  node_v_.assign(n_isl_ + n_ext_ + 1, 0.0);
+  overridden_.assign(n_ext_, false);
   transferred_e_.assign(circuit.junction_count(), 0.0);
-  node_epoch_.assign(model_.island_count(), 0);
-  node_dv_.assign(model_.island_count(), 0.0);
+  node_epoch_.assign(n_isl_, 0);
+  node_dv_.assign(n_isl_, 0.0);
+  charge_buf_.assign(n_isl_, 0.0);
+
+  // Resolve every channel endpoint to a node_v_ slot once, so the hot loop
+  // never touches a NodeId -> index map again.
+  const auto slot_of = [&](NodeId n) -> std::uint32_t {
+    const int k = model_.island_index(n);
+    if (k >= 0) return static_cast<std::uint32_t>(k);
+    const int e = model_.external_index(n);
+    if (e >= 0) return static_cast<std::uint32_t>(n_isl_ + static_cast<std::size_t>(e));
+    return static_cast<std::uint32_t>(n_isl_ + n_ext_);  // ground
+  };
+  slot_a_.resize(circuit.junction_count());
+  slot_b_.resize(circuit.junction_count());
+  for (std::size_t j = 0; j < circuit.junction_count(); ++j) {
+    slot_a_[j] = slot_of(circuit.junction(j).a);
+    slot_b_[j] = slot_of(circuit.junction(j).b);
+  }
+  cot_slot_.reserve(3 * calc_.cotunneling_paths().size());
+  for (const CotunnelingPath& p : calc_.cotunneling_paths()) {
+    cot_slot_.push_back(slot_of(p.from));
+    cot_slot_.push_back(slot_of(p.via));
+    cot_slot_.push_back(slot_of(p.to));
+  }
+
+  // Event-loop scratch, sized so the steady state never reallocates.
+  fen_idx_.reserve(2 * circuit.junction_count());
+  fen_val_.reserve(2 * circuit.junction_count());
+  seed_buf_.reserve(2 * circuit.junction_count());
+  flagged_buf_.reserve(circuit.junction_count());
+  touched_nodes_.reserve(n_isl_);
+  pending_changes_.reserve(n_ext_);
 
   // Seed sets for source steps: junctions adjacent to the stepped lead or to
   // any node it couples to capacitively (a gate capacitor couples an input
@@ -96,18 +130,18 @@ void Engine::reset(std::uint64_t seed) {
   rng_.reseed(seed);
   time_ = 0.0;
   stats_ = SolverStats{};
-  electrons_.assign(model_.island_count(), 0);
+  electrons_.assign(n_isl_, 0);
   transferred_e_.assign(circuit_.junction_count(), 0.0);
-  overridden_.assign(model_.external_count(), false);
-  for (std::size_t e = 0; e < model_.external_count(); ++e) {
-    v_ext_[e] = circuit_.source(model_.external_node(e)).value(0.0);
+  overridden_.assign(n_ext_, false);
+  for (std::size_t e = 0; e < n_ext_; ++e) {
+    node_v_[n_isl_ + e] = circuit_.source(model_.external_node(e)).value(0.0);
   }
   full_update();
   next_breakpoint_ = refresh_next_breakpoint();
 }
 
 EngineSnapshot Engine::snapshot() {
-  // Canonicalize: after full_update() every derived cache (v_isl_, rates_,
+  // Canonicalize: after full_update() every derived cache (node_v_, rates_,
   // adaptive accumulators) is an exact function of the serialized fields,
   // and the run continuing from here matches a restore() bit for bit.
   full_update();
@@ -117,7 +151,8 @@ EngineSnapshot Engine::snapshot() {
   s.next_breakpoint = next_breakpoint_;
   s.electrons = electrons_;
   s.transferred_e = transferred_e_;
-  s.v_ext = v_ext_;
+  s.v_ext.assign(node_v_.begin() + static_cast<std::ptrdiff_t>(n_isl_),
+                 node_v_.begin() + static_cast<std::ptrdiff_t>(n_isl_ + n_ext_));
   s.overridden.assign(overridden_.begin(), overridden_.end());
   s.stats = stats_;
   return s;
@@ -135,7 +170,8 @@ void Engine::restore(const EngineSnapshot& s) {
   time_ = s.time;
   electrons_ = s.electrons;
   transferred_e_ = s.transferred_e;
-  v_ext_ = s.v_ext;
+  std::copy(s.v_ext.begin(), s.v_ext.end(),
+            node_v_.begin() + static_cast<std::ptrdiff_t>(n_isl_));
   for (std::size_t e = 0; e < overridden_.size(); ++e) {
     overridden_[e] = s.overridden[e] != 0;
   }
@@ -145,14 +181,13 @@ void Engine::restore(const EngineSnapshot& s) {
   next_breakpoint_ = s.next_breakpoint;
 }
 
-std::vector<double> Engine::island_charges() const {
-  std::vector<double> q(model_.island_count());
-  for (std::size_t k = 0; k < q.size(); ++k) {
+void Engine::island_charges_into(std::vector<double>& q) const {
+  q.resize(n_isl_);
+  for (std::size_t k = 0; k < n_isl_; ++k) {
     const NodeId node = model_.island_node(k);
     q[k] = kElementaryCharge *
            (circuit_.background_charge_e(node) - static_cast<double>(electrons_[k]));
   }
-  return q;
 }
 
 long Engine::electron_count(NodeId n) const {
@@ -163,95 +198,116 @@ long Engine::electron_count(NodeId n) const {
 
 double Engine::node_voltage(NodeId n) const {
   const int k = model_.island_index(n);
-  if (k >= 0) return v_isl_[static_cast<std::size_t>(k)];
+  if (k >= 0) return node_v_[static_cast<std::size_t>(k)];
   const int e = model_.external_index(n);
-  if (e >= 0) return v_ext_[static_cast<std::size_t>(e)];
+  if (e >= 0) return node_v_[n_isl_ + static_cast<std::size_t>(e)];
   return 0.0;
 }
 
 void Engine::full_update() {
-  v_isl_ = model_.island_potentials(island_charges(), v_ext_);
-  stats_.potential_node_updates += model_.island_count();
+  island_charges_into(charge_buf_);
+  model_.island_potentials_into(charge_buf_.data(), node_v_.data() + n_isl_,
+                                node_v_.data());
+  stats_.potential_node_updates += n_isl_;
   recompute_all_rates();
   adaptive_.reset_accumulators();
   ++stats_.full_refreshes;
 }
 
 void Engine::recompute_all_rates() {
+  // Linear walk over the SoA channel state: voltages come from node_v_ via
+  // the precomputed endpoint slots, parameters from the calculator's
+  // per-junction arrays. No Junction structs, no NodeId resolution.
   const std::size_t j_count = circuit_.junction_count();
+  const double* v = node_v_.data();
+  const std::uint32_t* sa = slot_a_.data();
+  const std::uint32_t* sb = slot_b_.data();
   for (std::size_t j = 0; j < j_count; ++j) {
-    const Junction& jn = circuit_.junction(j);
-    const double va = junction_node_voltage(jn.a);
-    const double vb = junction_node_voltage(jn.b);
-    const ChannelRates r = calc_.junction_rates(j, va, vb);
+    const ChannelRates r = calc_.junction_rates(j, v[sa[j]], v[sb[j]]);
     rate_buf_[2 * j] = r.rate_fw;
     rate_buf_[2 * j + 1] = r.rate_bw;
-    adaptive_.store_dw(j, r.dw_fw, r.dw_bw);
+    // The accumulators are only ever read on the adaptive path; skipping the
+    // stores in non-adaptive mode cannot change any trajectory.
+    if (adaptive_active_) adaptive_.store_dw(j, r.dw_fw, r.dw_bw);
   }
   stats_.rate_evaluations += 2 * j_count;
 
   if (calc_.superconducting() && calc_.gap() > 0.0) {
     for (std::size_t j = 0; j < j_count; ++j) {
-      const Junction& jn = circuit_.junction(j);
-      const ChannelRates r = calc_.cooper_pair_rates(
-          j, junction_node_voltage(jn.a), junction_node_voltage(jn.b));
+      const ChannelRates r = calc_.cooper_pair_rates(j, v[sa[j]], v[sb[j]]);
       rate_buf_[2 * j_count + 2 * j] = r.rate_fw;
       rate_buf_[2 * j_count + 2 * j + 1] = r.rate_bw;
     }
     stats_.cp_rate_evaluations += 2 * j_count;
   }
-  const std::size_t cot_base = channel_count() - calc_.cotunneling_paths().size();
-  for (std::size_t p = 0; p < calc_.cotunneling_paths().size(); ++p) {
-    const CotunnelingPath& path = calc_.cotunneling_paths()[p];
+  const std::size_t n_paths = calc_.cotunneling_paths().size();
+  const std::size_t cot_base = channel_count() - n_paths;
+  for (std::size_t p = 0; p < n_paths; ++p) {
     rate_buf_[cot_base + p] = calc_.cotunneling_path_rate(
-        path, junction_node_voltage(path.from), junction_node_voltage(path.via),
-        junction_node_voltage(path.to));
+        calc_.cotunneling_paths()[p], v[cot_slot_[3 * p]],
+        v[cot_slot_[3 * p + 1]], v[cot_slot_[3 * p + 2]]);
   }
-  stats_.cot_rate_evaluations += calc_.cotunneling_paths().size();
+  stats_.cot_rate_evaluations += n_paths;
 
   rates_.set_all(rate_buf_);
 }
 
 void Engine::apply_charge_move_everywhere(NodeId from, NodeId to, double q) {
-  // dv_k = q (kappa[k][to] - kappa[k][from]); exact, O(islands).
+  // dv_k = q (kappa[k][to] - kappa[k][from]); exact, O(islands). kappa is
+  // bitwise symmetric (the Cholesky inverse mirrors its lower triangle), so
+  // the column of the departed/arrived island is read as the matching ROW:
+  // identical bits, contiguous memory instead of a cache miss per entry on
+  // large circuits. Two separate passes, `from` first — fusing them would
+  // reorder the additions and break bitwise reproducibility.
   const int kf = model_.island_index(from);
   const int kt = model_.island_index(to);
-  if (kf >= 0) model_.add_charge_delta(from, -q, v_isl_);
-  if (kt >= 0) model_.add_charge_delta(to, q, v_isl_);
-  stats_.potential_node_updates += model_.island_count();
+  double* v = node_v_.data();
+  if (kf >= 0) {
+    const double* row = model_.kappa_row(static_cast<std::size_t>(kf));
+    const double dq = -q;
+    for (std::size_t k = 0; k < n_isl_; ++k) v[k] += row[k] * dq;
+  }
+  if (kt >= 0) {
+    const double* row = model_.kappa_row(static_cast<std::size_t>(kt));
+    for (std::size_t k = 0; k < n_isl_; ++k) v[k] += row[k] * q;
+  }
+  // Lead-to-lead moves leave every island potential untouched.
+  if (kf >= 0 || kt >= 0) stats_.potential_node_updates += n_isl_;
 }
 
-void Engine::recompute_junction(std::size_t j) {
-  const Junction& jn = circuit_.junction(j);
-  const double va = junction_node_voltage(jn.a);
-  const double vb = junction_node_voltage(jn.b);
-  const ChannelRates r = calc_.junction_rates(j, va, vb);
-  rates_.set(2 * j, r.rate_fw);
-  rates_.set(2 * j + 1, r.rate_bw);
-  adaptive_.store_dw(j, r.dw_fw, r.dw_bw);
-  stats_.rate_evaluations += 2;
-
-  if (calc_.superconducting() && calc_.gap() > 0.0) {
-    const ChannelRates cp = calc_.cooper_pair_rates(j, va, vb);
-    const std::size_t base = 2 * circuit_.junction_count();
-    rates_.set(base + 2 * j, cp.rate_fw);
-    rates_.set(base + 2 * j + 1, cp.rate_bw);
-    stats_.cp_rate_evaluations += 2;
+void Engine::commit_flagged_rates() {
+  // Adaptive path only — superconducting circuits never flag (they run
+  // non-adaptively), so there are no Cooper-pair channels to refresh here.
+  // The staged set_many commit is bitwise equivalent to the per-channel
+  // set() sequence it replaced (same deltas, same order).
+  fen_idx_.clear();
+  fen_val_.clear();
+  const double* v = node_v_.data();
+  for (const std::size_t j : flagged_buf_) {
+    const ChannelRates r = calc_.junction_rates(j, v[slot_a_[j]], v[slot_b_[j]]);
+    fen_idx_.push_back(2 * j);
+    fen_val_.push_back(r.rate_fw);
+    fen_idx_.push_back(2 * j + 1);
+    fen_val_.push_back(r.rate_bw);
+    adaptive_.store_dw(j, r.dw_fw, r.dw_bw);
   }
+  stats_.rate_evaluations += 2 * flagged_buf_.size();
+  rates_.set_many(fen_idx_.data(), fen_val_.data(), fen_idx_.size());
 }
 
 void Engine::recompute_secondary() {
   // Cotunneling channels: the non-adaptive path of the paper. Callers keep
   // all island potentials exact when these channels exist.
-  const std::size_t cot_base = channel_count() - calc_.cotunneling_paths().size();
-  for (std::size_t p = 0; p < calc_.cotunneling_paths().size(); ++p) {
-    const CotunnelingPath& path = calc_.cotunneling_paths()[p];
+  const double* v = node_v_.data();
+  const std::size_t n_paths = calc_.cotunneling_paths().size();
+  const std::size_t cot_base = channel_count() - n_paths;
+  for (std::size_t p = 0; p < n_paths; ++p) {
     rates_.set(cot_base + p,
-               calc_.cotunneling_path_rate(path, junction_node_voltage(path.from),
-                                           junction_node_voltage(path.via),
-                                           junction_node_voltage(path.to)));
+               calc_.cotunneling_path_rate(
+                   calc_.cotunneling_paths()[p], v[cot_slot_[3 * p]],
+                   v[cot_slot_[3 * p + 1]], v[cot_slot_[3 * p + 2]]));
   }
-  stats_.cot_rate_evaluations += calc_.cotunneling_paths().size();
+  stats_.cot_rate_evaluations += n_paths;
 }
 
 void Engine::after_charge_move(NodeId from, NodeId to, double q) {
@@ -297,10 +353,10 @@ void Engine::after_charge_move(NodeId from, NodeId to, double q) {
   // Selective potential update (paper Sec. III-B): only the nodes the test
   // actually visited move; everything else drifts until the next refresh.
   if (!exact_potentials) {
-    for (const std::size_t k : touched_nodes_) v_isl_[k] += node_dv_[k];
+    for (const std::size_t k : touched_nodes_) node_v_[k] += node_dv_[k];
     stats_.potential_node_updates += touched_nodes_.size();
   }
-  for (std::size_t j : flagged_buf_) recompute_junction(j);
+  commit_flagged_rates();
 
   if (calc_.cotunneling_enabled()) recompute_secondary();
 }
@@ -324,12 +380,11 @@ void Engine::handle_source_deltas() {
   ++stats_.source_updates;
   if (!adaptive_active_ || has_secondary_) {
     for (const SourceChange& c : pending_changes_) {
-      for (std::size_t k = 0; k < v_isl_.size(); ++k) {
-        v_isl_[k] += model_.source_gain()(k, c.ext) * c.dv;
+      for (std::size_t k = 0; k < n_isl_; ++k) {
+        node_v_[k] += model_.source_gain()(k, c.ext) * c.dv;
       }
     }
-    stats_.potential_node_updates +=
-        model_.island_count() * pending_changes_.size();
+    stats_.potential_node_updates += n_isl_ * pending_changes_.size();
     if (!adaptive_active_) {
       recompute_all_rates();
       ++stats_.full_refreshes;
@@ -372,10 +427,10 @@ void Engine::handle_source_deltas() {
   stats_.junctions_tested += adaptive_.collect(seed_buf_, dv_of, flagged_buf_);
   stats_.junctions_flagged += flagged_buf_.size();
   if (!exact_potentials) {
-    for (const std::size_t k : touched_nodes_) v_isl_[k] += node_dv_[k];
+    for (const std::size_t k : touched_nodes_) node_v_[k] += node_dv_[k];
     stats_.potential_node_updates += touched_nodes_.size();
   }
-  for (std::size_t j : flagged_buf_) recompute_junction(j);
+  commit_flagged_rates();
   if (calc_.cotunneling_enabled()) recompute_secondary();
   pending_changes_.clear();
 }
@@ -385,9 +440,9 @@ void Engine::set_dc_source(NodeId n, double volts) {
   require(e >= 0, "set_dc_source: node is not an external lead");
   const std::size_t ei = static_cast<std::size_t>(e);
   overridden_[ei] = true;
-  const double dv = volts - v_ext_[ei];
+  const double dv = volts - node_v_[n_isl_ + ei];
   if (dv != 0.0) {
-    v_ext_[ei] = volts;
+    node_v_[n_isl_ + ei] = volts;
     // Bias points of a sweep are rare relative to events: recompute
     // everything exactly (also rebuilds the prefix tree, so cancellation
     // drift from the old rates cannot swamp rates that shrank by many
@@ -476,13 +531,13 @@ Engine::StepOutcome Engine::step_internal(double t_limit, Event* out) {
       // so jump there, apply the new source values, and redraw.
       time_ = next_breakpoint_;
       pending_changes_.clear();
-      for (std::size_t e = 0; e < model_.external_count(); ++e) {
+      for (std::size_t e = 0; e < n_ext_; ++e) {
         if (overridden_[e]) continue;
         const NodeId node = model_.external_node(e);
         const double v_new = circuit_.source(node).value(time_);
-        const double dv = v_new - v_ext_[e];
+        const double dv = v_new - node_v_[n_isl_ + e];
         if (dv != 0.0) {
-          v_ext_[e] = v_new;
+          node_v_[n_isl_ + e] = v_new;
           pending_changes_.push_back(SourceChange{node, e, dv});
         }
       }

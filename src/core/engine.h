@@ -182,13 +182,14 @@ class Engine {
   void recompute_all_rates();
   /// Exact O(islands) potential update for one charge move.
   void apply_charge_move_everywhere(NodeId from, NodeId to, double q);
-  void recompute_junction(std::size_t j);
+  /// Recomputes the channels of every junction in flagged_buf_ and commits
+  /// them to the Fenwick tree in one set_many batch (adaptive path only).
+  void commit_flagged_rates();
   void recompute_secondary();  // CP + cotunneling channels (non-adaptive)
   void apply_event(std::size_t channel, Event& ev);
   void after_charge_move(NodeId from, NodeId to, double q);
   double refresh_next_breakpoint() const;
-  std::vector<double> island_charges() const;
-  double junction_node_voltage(NodeId n) const { return node_voltage(n); }
+  void island_charges_into(std::vector<double>& q) const;
 
   const Circuit& circuit_;
   EngineOptions options_;
@@ -212,8 +213,22 @@ class Engine {
   };
 
   std::vector<long> electrons_;       // per island index
-  std::vector<double> v_isl_;         // island potential cache (see header)
-  std::vector<double> v_ext_;         // per external index
+  // ---- SoA hot-path node/channel state (see DESIGN.md) --------------------
+  // One contiguous potential array: slots [0, I) are the island potential
+  // cache (see header comment), [I, I+E) the external lead voltages, and
+  // slot I+E is ground, pinned at 0 V. Junction endpoints are resolved to
+  // slots ONCE at construction (slot_a_/slot_b_, cotunneling triples in
+  // cot_slot_), so the event loop reads voltages as v[slot] with no
+  // NodeId -> island/external index resolution per channel.
+  std::size_t n_isl_ = 0;
+  std::size_t n_ext_ = 0;
+  std::vector<double> node_v_;
+  std::vector<std::uint32_t> slot_a_;     // per junction: slot of node a
+  std::vector<std::uint32_t> slot_b_;     // per junction: slot of node b
+  std::vector<std::uint32_t> cot_slot_;   // per path: from, via, to slots
+  std::vector<double> charge_buf_;        // full_update island-charge scratch
+  std::vector<std::size_t> fen_idx_;      // staged Fenwick batch (indices)
+  std::vector<double> fen_val_;           // staged Fenwick batch (weights)
   std::vector<bool> overridden_;      // per external index (set_dc_source)
   std::vector<SourceChange> pending_changes_;
   // Per-event memoization of island potential deltas (adaptive path).

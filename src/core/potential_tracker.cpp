@@ -11,7 +11,12 @@ PotentialTracker::PotentialTracker(const ElectrostaticModel& model)
 
 void PotentialTracker::reset(const std::vector<double>& island_charge,
                              const std::vector<double>& v_ext) {
-  v_ = model_.island_potentials(island_charge, v_ext);
+  require(island_charge.size() == model_.island_count(),
+          "PotentialTracker::reset: charge vector size mismatch");
+  require(v_ext.size() == model_.external_count(),
+          "PotentialTracker::reset: external voltage vector size mismatch");
+  v_.resize(model_.island_count());
+  model_.island_potentials_into(island_charge.data(), v_ext.data(), v_.data());
   cursor_.assign(model_.island_count(), 0);
   log_.clear();
   node_updates_ += model_.island_count();

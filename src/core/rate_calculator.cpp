@@ -31,21 +31,20 @@ RateCalculator::RateCalculator(const Circuit& circuit,
   }
 
   const double e = kElementaryCharge;
-  junctions_.reserve(circuit.junction_count());
-  u_.reserve(circuit.junction_count());
-  for (std::size_t j = 0; j < circuit.junction_count(); ++j) {
+  const std::size_t j_count = circuit.junction_count();
+  resistance_.reserve(j_count);
+  ej_.assign(j_count, 0.0);
+  cp_eta_.assign(j_count, 0.0);
+  u_.reserve(j_count);
+  for (std::size_t j = 0; j < j_count; ++j) {
     const Junction& jn = circuit.junction(j);
-    JunctionData d;
-    d.a = jn.a;
-    d.b = jn.b;
-    d.resistance = jn.resistance;
+    resistance_.push_back(jn.resistance);
     if (superconducting_ && gap_ > 0.0) {
-      d.ej = josephson_energy(jn.resistance, gap_, temperature_);
-      d.cp_broadening = options.cp_broadening > 0.0
-                            ? options.cp_broadening
-                            : default_cp_broadening(jn.resistance, gap_);
+      ej_[j] = josephson_energy(jn.resistance, gap_, temperature_);
+      cp_eta_[j] = options.cp_broadening > 0.0
+                       ? options.cp_broadening
+                       : default_cp_broadening(jn.resistance, gap_);
     }
-    junctions_.push_back(d);
     const double kaa = model.kappa_node(jn.a, jn.a);
     const double kbb = model.kappa_node(jn.b, jn.b);
     const double kab = model.kappa_node(jn.a, jn.b);
@@ -73,35 +72,34 @@ void RateCalculator::build_qp_table(double half_range) {
 
 ChannelRates RateCalculator::junction_rates(std::size_t j, double va,
                                             double vb) const {
-  const JunctionData& d = junctions_[j];
+  const double res = resistance_[j];
   const double e = kElementaryCharge;
   ChannelRates r;
   // Electron charge -e transferred a->b (forward) / b->a (backward), Eq. 2.
   r.dw_fw = -e * (vb - va) + u_[j];
   r.dw_bw = e * (vb - va) + u_[j];
   if (qp_unit_) {
-    const double scale = 1.0 / d.resistance;
+    const double scale = 1.0 / res;
     r.rate_fw = qp_unit_->rate_cached(r.dw_fw) * scale;
     r.rate_bw = qp_unit_->rate_cached(r.dw_bw) * scale;
   } else {
-    r.rate_fw = orthodox_rate(r.dw_fw, d.resistance, temperature_);
-    r.rate_bw = orthodox_rate(r.dw_bw, d.resistance, temperature_);
+    r.rate_fw = orthodox_rate(r.dw_fw, res, temperature_);
+    r.rate_bw = orthodox_rate(r.dw_bw, res, temperature_);
   }
   return r;
 }
 
 ChannelRates RateCalculator::cooper_pair_rates(std::size_t j, double va,
                                                double vb) const {
-  const JunctionData& d = junctions_[j];
   ChannelRates r;
-  if (d.ej <= 0.0) return r;
+  if (ej_[j] <= 0.0) return r;
   const double q = 2.0 * kElementaryCharge;
   // Pair charge -2e transferred: linear term doubles, charging term
   // quadruples relative to the single-electron u_j.
   r.dw_fw = -q * (vb - va) + 4.0 * u_[j];
   r.dw_bw = q * (vb - va) + 4.0 * u_[j];
-  r.rate_fw = cooper_pair_rate(r.dw_fw, d.ej, d.cp_broadening);
-  r.rate_bw = cooper_pair_rate(r.dw_bw, d.ej, d.cp_broadening);
+  r.rate_fw = cooper_pair_rate(r.dw_fw, ej_[j], cp_eta_[j]);
+  r.rate_bw = cooper_pair_rate(r.dw_bw, ej_[j], cp_eta_[j]);
   return r;
 }
 
@@ -123,8 +121,8 @@ double RateCalculator::cotunneling_path_rate(const CotunnelingPath& path,
   const double dw_total =
       -e * (v_to - v_from) + 0.5 * e * e * (kff + ktt - 2.0 * kft);
 
-  const double r1 = junctions_[path.j1].resistance;
-  const double r2 = junctions_[path.j2].resistance;
+  const double r1 = resistance_[path.j1];
+  const double r2 = resistance_[path.j2];
   return cotunneling_rate(dw_total, e1, e2, r1, r2, temperature_);
 }
 

@@ -65,21 +65,18 @@ class RateCalculator {
   void build_qp_table(double half_range);
 
  private:
-  struct JunctionData {
-    NodeId a = 0;
-    NodeId b = 0;
-    double resistance = 0.0;
-    double ej = 0.0;              // Josephson energy [J]
-    double cp_broadening = 0.0;   // eta [J]
-  };
-
   const Circuit& circuit_;
   const ElectrostaticModel& model_;
   double temperature_ = 0.0;
   bool superconducting_ = false;
   bool cotunneling_ = false;
   double gap_ = 0.0;
-  std::vector<JunctionData> junctions_;
+  // Per-junction parameters as structure-of-arrays: the hot loop walks
+  // resistance_/u_ linearly (one cache line covers 8 junctions) instead of
+  // striding over an AoS record.
+  std::vector<double> resistance_;
+  std::vector<double> ej_;      // Josephson energy [J] (SC only, else 0)
+  std::vector<double> cp_eta_;  // Cooper-pair broadening eta [J]
   std::vector<double> u_;  // per-junction single-charge charging term [J]
   std::vector<CotunnelingPath> paths_;
   // One shared QP shape table (rate at R = 1 Ohm); per-junction rates scale

@@ -1,0 +1,99 @@
+// Minimal JSON writer + parser for machine-readable results.
+//
+// The repo has a no-external-dependencies policy, and the JSON we exchange
+// is small and self-produced: versioned RunResult documents (--json) and
+// the BENCH_hotpath.json perf baseline the CI gate compares against. This
+// is a complete, strict implementation of that subset of use — full escape
+// handling, \uXXXX decoding, round-trippable doubles — not a general
+// high-performance JSON library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace semsim {
+
+/// Streaming JSON writer. Keys/values must be emitted in valid order (a
+/// `key()` then its value inside objects); commas and escaping are handled
+/// here. Doubles print with up to 17 significant digits so a parse-back
+/// reproduces the exact bits; non-finite doubles are emitted as null (JSON
+/// has no Inf/NaN).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view name);
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  const std::string& str() const noexcept { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void prepare_value();
+  void escape_into(std::string_view s);
+
+  std::string out_;
+  std::vector<bool> has_item_;  // per open container: something emitted yet?
+  bool after_key_ = false;
+};
+
+/// Parsed JSON document node. Numbers are doubles (sufficient for our
+/// schemas: u64 identities travel as hex strings, see RunResult::to_json).
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  /// Parses a complete document; throws Error on any malformed input or
+  /// trailing garbage.
+  static JsonValue parse(std::string_view text);
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; throw Error when the kind does not match.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  ///< array elements
+  /// Object members in document order (duplicate keys are kept; find/at
+  /// return the first).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// First member named `key`, or nullptr (object kind required).
+  const JsonValue* find(std::string_view key) const;
+  /// Like find(), but throws Error when the member is missing.
+  const JsonValue& at(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace semsim

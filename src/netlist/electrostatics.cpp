@@ -86,12 +86,32 @@ std::vector<double> ElectrostaticModel::island_potentials(
           "island_potentials: charge vector size mismatch");
   require(v_ext.size() == external_count(),
           "island_potentials: external voltage vector size mismatch");
-  std::vector<double> v = kappa_.multiply(q);
-  if (!v_ext.empty()) {
-    const std::vector<double> vs = source_gain_.multiply(v_ext);
-    for (std::size_t i = 0; i < v.size(); ++i) v[i] += vs[i];
-  }
+  std::vector<double> v(island_count(), 0.0);
+  island_potentials_into(q.data(), v_ext.data(), v.data());
   return v;
+}
+
+void ElectrostaticModel::island_potentials_into(const double* q,
+                                                const double* v_ext,
+                                                double* v) const {
+  // Same accumulation order as Matrix::multiply: one left-to-right dot
+  // product per row for kappa * q, then one per row for S * v_ext added on
+  // top. The engine's bitwise-reproducibility contract pins this order.
+  const std::size_t ni = island_count();
+  for (std::size_t r = 0; r < ni; ++r) {
+    const double* row = kappa_.row_data(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < ni; ++c) acc += row[c] * q[c];
+    v[r] = acc;
+  }
+  const std::size_t ne = external_count();
+  if (ne == 0) return;
+  for (std::size_t r = 0; r < ni; ++r) {
+    const double* row = source_gain_.row_data(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < ne; ++c) acc += row[c] * v_ext[c];
+    v[r] += acc;
+  }
 }
 
 void ElectrostaticModel::add_charge_delta(NodeId n, double dq,

@@ -54,6 +54,14 @@ class ElectrostaticModel {
   const Matrix& kappa() const noexcept { return kappa_; }
   const Matrix& source_gain() const noexcept { return source_gain_; }
 
+  /// Contiguous row `k` of kappa. kappa is bitwise symmetric (the Cholesky
+  /// inverse mirrors its lower triangle), so row k carries exactly the bits
+  /// of column k — the hot loop reads columns through this accessor to walk
+  /// linear memory instead of striding the row-major storage.
+  const double* kappa_row(std::size_t k) const noexcept {
+    return kappa_.row_data(k);
+  }
+
   /// kappa entry generalized to node ids: zero when either node is not an
   /// island (the convention of Eq. 2 — leads have no charging term).
   double kappa_node(NodeId a, NodeId b) const noexcept;
@@ -63,6 +71,13 @@ class ElectrostaticModel {
   ///   v = kappa * q + S * v_ext.
   std::vector<double> island_potentials(const std::vector<double>& q,
                                         const std::vector<double>& v_ext) const;
+
+  /// Allocation-free variant: writes the island potentials into `v`
+  /// (island_count() entries). `q` has island_count() entries, `v_ext`
+  /// external_count(); `v` may not alias either. Bitwise identical to
+  /// island_potentials() — same per-row accumulation order.
+  void island_potentials_into(const double* q, const double* v_ext,
+                              double* v) const;
 
   /// Potential change on every island when charge `dq` [C] is added to
   /// island node `n` (column of kappa scaled by dq). No-op for non-islands.

@@ -1,0 +1,242 @@
+// Golden bitwise-trajectory tests: fixed-seed event sequences and sweep
+// tables hashed bit-for-bit and pinned to constants generated on the
+// pre-SoA-refactor engine (PR 3). Any change to the hot path — potential
+// cache updates, rate evaluation order, Fenwick accumulation, sampling —
+// that alters a single bit of a single waiting time or channel choice
+// flips these hashes.
+//
+// The hashes cover: SET and SSET circuits, adaptive and non-adaptive
+// solvers, cotunneling, waveform (breakpoint) sources, a multi-island
+// chain, and parallel sweep tables at 1 and 8 threads (which must also be
+// identical to each other, per the determinism contract).
+//
+// If a hash mismatch is INTENDED (a deliberate trajectory-affecting
+// change), regenerate the constants by running this binary and copying the
+// "actual" values from the failure output — and say so in the PR.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "analysis/sweep.h"
+#include "base/constants.h"
+#include "base/thread_pool.h"
+#include "core/engine.h"
+#include "netlist/circuit.h"
+#include "obs/checkpoint.h"
+
+namespace semsim {
+namespace {
+
+// ---- circuits -------------------------------------------------------------
+
+struct SetCircuit {
+  Circuit c;
+  NodeId src, drn, gate, island;
+  SetCircuit(double v_src, double v_drn, double v_gate) {
+    src = c.add_external("src");
+    drn = c.add_external("drn");
+    gate = c.add_external("gate");
+    island = c.add_island("island");
+    c.add_junction(src, island, 1e6, 1e-18);
+    c.add_junction(island, drn, 1e6, 1e-18);
+    c.add_capacitor(gate, island, 3e-18);
+    c.set_source(src, Waveform::dc(v_src));
+    c.set_source(drn, Waveform::dc(v_drn));
+    c.set_source(gate, Waveform::dc(v_gate));
+  }
+};
+
+/// Chain of isolated SET stages (the Fig. 4 scenario): multi-island
+/// adaptive flag propagation plus gate-capacitor coupling.
+Circuit make_chain(int stages) {
+  Circuit c;
+  const NodeId vp = c.add_external("vp");
+  const NodeId vn = c.add_external("vn");
+  c.set_source(vp, Waveform::dc(0.01));
+  c.set_source(vn, Waveform::dc(-0.01));
+  for (int s = 0; s < stages; ++s) {
+    const NodeId i = c.add_island();
+    c.add_junction(vp, i, 1e6, 1e-18);
+    c.add_junction(i, vn, 1e6, 1e-18);
+    c.add_capacitor(i, Circuit::kGroundNode, 20e-18);
+  }
+  return c;
+}
+
+// ---- hashing --------------------------------------------------------------
+
+/// Runs up to `n` events and folds every field of every executed event —
+/// including the IEEE-754 bit patterns of dt/time/charge — into one hash.
+std::uint64_t trajectory_hash(Engine& engine, int n) {
+  BinaryWriter w;
+  Event ev;
+  for (int i = 0; i < n; ++i) {
+    if (!engine.step(&ev)) break;
+    w.u8(static_cast<std::uint8_t>(ev.kind));
+    w.u64(ev.index);
+    w.i64(ev.from);
+    w.i64(ev.to);
+    w.f64(ev.charge);
+    w.f64(ev.dt);
+    w.f64(ev.time);
+  }
+  w.f64(engine.time());
+  w.u64(engine.event_count());
+  return fnv1a64(w.bytes().data(), w.bytes().size());
+}
+
+std::uint64_t sweep_hash(const std::vector<IvPoint>& points) {
+  BinaryWriter w;
+  for (const IvPoint& p : points) {
+    w.f64(p.bias);
+    w.f64(p.current);
+    w.f64(p.stderr_mean);
+    w.f64(p.rel_error);
+    w.f64(p.tau_int);
+    w.u64(p.events);
+  }
+  return fnv1a64(w.bytes().data(), w.bytes().size());
+}
+
+EngineOptions engine_opts(double temperature, bool adaptive,
+                          std::uint64_t seed) {
+  EngineOptions o;
+  o.temperature = temperature;
+  o.adaptive.enabled = adaptive;
+  o.seed = seed;
+  return o;
+}
+
+void expect_golden(std::uint64_t actual, std::uint64_t expected,
+                   const char* what) {
+  EXPECT_EQ(actual, expected) << what << ": trajectory changed; actual hash 0x"
+                              << std::hex << actual;
+}
+
+// ---- pinned trajectory hashes ---------------------------------------------
+
+TEST(GoldenTrajectory, SetAdaptive) {
+  SetCircuit f(0.02, -0.02, 0.0);
+  Engine e(f.c, engine_opts(1.0, true, 12345));
+  expect_golden(trajectory_hash(e, 4000), 0x3dff4b333f4fd0abULL, "SET adaptive");
+}
+
+TEST(GoldenTrajectory, SetNonAdaptive) {
+  SetCircuit f(0.02, -0.02, 0.0);
+  Engine e(f.c, engine_opts(1.0, false, 12345));
+  expect_golden(trajectory_hash(e, 4000), 0x613495ea4188af1bULL, "SET non-adaptive");
+}
+
+TEST(GoldenTrajectory, SetColdAdaptive) {
+  // T = 0: the orthodox-rate branch cut and deep-blockade zero rates.
+  SetCircuit f(0.05, -0.05, 0.004);
+  Engine e(f.c, engine_opts(0.0, true, 777));
+  expect_golden(trajectory_hash(e, 4000), 0xd6058553262399e6ULL, "SET cold adaptive");
+}
+
+TEST(GoldenTrajectory, SsetAdaptiveRequested) {
+  // Superconducting circuits route through the non-adaptive path even when
+  // adaptive is requested; QP + Cooper-pair channels.
+  SetCircuit f(0.002, -0.002, 0.0);
+  f.c.set_superconducting({0.2e-3 * kElectronVolt, 1.2});
+  Engine e(f.c, engine_opts(0.3, true, 999));
+  expect_golden(trajectory_hash(e, 2000), 0x3bf10ff57b1bc5acULL, "SSET adaptive-requested");
+}
+
+TEST(GoldenTrajectory, SsetNonAdaptive) {
+  SetCircuit f(0.002, -0.002, 0.0);
+  f.c.set_superconducting({0.2e-3 * kElectronVolt, 1.2});
+  Engine e(f.c, engine_opts(0.3, false, 999));
+  expect_golden(trajectory_hash(e, 2000), 0x3bf10ff57b1bc5acULL, "SSET non-adaptive");
+}
+
+TEST(GoldenTrajectory, CotunnelingAdaptive) {
+  // Sub-threshold bias: cotunneling channels carry the current; the SE
+  // channels stay adaptive, cotunneling recomputes non-adaptively.
+  SetCircuit f(0.004, -0.004, 0.0);
+  EngineOptions o = engine_opts(0.0, true, 2024);
+  o.cotunneling = true;
+  Engine e(f.c, o);
+  expect_golden(trajectory_hash(e, 1000), 0xa5b70a4579f357aaULL, "cotunneling adaptive");
+}
+
+TEST(GoldenTrajectory, PulsedGateAdaptive) {
+  // Waveform breakpoints: source-delta batches through the adaptive path.
+  SetCircuit f(0.02, -0.02, 0.0);
+  f.c.set_source(f.gate, Waveform::pulse(0.0, 0.03, 1e-9, 2e-9, 8e-9));
+  Engine e(f.c, engine_opts(1.0, true, 4711));
+  expect_golden(trajectory_hash(e, 4000), 0xfa20243ff7154094ULL, "pulsed gate adaptive");
+}
+
+TEST(GoldenTrajectory, PulsedGateNonAdaptive) {
+  SetCircuit f(0.02, -0.02, 0.0);
+  f.c.set_source(f.gate, Waveform::pulse(0.0, 0.03, 1e-9, 2e-9, 8e-9));
+  Engine e(f.c, engine_opts(1.0, false, 4711));
+  expect_golden(trajectory_hash(e, 4000), 0xe4494bcdd2ff4231ULL, "pulsed gate non-adaptive");
+}
+
+TEST(GoldenTrajectory, ChainAdaptive) {
+  const Circuit c = make_chain(8);
+  Engine e(c, engine_opts(0.0, true, 31337));
+  expect_golden(trajectory_hash(e, 4000), 0x2f1d6ec72e13f9dcULL, "chain-8 adaptive");
+}
+
+TEST(GoldenTrajectory, ChainNonAdaptive) {
+  const Circuit c = make_chain(8);
+  Engine e(c, engine_opts(0.0, false, 31337));
+  expect_golden(trajectory_hash(e, 4000), 0xc1480e041d8ea9bfULL, "chain-8 non-adaptive");
+}
+
+// ---- pinned sweep tables (1 and 8 threads) --------------------------------
+
+IvSweepConfig small_sweep(const SetCircuit& f) {
+  IvSweepConfig cfg;
+  cfg.swept = f.src;
+  cfg.mirror = f.drn;
+  cfg.from = -0.03;
+  cfg.to = 0.03;
+  cfg.step = 0.005;
+  cfg.probes = {{0, 1.0}, {1, -1.0}};
+  cfg.measure.warmup_events = 200;
+  cfg.measure.measure_events = 1500;
+  return cfg;
+}
+
+void expect_sweep_golden(const Circuit& circuit, const EngineOptions& eo,
+                         const IvSweepConfig& cfg, std::uint64_t expected,
+                         const char* what) {
+  const ParallelSweepConfig par{/*base_seed=*/42, /*points_per_unit=*/2};
+  const std::vector<IvPoint> t1 =
+      run_iv_sweep(circuit, eo, cfg, ParallelExecutor(1), par);
+  const std::vector<IvPoint> t8 =
+      run_iv_sweep(circuit, eo, cfg, ParallelExecutor(8), par);
+  const std::uint64_t h1 = sweep_hash(t1);
+  const std::uint64_t h8 = sweep_hash(t8);
+  EXPECT_EQ(h1, h8) << what << ": sweep table depends on thread count";
+  expect_golden(h1, expected, what);
+}
+
+TEST(GoldenSweep, SetAdaptive) {
+  SetCircuit f(0.0, 0.0, 0.0);
+  expect_sweep_golden(f.c, engine_opts(1.0, true, 42), small_sweep(f), 0xf73fbca040a71e9dULL,
+                      "SET sweep adaptive");
+}
+
+TEST(GoldenSweep, SetNonAdaptive) {
+  SetCircuit f(0.0, 0.0, 0.0);
+  expect_sweep_golden(f.c, engine_opts(1.0, false, 42), small_sweep(f), 0xc6d1277da8a46020ULL,
+                      "SET sweep non-adaptive");
+}
+
+TEST(GoldenSweep, SsetAdaptiveRequested) {
+  SetCircuit f(0.0, 0.0, 0.0);
+  f.c.set_superconducting({0.2e-3 * kElectronVolt, 1.2});
+  IvSweepConfig cfg = small_sweep(f);
+  cfg.measure.warmup_events = 100;
+  cfg.measure.measure_events = 600;
+  expect_sweep_golden(f.c, engine_opts(0.3, true, 42), cfg, 0x98157f90f0e3884aULL,
+                      "SSET sweep");
+}
+
+}  // namespace
+}  // namespace semsim

@@ -7,6 +7,7 @@
 
 #include "analysis/current.h"
 #include "base/constants.h"
+#include "base/fenwick.h"
 #include "base/random.h"
 #include "core/engine.h"
 #include "logic/benchmarks.h"
@@ -235,6 +236,58 @@ TEST(EngineInvariant, ChargeNeutralityOfTransfers) {
   long total_on_islands = 0;
   for (const NodeId isl : rc.c.islands()) total_on_islands += e.electron_count(isl);
   EXPECT_EQ(total_on_islands, net_from_leads);
+}
+
+TEST(FenwickProperty, SetManyMatchesRepeatedSetBitwise) {
+  // set_many's contract is BITWISE equivalence to repeated set() in call
+  // order — the engine's golden-trajectory reproducibility rests on the
+  // internal tree nodes accumulating identical FP deltas, not just on the
+  // per-channel values matching. Random subsets, including duplicates and
+  // zero weights, against a mirror tree driven by single set() calls.
+  Xoshiro256 rng(0xF3A9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.uniform_below(300);
+    FenwickTree batched(n), mirror(n);
+    // Random non-trivial starting state, built identically on both.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = rng.uniform01() < 0.3 ? 0.0 : rng.uniform01() * 1e12;
+      batched.set(i, w);
+      mirror.set(i, w);
+    }
+    for (int round = 0; round < 8; ++round) {
+      const std::size_t m = 1 + rng.uniform_below(n);
+      std::vector<std::size_t> idx(m);
+      std::vector<double> w(m);
+      for (std::size_t k = 0; k < m; ++k) {
+        idx[k] = rng.uniform_below(n);  // duplicates allowed, apply in order
+        w[k] = rng.uniform01() < 0.2 ? 0.0 : rng.uniform01() * 1e12;
+      }
+      batched.set_many(idx, w);
+      for (std::size_t k = 0; k < m; ++k) mirror.set(idx[k], w[k]);
+      for (std::size_t i = 0; i <= n; ++i) {
+        ASSERT_EQ(batched.prefix_sum(i), mirror.prefix_sum(i))
+            << "trial " << trial << " round " << round << " prefix " << i;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(batched.value(i), mirror.value(i));
+      }
+    }
+  }
+}
+
+TEST(FenwickProperty, SetManyRejectsBadInput) {
+  FenwickTree t(4);
+  const std::vector<std::size_t> idx{1, 4};
+  const std::vector<double> w{1.0, 1.0};
+  EXPECT_THROW(t.set_many(idx, w), Error);
+  const std::vector<std::size_t> idx2{1, 2};
+  const std::vector<double> neg{1.0, -2.0};
+  EXPECT_THROW(t.set_many(idx2, neg), Error);
+  // Validation is all-or-nothing: the failed batch must not have been
+  // partially applied.
+  EXPECT_EQ(t.total(), 0.0);
+  const std::vector<double> short_w{1.0};
+  EXPECT_THROW(t.set_many(idx2, short_w), Error);
 }
 
 }  // namespace

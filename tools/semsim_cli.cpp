@@ -3,24 +3,28 @@
 // the necessary information ... the results are stored in a file."
 //
 //   semsim <input-file> [--seed N] [--threads N] [--repeats N]
-//          [--non-adaptive] [--out FILE.tsv] [--master-check]
-//          [--target-rel-error X] [--max-events N]
+//          [--non-adaptive] [--out FILE.tsv] [--json FILE.json]
+//          [--master-check] [--target-rel-error X] [--max-events N]
 //          [--checkpoint FILE] [--resume FILE]
 //
 // Runs the Monte-Carlo simulation an input file requests (see
-// src/netlist/parser.h for the grammar) and prints/writes the results.
-// --master-check additionally solves the steady-state master equation and
-// prints its currents next to the Monte-Carlo values (small circuits only).
-// Every value flag accepts both `--flag VALUE` and `--flag=VALUE`.
+// src/netlist/parser.h for the grammar) and prints/writes the results. The
+// CLI is a thin wrapper over the RunRequest -> run() -> RunResult facade
+// (analysis/api.h); --json writes the versioned RunResult::to_json()
+// document. --master-check additionally solves the steady-state master
+// equation and prints its currents next to the Monte-Carlo values (small
+// circuits only). Every value flag accepts both `--flag VALUE` and
+// `--flag=VALUE`.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 
-#include "analysis/driver.h"
+#include "analysis/api.h"
 #include "io/table_writer.h"
 #include "master/master_equation.h"
 
@@ -31,9 +35,11 @@ namespace {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s <input-file> [--seed N] [--threads N] [--repeats N]\n"
-      "          [--non-adaptive] [--out FILE.tsv] [--master-check]\n"
-      "          [--target-rel-error X] [--max-events N]\n"
+      "          [--non-adaptive] [--out FILE.tsv] [--json FILE.json]\n"
+      "          [--master-check] [--target-rel-error X] [--max-events N]\n"
       "          [--checkpoint FILE] [--resume FILE]\n"
+      "  --json FILE.json     write the versioned machine-readable result\n"
+      "                       document (schema semsim.run_result/v1)\n"
       "  --threads N          worker threads for sweeps / repeated runs\n"
       "                       (0 = all cores); results are identical for\n"
       "                       every N\n"
@@ -92,7 +98,8 @@ double parse_f64(const char* flag, const std::string& text) {
 int main(int argc, char** argv) {
   std::string input_path;
   std::string out_path;
-  DriverOptions opt;
+  std::string json_path;
+  RunRequest req;
   std::optional<std::uint32_t> repeats_override;
   bool master_check = false;
 
@@ -100,9 +107,9 @@ int main(int argc, char** argv) {
     const std::string a = argv[i];
     std::string v;
     if (flag_value(a, "--seed", argc, argv, i, &v)) {
-      opt.seed = parse_u64("--seed", v);
+      req.seed = parse_u64("--seed", v);
     } else if (flag_value(a, "--threads", argc, argv, i, &v)) {
-      opt.threads = static_cast<unsigned>(parse_u64("--threads", v));
+      req.threads = static_cast<unsigned>(parse_u64("--threads", v));
     } else if (flag_value(a, "--repeats", argc, argv, i, &v)) {
       const std::uint64_t n = parse_u64("--repeats", v);
       if (n == 0 || n > 0xFFFFFFFFULL) {
@@ -111,22 +118,24 @@ int main(int argc, char** argv) {
       }
       repeats_override = static_cast<std::uint32_t>(n);
     } else if (flag_value(a, "--target-rel-error", argc, argv, i, &v)) {
-      opt.stop.target_rel_error = parse_f64("--target-rel-error", v);
-      if (!(opt.stop.target_rel_error > 0.0)) {
+      req.stop.target_rel_error = parse_f64("--target-rel-error", v);
+      if (!(req.stop.target_rel_error > 0.0)) {
         std::fprintf(stderr, "--target-rel-error: must be > 0: %s\n",
                      v.c_str());
         return 2;
       }
     } else if (flag_value(a, "--max-events", argc, argv, i, &v)) {
-      opt.stop.max_events = parse_u64("--max-events", v);
+      req.stop.max_events = parse_u64("--max-events", v);
     } else if (flag_value(a, "--checkpoint", argc, argv, i, &v)) {
-      opt.checkpoint_path = v;
+      req.checkpoint_path = v;
     } else if (flag_value(a, "--resume", argc, argv, i, &v)) {
-      opt.resume_path = v;
+      req.resume_path = v;
     } else if (a == "--non-adaptive") {
-      opt.adaptive = false;
+      req.adaptive = false;
     } else if (flag_value(a, "--out", argc, argv, i, &v)) {
       out_path = v;
+    } else if (flag_value(a, "--json", argc, argv, i, &v)) {
+      json_path = v;
     } else if (a == "--master-check") {
       master_check = true;
     } else if (a == "--help" || a == "-h") {
@@ -146,15 +155,17 @@ int main(int argc, char** argv) {
   }
 
   try {
-    SimulationInput input = parse_simulation_file(input_path);
-    if (repeats_override) input.repeats = *repeats_override;
+    req.input = parse_simulation_file(input_path);
+    if (repeats_override) req.input.repeats = *repeats_override;
+    const SimulationInput& input = req.input;
     std::printf("# %s: %zu nodes, %zu junctions, T = %g K, %s solver%s\n",
                 input_path.c_str(), input.circuit.node_count(),
                 input.circuit.junction_count(), input.temperature,
-                opt.adaptive ? "adaptive" : "non-adaptive",
+                req.adaptive ? "adaptive" : "non-adaptive",
                 input.cotunneling ? ", cotunneling" : "");
 
-    const DriverResult r = run_simulation(input, opt);
+    const RunResult res = run(req);
+    const DriverResult& r = res.driver;
 
     if (!r.sweep.empty()) {
       TableWriter table({"v_swept_V", "current_A", "stderr_A", "rel_err",
@@ -181,7 +192,7 @@ int main(int argc, char** argv) {
         std::printf(
             "# convergence: rel_err = %.3e (target %.3e, %s), tau_int = "
             "%.2f, %llu samples\n",
-            r.converged->rel_error, opt.stop.target_rel_error,
+            r.converged->rel_error, req.stop.target_rel_error,
             r.converged->converged ? "reached" : "event cap hit",
             r.converged->tau_int,
             static_cast<unsigned long long>(r.converged->samples.count()));
@@ -206,11 +217,19 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.counters.full_refreshes),
         r.counters.wall_seconds);
 
+    if (!json_path.empty()) {
+      std::ofstream f(json_path, std::ios::binary);
+      if (!f) {
+        std::fprintf(stderr, "semsim: cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      f << res.to_json() << '\n';
+      std::printf("# wrote %s result to %s\n", RunResult::kJsonSchema,
+                  json_path.c_str());
+    }
+
     if (master_check) {
-      EngineOptions eo;
-      eo.temperature = input.temperature;
-      eo.cotunneling = input.cotunneling;
-      MasterEquationSolver me(input.circuit, eo);
+      MasterEquationSolver me(input.circuit, req.engine_options());
       std::printf("# master-equation check (%zu states):\n", me.state_count());
       for (const std::size_t j : input.record_junctions) {
         std::printf("#   junction %zu: I_me = %.6e A\n", j + 1,
