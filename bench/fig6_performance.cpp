@@ -199,7 +199,7 @@ int main(int argc, char** argv) {
                 benches[i].netlist.junction_count(),
                 benches[i].paper_junctions);
     std::fputs(rows[i].log.c_str(), stdout);
-    table.add_row(rows[i].row);
+    table.add_row(TableWriter::cells(rows[i].row));
     totals.units += rows[i].counters.units;
     totals.events += rows[i].counters.events;
     totals.rate_evaluations += rows[i].counters.rate_evaluations;

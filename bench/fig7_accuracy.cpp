@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
       const std::vector<double> row = rd.vec_f64();
       rd.require_done();
       std::printf("  restored from checkpoint %s\n", args.checkpoint.c_str());
-      table.add_row(row);
+      table.add_row(TableWriter::cells(row));
       if (!std::isnan(row[3])) {
         err_sum += row[3];
         ++err_n;
@@ -156,7 +156,7 @@ int main(int argc, char** argv) {
       w.vec_f64(row);
       cp->record(bi, w.take());
     }
-    table.add_row(row);
+    table.add_row(TableWriter::cells(row));
     if (!std::isnan(err)) {
       err_sum += err;
       ++err_n;

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "base/random.h"
+#include "guard/retry.h"
 #include "io/json.h"
 
 namespace semsim {
@@ -51,6 +52,10 @@ DriverOptions RunRequest::driver_options() const {
   o.stop = stop;
   o.checkpoint_path = checkpoint_path;
   o.resume_path = resume_path;
+  o.salvage_checkpoint = salvage_checkpoint;
+  o.audit = audit;
+  o.retry = retry;
+  o.fault_plan = fault_plan;
   return o;
 }
 
@@ -109,10 +114,39 @@ std::string RunResult::to_json() const {
       w.field("rel_error", p.rel_error);
       w.field("tau_int", p.tau_int);
       w.field("events", p.events);
+      w.field("status", point_status_label(p));
+      w.field("attempts", p.attempts);
       w.end_object();
     }
     w.end_array();
   }
+
+  // v2: the integrity layer's audit trail and any degraded work units.
+  w.key("integrity").begin_object();
+  w.field("audits_run", driver.integrity.audits_run);
+  w.field("last_audit_event", driver.integrity.last_audit_event);
+  w.key("issues").begin_array();
+  for (const IntegrityIssue& issue : driver.integrity.issues) {
+    w.begin_object();
+    w.field("code", error_code_name(issue.code));
+    w.field("at_event", issue.at_event);
+    w.field("sim_time_s", issue.sim_time);
+    w.field("detail", issue.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.key("failures").begin_array();
+  for (const UnitFailure& f : driver.failures) {
+    w.begin_object();
+    w.field("unit", f.unit);
+    w.field("code", error_code_name(f.code));
+    w.field("attempts", f.attempts);
+    w.field("message", f.message);
+    w.end_object();
+  }
+  w.end_array();
+  w.field("degraded", driver.degraded());
 
   w.key("stats");
   write_solver_stats(w, driver.stats);
@@ -129,15 +163,26 @@ EngineOptions engine_options_for(const SimulationInput& input,
   eo.cotunneling = input.cotunneling;
   eo.adaptive.enabled = options.adaptive;
   eo.seed = options.seed;
+  eo.audit = options.audit;
+  eo.fault = FaultInjector(options.fault_plan, 0, 0);
+  return eo;
+}
+
+EngineOptions unit_engine_options(const EngineOptions& base,
+                                  std::uint64_t base_seed, std::size_t unit,
+                                  std::uint32_t attempt) {
+  EngineOptions eo = base;
+  eo.seed = retry_stream_seed(base_seed, unit, attempt);
+  eo.fault = base.fault.for_unit(unit, attempt);
   return eo;
 }
 
 Engine make_unit_engine(const Circuit& circuit, const EngineOptions& base,
                         std::uint64_t base_seed, std::size_t unit,
-                        std::shared_ptr<const ElectrostaticModel> model) {
-  EngineOptions eo = base;
-  eo.seed = derive_stream_seed(base_seed, unit);
-  return Engine(circuit, eo, std::move(model));
+                        std::shared_ptr<const ElectrostaticModel> model,
+                        std::uint32_t attempt) {
+  return Engine(circuit, unit_engine_options(base, base_seed, unit, attempt),
+                std::move(model));
 }
 
 }  // namespace semsim

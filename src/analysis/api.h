@@ -42,6 +42,14 @@ struct RunRequest {
   /// Crash-safe checkpointing; see DriverOptions.
   std::string checkpoint_path;
   std::string resume_path;
+  /// Salvage a damaged checkpoint file; see DriverOptions.
+  bool salvage_checkpoint = false;
+  /// Invariant auditing cadence/tolerances; see DriverOptions::audit.
+  AuditOptions audit;
+  /// Fault isolation and retry; see DriverOptions::retry.
+  RetryPolicy retry;
+  /// Deterministic fault schedule (tests/benches); see DriverOptions.
+  const FaultPlan* fault_plan = nullptr;
 
   /// The equivalent DriverOptions (exact field-for-field mapping).
   DriverOptions driver_options() const;
@@ -58,7 +66,11 @@ struct RunRequest {
 struct RunResult {
   /// Version tag carried by every to_json() document. Bump the suffix when
   /// a field changes meaning or disappears; adding fields is compatible.
-  static constexpr const char* kJsonSchema = "semsim.run_result/v1";
+  /// v2 (integrity layer): sweep rows carry a "status" string, and the
+  /// document gains "integrity" (audit trail) and "failures" (degraded
+  /// work units). Every v1 field is still present with the same meaning,
+  /// so v1 readers that ignore unknown fields keep working.
+  static constexpr const char* kJsonSchema = "semsim.run_result/v2";
 
   DriverResult driver;
   std::uint64_t fingerprint = 0;  ///< RunRequest::fingerprint() of the run
@@ -83,13 +95,24 @@ RunResult run(const RunRequest& request);
 EngineOptions engine_options_for(const SimulationInput& input,
                                  const DriverOptions& options);
 
+/// EngineOptions for attempt `attempt` of work unit `unit`: `base` with its
+/// seed replaced by retry_stream_seed(base_seed, unit, attempt) — exactly
+/// derive_stream_seed(base_seed, unit) for attempt 0 — and its fault
+/// injector rebound to (unit, attempt) so scheduled faults target the right
+/// engine instance and do not re-fire on retries.
+EngineOptions unit_engine_options(const EngineOptions& base,
+                                  std::uint64_t base_seed, std::size_t unit,
+                                  std::uint32_t attempt = 0);
+
 /// Engine for work unit `unit` of a parallel run: `base` with its seed
 /// replaced by derive_stream_seed(base_seed, unit), sharing `model` (one
 /// capacitance inversion across all units; pass nullptr to build privately).
 /// Unit engines are what make sweeps and multi-seed runs bitwise
 /// thread-count independent: the stream depends on the unit index only.
+/// `attempt` > 0 selects the re-derived retry stream (guard/retry.h).
 Engine make_unit_engine(const Circuit& circuit, const EngineOptions& base,
                         std::uint64_t base_seed, std::size_t unit,
-                        std::shared_ptr<const ElectrostaticModel> model);
+                        std::shared_ptr<const ElectrostaticModel> model,
+                        std::uint32_t attempt = 0);
 
 }  // namespace semsim

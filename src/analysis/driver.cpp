@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 
 #include "analysis/api.h"
 #include "base/constants.h"
@@ -9,6 +10,7 @@
 #include "base/math_util.h"
 #include "base/random.h"
 #include "base/thread_pool.h"
+#include "guard/retry.h"
 
 namespace semsim {
 
@@ -37,6 +39,7 @@ CheckpointConfig checkpoint_config(const SimulationInput& input,
   } else {
     ckpt.path = options.checkpoint_path;
   }
+  ckpt.salvage = options.salvage_checkpoint;
   if (ckpt.enabled()) ckpt.fingerprint = run_fingerprint(input, options);
   return ckpt;
 }
@@ -103,10 +106,19 @@ DriverResult run_simulation(const SimulationInput& input,
       // when the stop criterion does not bring its own.
       if (cfg.stop.max_events == 0) cfg.stop.max_events = input.max_jumps;
     }
+    cfg.retry = options.retry;
     ParallelSweepConfig par;
     par.base_seed = options.seed;
-    result.sweep =
-        run_iv_sweep(input.circuit, eo, cfg, exec, par, &result.counters, ckpt);
+    result.sweep = run_iv_sweep(input.circuit, eo, cfg, exec, par,
+                                &result.counters, ckpt, &result.integrity);
+    for (std::size_t i = 0; i < result.sweep.size(); ++i) {
+      const IvPoint& p = result.sweep[i];
+      if (p.status != PointStatus::kFailed) continue;
+      result.failures.push_back(
+          {i, p.error, p.attempts,
+           "sweep point " + std::to_string(i) + " (V = " +
+               std::to_string(p.bias) + ") " + point_status_label(p)});
+    }
     result.events = result.counters.events;
     // The per-unit SolverStats are merged into the counters; mirror the
     // totals into `stats` for callers that only look there.
@@ -150,7 +162,7 @@ DriverResult run_simulation(const SimulationInput& input,
       fp.u64(kSlices);
       RunCheckpoint cp(ckpt.path,
                        fnv1a64(fp.bytes().data(), fp.bytes().size()),
-                       kSlices + 1, ckpt.require_existing);
+                       kSlices + 1, ckpt.require_existing, ckpt.salvage);
       std::int64_t done = cp.last_unit();
       if (done >= 0) {
         const std::vector<std::uint8_t> bytes =
@@ -201,6 +213,7 @@ DriverResult run_simulation(const SimulationInput& input,
     result.simulated_time = engine.time();
     result.events = engine.event_count();
     result.stats = engine.stats();
+    result.integrity.merge(engine.integrity_report());
     result.counters.threads = 1;
     result.counters.wall_seconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
@@ -230,6 +243,14 @@ DriverResult run_simulation(const SimulationInput& input,
     SolverStats stats;
     /// Convergence mode only: the repeat's sample statistics.
     ConvergedCurrentResult converged;
+    // Fault isolation: attempts spent, and the last error when the repeat
+    // was retried (ok, code != kNone) or excluded entirely (!ok).
+    bool ok = true;
+    ErrorCode code = ErrorCode::kNone;
+    std::uint32_t attempts = 1;
+    /// Audit trail across every attempt's engine (not checkpointed — the
+    /// trail is a diagnostic, not part of the run identity).
+    IntegrityReport integrity;
   };
   const bool use_convergence = options.stop.convergence_enabled();
   StopCriterion stop = options.stop;
@@ -243,10 +264,13 @@ DriverResult run_simulation(const SimulationInput& input,
     fp.u64(repeats);
     cp = std::make_unique<RunCheckpoint>(
         ckpt.path, fnv1a64(fp.bytes().data(), fp.bytes().size()), repeats,
-        ckpt.require_existing);
+        ckpt.require_existing, ckpt.salvage);
   }
   const auto encode_repeat = [&](const RepeatResult& r) {
     BinaryWriter w;
+    w.u8(r.ok ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(r.code));
+    w.u32(r.attempts);
     w.f64(r.estimate.mean);
     w.f64(r.estimate.stderr_mean);
     w.f64(r.estimate.sim_time);
@@ -265,6 +289,9 @@ DriverResult run_simulation(const SimulationInput& input,
   const auto decode_repeat = [&](const std::vector<std::uint8_t>& bytes) {
     BinaryReader rd(bytes);
     RepeatResult r;
+    r.ok = rd.u8() != 0;
+    r.code = static_cast<ErrorCode>(rd.u32());
+    r.attempts = rd.u32();
     r.estimate.mean = rd.f64();
     r.estimate.stderr_mean = rd.f64();
     r.estimate.sim_time = rd.f64();
@@ -289,18 +316,53 @@ DriverResult run_simulation(const SimulationInput& input,
   const std::vector<RepeatResult> runs_out =
       exec.map<RepeatResult>(repeats, [&](std::size_t rpt) {
         if (cp && cp->has(rpt)) return decode_repeat(cp->payload(rpt));
-        Engine engine =
-            make_unit_engine(input.circuit, eo, options.seed, rpt, model);
+        // Fault-isolated repeat: recoverable errors rebuild the engine on
+        // the re-derived retry stream; an exhausted repeat is recorded as
+        // failed and excluded from the merge instead of aborting the run.
+        std::uint32_t tried = 0;
+        ErrorCode last_code = ErrorCode::kNone;
         RepeatResult r;
-        if (use_convergence) {
-          r.converged = measure_current_converged(engine, probes,
-                                                  cfg.warmup_events, stop);
-          r.estimate = r.converged.estimate;
-        } else {
-          r.estimate = measure_mean_current(engine, probes, cfg);
+        std::optional<Engine> slot;
+        for (;;) {
+          try {
+            slot.emplace(input.circuit,
+                         unit_engine_options(eo, options.seed, rpt, tried),
+                         model);
+            if (use_convergence) {
+              r.converged = measure_current_converged(*slot, probes,
+                                                      cfg.warmup_events, stop);
+              r.estimate = r.converged.estimate;
+            } else {
+              r.estimate = measure_mean_current(*slot, probes, cfg);
+            }
+            r.sim_time = slot->time();
+            merge_stats(r.stats, slot->stats());
+            r.integrity.merge(slot->integrity_report());
+            r.attempts = tried + 1;
+            if (tried > 0) r.code = last_code;  // retried, then succeeded
+            break;
+          } catch (Error& e) {
+            ++tried;
+            last_code =
+                e.code() == ErrorCode::kNone ? ErrorCode::kUnknown : e.code();
+            if (slot) {
+              merge_stats(r.stats, slot->stats());
+              r.integrity.merge(slot->integrity_report());
+            }
+            if (options.retry.should_retry(last_code, tried)) {
+              retry_sleep(retry_backoff_seconds(options.retry, tried));
+              continue;
+            }
+            if (options.retry.strict) {
+              e.add_context("repeat " + std::to_string(rpt));
+              throw;
+            }
+            r.ok = false;
+            r.code = last_code;
+            r.attempts = tried;
+            break;
+          }
         }
-        r.sim_time = engine.time();
-        r.stats = engine.stats();
         if (cp) cp->record(rpt, encode_repeat(r));
         return r;
       });
@@ -310,21 +372,40 @@ DriverResult run_simulation(const SimulationInput& input,
           .count();
 
   // Merge in repeat-index order on this thread: every statistic below is
-  // bitwise independent of the worker count.
+  // bitwise independent of the worker count. Failed repeats contribute
+  // their work counters and audit trail but are excluded from the
+  // statistics; the run degrades to the surviving repeats.
   RunningStats runs;
   ConvergedCurrentResult merged;
   bool all_converged = true;
-  for (const RepeatResult& r : runs_out) {
-    runs.add(r.estimate.mean);
+  const RepeatResult* last_ok = nullptr;
+  for (std::size_t rpt = 0; rpt < runs_out.size(); ++rpt) {
+    const RepeatResult& r = runs_out[rpt];
     result.simulated_time += r.sim_time;
     merge_stats(result.stats, r.stats);
     result.counters.absorb(r.stats);
+    result.integrity.merge(r.integrity);
+    if (!r.ok) {
+      result.failures.push_back(
+          {rpt, r.code, r.attempts,
+           "repeat " + std::to_string(rpt) + " failed:" +
+               error_code_name(r.code)});
+      continue;
+    }
+    runs.add(r.estimate.mean);
     if (use_convergence) {
       merged.samples.merge(r.converged.samples);
       all_converged = all_converged && r.converged.converged;
     }
+    last_ok = &r;
   }
-  CurrentEstimate est = runs_out.back().estimate;
+  if (last_ok == nullptr) {
+    throw Error(result.failures.empty() ? ErrorCode::kUnknown
+                                        : result.failures.back().code,
+                "run_simulation: all " + std::to_string(runs_out.size()) +
+                    " repeats failed — no current estimate survives");
+  }
+  CurrentEstimate est = last_ok->estimate;
   if (use_convergence) {
     // Across independent repeats the merged accumulator is the natural
     // estimator: its binned error accounts for in-stream autocorrelation,
@@ -338,7 +419,7 @@ DriverResult run_simulation(const SimulationInput& input,
     result.converged = std::move(merged);
   } else {
     est.mean = runs.mean();
-    if (repeats > 1) est.stderr_mean = runs.stderr_mean();
+    if (runs.count() > 1) est.stderr_mean = runs.stderr_mean();
   }
   result.current = est;
   result.events = result.stats.events;

@@ -41,6 +41,29 @@ struct DriverOptions {
   std::string checkpoint_path;
   /// Like checkpoint_path, but the file MUST already exist (--resume).
   std::string resume_path;
+  /// Salvage a damaged checkpoint file: keep the valid record prefix and
+  /// recompute the rest instead of rejecting the file (--salvage-checkpoint).
+  bool salvage_checkpoint = false;
+
+  /// Invariant-audit cadence/tolerances for every engine of the run
+  /// (guard/integrity.h). On by default at the auto cadence.
+  AuditOptions audit;
+  /// Fault isolation for sweep points and repeat units (guard/retry.h):
+  /// recoverable errors are retried on a re-seeded stream, then degraded to
+  /// a recorded failure; retry.strict restores fail-fast (CLI --strict).
+  RetryPolicy retry;
+  /// Optional deterministic fault schedule (tests/benches); the caller owns
+  /// the plan, which must outlive the run. nullptr = no injection.
+  const FaultPlan* fault_plan = nullptr;
+};
+
+/// One work unit (sweep point index, repeat index) that exhausted its
+/// attempts and was excluded from the results.
+struct UnitFailure {
+  std::uint64_t unit = 0;
+  ErrorCode code = ErrorCode::kNone;
+  std::uint32_t attempts = 0;  ///< attempts spent before giving up
+  std::string message;
 };
 
 struct DriverResult {
@@ -58,6 +81,16 @@ struct DriverResult {
   /// the merged (index-order, thread-count-independent) sample statistics
   /// across all repeats.
   std::optional<ConvergedCurrentResult> converged;
+  /// Work units that exhausted their retry budget (non-strict mode only;
+  /// strict runs throw instead). Sweep failures also appear as
+  /// `failed:<code>` rows in `sweep`.
+  std::vector<UnitFailure> failures;
+  /// Merged audit trail of every engine the run created (index order).
+  IntegrityReport integrity;
+
+  /// True when some unit failed and its result was degraded (NaN sweep row,
+  /// excluded repeat); CLI maps this to a distinct nonzero exit code.
+  bool degraded() const noexcept { return !failures.empty(); }
 };
 
 /// Run identity hash for checkpoint files: everything that determines the

@@ -14,15 +14,24 @@
 //     Within a chunk, points still warm-start from their predecessor.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "analysis/current.h"
 #include "base/thread_pool.h"
 #include "core/engine.h"
+#include "guard/integrity.h"
+#include "guard/retry.h"
 #include "netlist/parser.h"
 #include "obs/checkpoint.h"
 
 namespace semsim {
+
+/// Fault-isolation outcome of one sweep point (guard layer). kOk means the
+/// first attempt succeeded; kRetried means at least one attempt threw a
+/// recoverable error and a re-seeded attempt succeeded; kFailed means every
+/// permitted attempt failed and the point carries NaN values.
+enum class PointStatus : std::uint8_t { kOk = 0, kRetried = 1, kFailed = 2 };
 
 struct IvPoint {
   double bias = 0.0;     ///< swept source voltage [V]
@@ -33,7 +42,15 @@ struct IvPoint {
   double rel_error = 0.0;   ///< binned stderr / |mean|
   double tau_int = 0.5;     ///< integrated autocorrelation time [chunks]
   std::uint64_t events = 0; ///< measurement events spent on this point
+  // Fault-isolation outcome (guard layer).
+  PointStatus status = PointStatus::kOk;
+  ErrorCode error = ErrorCode::kNone;  ///< last error when status != kOk
+  std::uint32_t attempts = 1;          ///< attempts spent on this point
 };
+
+/// Status-column label: "ok", "retried", or "failed:<code name>" (e.g.
+/// "failed:invariant.non_finite_rate").
+std::string point_status_label(const IvPoint& p);
 
 struct IvSweepConfig {
   NodeId swept = 0;        ///< external node being swept
@@ -48,6 +65,12 @@ struct IvSweepConfig {
   /// replacing the fixed measure.measure_events budget; measure.warmup_events
   /// still applies.
   StopCriterion stop;
+  /// Fault isolation: recoverable per-point errors (numeric, invariant,
+  /// timeout) are retried on a re-seeded engine, then degraded to a
+  /// `failed:<code>` row instead of aborting the sweep. retry.strict
+  /// restores fail-fast: the first error is rethrown with the bias point
+  /// added to its context chain.
+  RetryPolicy retry;
 };
 
 /// Runs the sweep in place. Points are from, from+step, ..., <= to (+eps).
@@ -73,13 +96,19 @@ struct ParallelSweepConfig {
 /// chunks already present in the file are restored instead of recomputed —
 /// because chunks are pure functions of (config, chunk_index), the resumed
 /// table is bitwise identical to the uninterrupted one at any thread count.
+/// `integrity`, when non-null, additionally receives the merged (unit
+/// index order) audit trail of every engine the sweep ran, including the
+/// engines of failed attempts. Chunks restored from a checkpoint contribute
+/// no audit counts (the trail is a diagnostic, not part of the run identity,
+/// so it is not serialized).
 std::vector<IvPoint> run_iv_sweep(const Circuit& circuit,
                                   const EngineOptions& options,
                                   const IvSweepConfig& cfg,
                                   const ParallelExecutor& exec,
                                   const ParallelSweepConfig& par = {},
                                   RunCounters* counters = nullptr,
-                                  const CheckpointConfig& ckpt = {});
+                                  const CheckpointConfig& ckpt = {},
+                                  IntegrityReport* integrity = nullptr);
 
 /// Builds an IvSweepConfig from a parsed input file's sweep/record/jumps
 /// directives (paper Example Input File 1 end-to-end path).
@@ -93,12 +122,35 @@ struct StabilityMapConfig {
   std::vector<double> gate_values;
   std::vector<CurrentProbe> probes;
   CurrentMeasureConfig measure;
+  /// Per-cell fault isolation; see IvSweepConfig::retry.
+  RetryPolicy retry;
+};
+
+/// Fault-isolation outcome of one stability-map cell that did not complete
+/// on its first attempt (the map itself only holds |I| doubles; a failed
+/// cell is NaN).
+struct MapCellStatus {
+  std::size_t gate = 0;
+  std::size_t bias = 0;
+  PointStatus status = PointStatus::kOk;
+  ErrorCode error = ErrorCode::kNone;
+  std::uint32_t attempts = 1;
+};
+
+/// Optional diagnostics from a stability map: every degraded (retried or
+/// failed) cell plus the merged audit trail of all engines.
+struct StabilityMapReport {
+  std::vector<MapCellStatus> degraded;
+  IntegrityReport integrity;
+
+  bool ok() const noexcept { return degraded.empty(); }
 };
 
 /// 2-D current map: result[g][b] = |I| at gate_values[g], bias_values[b].
 /// (Magnitude, matching the log-scale contour of the paper's Fig. 5.)
-std::vector<std::vector<double>> run_stability_map(Engine& engine,
-                                                   const StabilityMapConfig& cfg);
+std::vector<std::vector<double>> run_stability_map(
+    Engine& engine, const StabilityMapConfig& cfg,
+    StabilityMapReport* report = nullptr);
 
 /// Deterministic parallel stability map: one work unit per GATE ROW (the
 /// bias sweep inside a row warm-starts serially, as in the single-engine
@@ -107,6 +159,7 @@ std::vector<std::vector<double>> run_stability_map(Engine& engine,
 std::vector<std::vector<double>> run_stability_map(
     const Circuit& circuit, const EngineOptions& options,
     const StabilityMapConfig& cfg, const ParallelExecutor& exec,
-    const ParallelSweepConfig& par = {}, RunCounters* counters = nullptr);
+    const ParallelSweepConfig& par = {}, RunCounters* counters = nullptr,
+    StabilityMapReport* report = nullptr);
 
 }  // namespace semsim

@@ -6,7 +6,9 @@
 // only a few rates per event). A Fenwick tree gives O(log n) for all three.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "base/error.h"
@@ -32,10 +34,14 @@ class FenwickTree {
   /// Current weight of channel `i`.
   double value(std::size_t i) const { return values_[i]; }
 
-  /// Sets channel `i` to `w` (w >= 0). O(log n).
+  /// Sets channel `i` to `w` (w finite and >= 0). O(log n).
+  /// A non-finite or negative weight throws a coded InvariantViolation
+  /// naming the channel: a NaN accepted here would silently poison every
+  /// prefix sum above it and corrupt all subsequent sampling. Note the
+  /// check must reject +inf too, not just w < 0.
   void set(std::size_t i, double w) {
     require(i < values_.size(), "FenwickTree::set: index out of range");
-    require(w >= 0.0, "FenwickTree::set: negative weight");
+    if (!valid_weight(w)) throw_bad_weight("FenwickTree::set", i, w);
     const double delta = w - values_[i];
     if (delta == 0.0) return;
     values_[i] = w;
@@ -56,7 +62,8 @@ class FenwickTree {
     for (std::size_t k = 0; k < n; ++k) {
       require(indices[k] < values_.size(),
               "FenwickTree::set_many: index out of range");
-      require(weights[k] >= 0.0, "FenwickTree::set_many: negative weight");
+      if (!valid_weight(weights[k]))
+        throw_bad_weight("FenwickTree::set_many", indices[k], weights[k]);
     }
     for (std::size_t k = 0; k < n; ++k) {
       const std::size_t i = indices[k];
@@ -99,7 +106,10 @@ class FenwickTree {
   /// n individual set() calls when a full refresh recomputes all rates.
   void set_all(const std::vector<double>& values) {
     require(values.size() == values_.size(), "FenwickTree::set_all: size mismatch");
-    for (double v : values) require(v >= 0.0, "FenwickTree::set_all: negative weight");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (!valid_weight(values[i]))
+        throw_bad_weight("FenwickTree::set_all", i, values[i]);
+    }
     values_ = values;
     rebuild();
   }
@@ -138,6 +148,21 @@ class FenwickTree {
   }
 
  private:
+  static bool valid_weight(double w) noexcept {
+    return std::isfinite(w) && w >= 0.0;
+  }
+
+  // Cold path kept out of line of the inlined setters.
+  [[noreturn]] static void throw_bad_weight(const char* where, std::size_t i,
+                                            double w) {
+    const ErrorCode code =
+        std::isfinite(w) ? ErrorCode::kNegativeRate : ErrorCode::kNonFiniteRate;
+    throw InvariantViolation(code, std::string(where) + ": channel " +
+                                       std::to_string(i) +
+                                       " weight is invalid (" +
+                                       std::to_string(w) + ")");
+  }
+
   static std::size_t highest_power_of_two(std::size_t n) noexcept {
     std::size_t p = 1;
     while (p * 2 <= n) p *= 2;

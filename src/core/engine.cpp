@@ -6,6 +6,7 @@
 
 #include "base/constants.h"
 #include "base/error.h"
+#include "guard/retry.h"
 
 namespace semsim {
 
@@ -22,7 +23,9 @@ Engine::Engine(const Circuit& circuit, EngineOptions options,
       model_(*model_holder_),
       calc_(circuit, model_, options_),
       adaptive_(circuit, options_.adaptive.threshold),
-      rng_(options_.seed) {
+      rng_(options_.seed),
+      auditor_(options_.audit),
+      fault_(options_.fault) {
   // The paper routes all superconducting rates through the non-adaptive
   // solver; cotunneling circuits keep adaptive single-electron handling but
   // recompute the cotunneling channels non-adaptively every event.
@@ -33,6 +36,8 @@ Engine::Engine(const Circuit& circuit, EngineOptions options,
       options_.adaptive.refresh_interval > 0
           ? options_.adaptive.refresh_interval
           : std::max<std::uint64_t>(1000, 2 * circuit.junction_count());
+  audit_interval_ =
+      options_.audit.enabled ? options_.audit.resolved_interval() : 0;
 
   rates_.reset(channel_count());
   rate_buf_.resize(channel_count(), 0.0);
@@ -136,8 +141,12 @@ void Engine::reset(std::uint64_t seed) {
   for (std::size_t e = 0; e < n_ext_; ++e) {
     node_v_[n_isl_ + e] = circuit_.source(model_.external_node(e)).value(0.0);
   }
+  stall_clock_ = false;
   full_update();
   next_breakpoint_ = refresh_next_breakpoint();
+  auditor_.clear();
+  rebaseline_audit();
+  auditor_.arm(time_, stats_.events);
 }
 
 EngineSnapshot Engine::snapshot() {
@@ -179,6 +188,8 @@ void Engine::restore(const EngineSnapshot& s) {
   full_update();  // rebuild all caches from the restored state
   stats_ = s.stats;  // after full_update: its work must not double-count
   next_breakpoint_ = s.next_breakpoint;
+  rebaseline_audit();
+  auditor_.arm(time_, stats_.events);
 }
 
 void Engine::island_charges_into(std::vector<double>& q) const {
@@ -250,6 +261,7 @@ void Engine::recompute_all_rates() {
   stats_.cot_rate_evaluations += n_paths;
 
   rates_.set_all(rate_buf_);
+  audit_peak_total_ = 0.0;  // set_all rebuilt the tree: drift squashed
 }
 
 void Engine::apply_charge_move_everywhere(NodeId from, NodeId to, double q) {
@@ -450,6 +462,8 @@ void Engine::set_dc_source(NodeId n, double volts) {
     full_update();
   }
   next_breakpoint_ = refresh_next_breakpoint();
+  // Each bias point gets its own wall-clock budget and progress window.
+  auditor_.arm(time_, stats_.events);
 }
 
 void Engine::set_electron_counts(
@@ -460,6 +474,7 @@ void Engine::set_electron_counts(
     electrons_[static_cast<std::size_t>(k)] = n;
   }
   full_update();
+  rebaseline_audit();
 }
 
 void Engine::rebase_time() {
@@ -467,6 +482,9 @@ void Engine::rebase_time() {
           "rebase_time: sources still have future breakpoints");
   time_ = 0.0;
   next_breakpoint_ = refresh_next_breakpoint();
+  // The progress tracker anchors to the simulation clock; re-arm it so the
+  // rebased (smaller) time is not mistaken for a stall.
+  auditor_.arm(time_, stats_.events);
 }
 
 void Engine::apply_event(std::size_t channel, Event& ev) {
@@ -523,6 +541,7 @@ Engine::StepOutcome Engine::step_internal(double t_limit, Event* out) {
   double total = 0.0;
   for (;;) {
     total = rates_.total();
+    if (total > audit_peak_total_) audit_peak_total_ = total;
     dt = exponential_waiting_time(rng_, total);
     const double t_event = time_ + dt;
     if (std::isfinite(next_breakpoint_) && next_breakpoint_ <= t_event &&
@@ -553,6 +572,7 @@ Engine::StepOutcome Engine::step_internal(double t_limit, Event* out) {
     break;
   }
 
+  if (stall_clock_) dt = 0.0;  // injected kStallClock fault
   time_ += dt;
   std::size_t channel = rates_.sample(rng_.uniform01() * total);
   if (rates_.value(channel) <= 0.0) {
@@ -571,7 +591,14 @@ Engine::StepOutcome Engine::step_internal(double t_limit, Event* out) {
   apply_event(channel, ev);
   ev.time = time_;
   ++stats_.events;
-  if ((stats_.events & 0xFFFF) == 0) rates_.rebuild();  // cap FP drift
+  // Fault-injection poll: with no plan armed this is one pointer test.
+  if (fault_.armed()) {
+    if (const FaultSpec* f = fault_.next(stats_.events)) apply_fault(*f);
+  }
+  if ((stats_.events & 0xFFFF) == 0) {
+    rates_.rebuild();  // cap FP drift
+    audit_peak_total_ = 0.0;
+  }
 
   after_charge_move(ev.from, ev.to, ev.charge);
 
@@ -579,9 +606,71 @@ Engine::StepOutcome Engine::step_internal(double t_limit, Event* out) {
     full_update();
   }
 
+  // Periodic integrity audit: read-only and RNG-free, so trajectories are
+  // bitwise unaffected; amortized cost is negligible at the default cadence.
+  if (audit_interval_ != 0 && stats_.events % audit_interval_ == 0) {
+    run_audit();
+  }
+
   if (out) *out = ev;
   if (callback_) callback_(*this, ev);
   return StepOutcome::kExecuted;
+}
+
+void Engine::rebaseline_audit() {
+  audit_base_electrons_ = electrons_;
+  audit_base_transferred_ = transferred_e_;
+}
+
+void Engine::run_audit() {
+  AuditView view;
+  view.rates = &rates_;
+  view.island_v = node_v_.data();
+  view.n_islands = n_isl_;
+  view.electrons = electrons_.data();
+  view.base_electrons = audit_base_electrons_.data();
+  view.transferred_e = transferred_e_.data();
+  view.base_transferred = audit_base_transferred_.data();
+  view.n_junctions = circuit_.junction_count();
+  view.slot_a = slot_a_.data();
+  view.slot_b = slot_b_.data();
+  view.sim_time = time_;
+  view.events = stats_.events;
+  view.rate_scale = audit_peak_total_;
+  auditor_.audit(view);
+}
+
+void Engine::apply_fault(const FaultSpec& f) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  switch (f.kind) {
+    case FaultKind::kNanRate:
+      // Goes through the guarded Fenwick setter on purpose: the injection
+      // IS the corruption attempt, and the setter must reject it.
+      rates_.set(f.index % rates_.size(), kNan);
+      break;
+    case FaultKind::kInfRate:
+      rates_.set(f.index % rates_.size(), kInf);
+      break;
+    case FaultKind::kNegativeRate:
+      rates_.set(f.index % rates_.size(), f.value < 0.0 ? f.value : -1.0);
+      break;
+    case FaultKind::kNanPotential:
+      if (n_isl_ > 0) node_v_[f.index % n_isl_] = kNan;
+      break;
+    case FaultKind::kCorruptCharge:
+      // Adds an electron with no matching junction transfer, violating the
+      // charge-conservation invariant the auditor checks.
+      if (n_isl_ > 0) electrons_[f.index % n_isl_] += 1;
+      break;
+    case FaultKind::kStallClock:
+      stall_clock_ = true;
+      break;
+    case FaultKind::kSleep:
+      retry_sleep(static_cast<double>(f.millis) / 1000.0);
+      break;
+    case FaultKind::kNone:
+      break;
+  }
 }
 
 bool Engine::step(Event* out) {

@@ -30,6 +30,8 @@
 
 #include "base/fenwick.h"
 #include "base/random.h"
+#include "guard/fault.h"
+#include "guard/integrity.h"
 #include "core/adaptive_solver.h"
 #include "core/options.h"
 #include "core/rate_calculator.h"
@@ -108,6 +110,13 @@ class Engine {
 
   /// Work counters for the Fig. 6 cost analysis.
   const SolverStats& stats() const noexcept { return stats_; }
+
+  /// Audit trail of the periodic integrity checks (guard/integrity.h):
+  /// audits run and any violations detected before the corresponding throw.
+  const IntegrityReport& integrity_report() const noexcept {
+    return auditor_.report();
+  }
+
   const ElectrostaticModel& model() const noexcept { return model_; }
   const Circuit& circuit() const noexcept { return circuit_; }
   const EngineOptions& options() const noexcept { return options_; }
@@ -188,6 +197,15 @@ class Engine {
   void recompute_secondary();  // CP + cotunneling channels (non-adaptive)
   void apply_event(std::size_t channel, Event& ev);
   void after_charge_move(NodeId from, NodeId to, double q);
+  /// Runs the invariant auditor against the current state (throws a coded
+  /// InvariantViolation / TimeoutError on a failed check).
+  void run_audit();
+  /// Applies one injected fault (tests/bench only; guard/fault.h).
+  void apply_fault(const FaultSpec& f);
+  /// Re-anchors the charge-conservation baselines to the current state
+  /// (reset / restore / set_electron_counts legitimately change electron
+  /// counts without tunnel events).
+  void rebaseline_audit();
   double refresh_next_breakpoint() const;
   void island_charges_into(std::vector<double>& q) const;
 
@@ -244,6 +262,15 @@ class Engine {
   std::vector<std::vector<std::size_t>> source_seed_junctions_;
   SolverStats stats_;
   std::function<void(const Engine&, const Event&)> callback_;
+
+  // ---- integrity layer (guard) --------------------------------------------
+  InvariantAuditor auditor_;
+  FaultInjector fault_;
+  std::uint64_t audit_interval_ = 0;  // 0 = auditing disabled
+  double audit_peak_total_ = 0.0;     // peak rate total since last rebuild
+  bool stall_clock_ = false;          // injected kStallClock fault latched
+  std::vector<long> audit_base_electrons_;      // per island
+  std::vector<double> audit_base_transferred_;  // per junction
 };
 
 }  // namespace semsim

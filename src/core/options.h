@@ -3,6 +3,9 @@
 
 #include <cstdint>
 
+#include "guard/fault.h"
+#include "guard/integrity.h"
+
 namespace semsim {
 
 /// Parameters of the adaptive solver (paper Algorithm 1).
@@ -52,6 +55,15 @@ struct EngineOptions {
 
   /// RNG seed for the event solver.
   std::uint64_t seed = 1;
+
+  /// Periodic runtime invariant auditing (guard/integrity.h). Enabled by
+  /// default at the auto cadence; the audit is read-only and draws no RNG,
+  /// so trajectories are bitwise identical with it on or off.
+  AuditOptions audit;
+
+  /// Deterministic fault injection for tests/benches (guard/fault.h).
+  /// Default-constructed = disarmed; costs one pointer test per event.
+  FaultInjector fault;
 };
 
 /// Convergence-based stopping for Monte-Carlo measurements (obs subsystem):

@@ -1,0 +1,42 @@
+// Process exit codes for the CLI and batch drivers.
+//
+// Scripts driving semsim (CI smoke jobs, sweep farms) need to distinguish
+// "your input is wrong" from "a run went numerically bad" from "the
+// checkpoint doesn't match" without parsing stderr. One code per error
+// category, documented in README.md; keep the numbers stable.
+#pragma once
+
+#include "base/error.h"
+
+namespace semsim {
+
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitFailure = 1,    ///< uncategorized error (std::exception, kUnknown)
+  kExitUsage = 2,      ///< bad command line (conventional usage code)
+  kExitParse = 3,      ///< netlist parse / circuit structure error
+  kExitNumeric = 4,    ///< numeric failure or invariant violation
+  kExitIo = 5,         ///< file / checkpoint I/O error (incl. resume mismatch)
+  kExitTimeout = 6,    ///< watchdog wall-clock abort
+  kExitDegraded = 8,   ///< run completed but some points failed (non-strict)
+};
+
+/// Maps a coded error to its process exit code.
+inline int exit_code_for(const Error& e) noexcept {
+  switch (e.category()) {
+    case ErrorCategory::kParse:
+    case ErrorCategory::kCircuit:
+      return kExitParse;
+    case ErrorCategory::kNumeric:
+    case ErrorCategory::kInvariant:
+      return kExitNumeric;
+    case ErrorCategory::kIo:
+      return kExitIo;
+    case ErrorCategory::kTimeout:
+      return kExitTimeout;
+    default:
+      return kExitFailure;
+  }
+}
+
+}  // namespace semsim

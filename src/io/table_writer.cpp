@@ -14,9 +14,9 @@ TableWriter::TableWriter(std::vector<std::string> columns)
   require(!columns_.empty(), "TableWriter: need at least one column");
 }
 
-void TableWriter::add_row(const std::vector<double>& values) {
-  require(values.size() == columns_.size(), "TableWriter: column count mismatch");
-  rows_.push_back(values);
+void TableWriter::add_row(std::vector<TableCell> cells) {
+  require(cells.size() == columns_.size(), "TableWriter: column count mismatch");
+  rows_.push_back(std::move(cells));
 }
 
 void TableWriter::add_comment(std::string text) {
@@ -35,7 +35,11 @@ void TableWriter::write(std::ostream& os) const {
     line.str({});
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i) line << '\t';
-      line << row[i];
+      if (row[i].is_text()) {
+        line << row[i].text();
+      } else {
+        line << row[i].num();  // same formatting path as the double-only API
+      }
     }
     os << line.str() << '\n';
   }

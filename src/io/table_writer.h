@@ -8,13 +8,41 @@
 
 namespace semsim {
 
+/// One table cell: a double (streamed through the same ostream formatting
+/// as always, so numeric output is byte-identical to the double-only API)
+/// or a text label (e.g. the sweep status column).
+class TableCell {
+ public:
+  TableCell(double v) : num_(v) {}                          // NOLINT(runtime/explicit)
+  TableCell(std::string s) : is_text_(true), text_(std::move(s)) {}  // NOLINT
+  TableCell(const char* s) : TableCell(std::string(s)) {}   // NOLINT
+
+  bool is_text() const noexcept { return is_text_; }
+  double num() const noexcept { return num_; }
+  const std::string& text() const noexcept { return text_; }
+
+ private:
+  bool is_text_ = false;
+  double num_ = 0.0;
+  std::string text_;
+};
+
 class TableWriter {
  public:
   /// Column names are written as a "# col1\tcol2..." header on first row.
   explicit TableWriter(std::vector<std::string> columns);
 
-  /// Adds one row; must match the column count.
-  void add_row(const std::vector<double>& values);
+  /// Adds one row; must match the column count. Cells are doubles or text
+  /// labels (status columns and the like) — a braced list of doubles
+  /// converts element-wise, so `add_row({1.0, 2.5})` keeps working. A
+  /// second vector<double> overload would make every such braced list
+  /// ambiguous, hence the single signature; convert an existing
+  /// vector<double> with TableWriter::cells().
+  void add_row(std::vector<TableCell> cells);
+  /// Element-wise conversion helper for double-only rows held in vectors.
+  static std::vector<TableCell> cells(const std::vector<double>& values) {
+    return std::vector<TableCell>(values.begin(), values.end());
+  }
 
   /// Arbitrary leading comment lines ("# ...").
   void add_comment(std::string text);
@@ -31,7 +59,7 @@ class TableWriter {
  private:
   std::vector<std::string> columns_;
   std::vector<std::string> comments_;
-  std::vector<std::vector<double>> rows_;
+  std::vector<std::vector<TableCell>> rows_;
 };
 
 }  // namespace semsim

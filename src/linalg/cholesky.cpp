@@ -19,6 +19,7 @@ CholeskyDecomposition::CholeskyDecomposition(const Matrix& a)
     // no capacitive path to any fixed potential).
     if (!(diag > a(j, j) * 1e-12)) {
       throw NumericError(
+          ErrorCode::kNotPositiveDefinite,
           "Cholesky: matrix not positive definite at pivot " +
           std::to_string(j) +
           " (circuit likely has an island with no capacitive path to a "

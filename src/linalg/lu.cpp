@@ -26,8 +26,9 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
       }
     }
     if (best == 0.0) {
-      throw NumericError("LuDecomposition: singular matrix at column " +
-                         std::to_string(k));
+      throw NumericError(ErrorCode::kSingularMatrix,
+                         "LuDecomposition: singular matrix at column " +
+                             std::to_string(k));
     }
     if (pivot != k) {
       for (std::size_t c = 0; c < n; ++c) {

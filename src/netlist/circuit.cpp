@@ -43,11 +43,15 @@ std::size_t Circuit::add_junction(NodeId a, NodeId b, double resistance,
           "add_junction: node a out of range");
   require(b >= 0 && static_cast<std::size_t>(b) < nodes_.size(),
           "add_junction: node b out of range");
-  if (a == b) throw CircuitError("add_junction: self-loop junction");
+  if (a == b)
+    throw CircuitError(ErrorCode::kCircuitSelfLoop,
+                       "add_junction: self-loop junction");
   if (!(resistance > 0.0))
-    throw CircuitError("add_junction: resistance must be positive");
+    throw CircuitError(ErrorCode::kCircuitBadElementValue,
+                       "add_junction: resistance must be positive");
   if (!(capacitance > 0.0))
-    throw CircuitError("add_junction: capacitance must be positive");
+    throw CircuitError(ErrorCode::kCircuitBadElementValue,
+                       "add_junction: capacitance must be positive");
   junctions_.push_back(Junction{a, b, resistance, capacitance});
   invalidate_adjacency();
   return junctions_.size() - 1;
@@ -58,9 +62,12 @@ std::size_t Circuit::add_capacitor(NodeId a, NodeId b, double capacitance) {
           "add_capacitor: node a out of range");
   require(b >= 0 && static_cast<std::size_t>(b) < nodes_.size(),
           "add_capacitor: node b out of range");
-  if (a == b) throw CircuitError("add_capacitor: self-loop capacitor");
+  if (a == b)
+    throw CircuitError(ErrorCode::kCircuitSelfLoop,
+                       "add_capacitor: self-loop capacitor");
   if (!(capacitance > 0.0))
-    throw CircuitError("add_capacitor: capacitance must be positive");
+    throw CircuitError(ErrorCode::kCircuitBadElementValue,
+                       "add_capacitor: capacitance must be positive");
   capacitors_.push_back(Capacitor{a, b, capacitance});
   invalidate_adjacency();
   return capacitors_.size() - 1;
@@ -196,8 +203,9 @@ void Circuit::validate() const {
   }
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].kind == NodeKind::kIsland && degree[i] == 0) {
-      throw CircuitError("validate: island '" + nodes_[i].name +
-                         "' is not connected to anything");
+      throw CircuitError(ErrorCode::kCircuitDanglingIsland,
+                         "validate: island '" + nodes_[i].name +
+                             "' is not connected to anything");
     }
   }
 }

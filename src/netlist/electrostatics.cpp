@@ -58,8 +58,17 @@ ElectrostaticModel::ElectrostaticModel(const Circuit& circuit) {
   }
 
   if (ni > 0) {
-    CholeskyDecomposition chol(c_ii_);
-    kappa_ = chol.inverse();
+    try {
+      CholeskyDecomposition chol(c_ii_);
+      kappa_ = chol.inverse();
+    } catch (NumericError& e) {
+      // Caught by reference and rethrown with `throw;`, so the added frame
+      // survives and the concrete type is preserved for catch-by-type.
+      e.add_context("electrostatic model: factorizing the " +
+                    std::to_string(ni) + "x" + std::to_string(ni) +
+                    " island capacitance matrix C_II");
+      throw;
+    }
     // S = -kappa * C_IE
     source_gain_ = Matrix(ni, ne);
     if (ne > 0) {

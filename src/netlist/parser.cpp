@@ -1,6 +1,7 @@
 #include "netlist/parser.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -11,18 +12,32 @@
 namespace semsim {
 namespace {
 
+[[noreturn]] void fail(ErrorCode code, std::size_t line_no,
+                       const std::string& msg) {
+  throw ParseError(code, line_no, msg);
+}
+
 [[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
-  throw ParseError("input line " + std::to_string(line_no) + ": " + msg);
+  fail(ErrorCode::kParseSyntax, line_no, msg);
 }
 
 double num(const std::vector<std::string>& tok, std::size_t i,
            std::size_t line_no) {
   if (i >= tok.size()) fail(line_no, "missing numeric argument");
+  double v = 0.0;
   try {
-    return parse_spice_number(tok[i]);
+    v = parse_spice_number(tok[i]);
   } catch (const ParseError& e) {
-    fail(line_no, e.what());
+    fail(ErrorCode::kParseBadNumber, line_no, e.message());
   }
+  // The physics layer (physics/rates.h) assumes every element value and
+  // source voltage is finite; reject NaN/inf here where the offending line
+  // is known rather than let it poison rates mid-run.
+  if (!std::isfinite(v)) {
+    fail(ErrorCode::kParseNonFiniteValue, line_no,
+         "non-finite value '" + tok[i] + "'");
+  }
+  return v;
 }
 
 long integer(const std::vector<std::string>& tok, std::size_t i,
@@ -75,7 +90,10 @@ SimulationInput parse_simulation_input(std::istream& in) {
   for (long i = num_ext; i < num_nodes; ++i) out.circuit.add_island();
 
   auto check_node = [&](long n, std::size_t ln) -> NodeId {
-    if (n < 0 || n > num_nodes) fail(ln, "node " + std::to_string(n) + " out of range");
+    if (n < 0 || n > num_nodes) {
+      fail(ErrorCode::kParseNodeRange, ln,
+           "node " + std::to_string(n) + " out of range");
+    }
     return static_cast<NodeId>(n);
   };
 
@@ -88,8 +106,9 @@ SimulationInput parse_simulation_input(std::istream& in) {
   auto claim_source = [&](NodeId n, std::size_t ln) {
     std::size_t& prev = source_line[static_cast<std::size_t>(n)];
     if (prev != 0) {
-      fail(ln, "node " + std::to_string(n) + " already has a source (line " +
-                   std::to_string(prev) + ")");
+      fail(ErrorCode::kParseDuplicateSource, ln,
+           "node " + std::to_string(n) + " already has a source (line " +
+               std::to_string(prev) + ")");
     }
     prev = ln;
   };
@@ -103,12 +122,30 @@ SimulationInput parse_simulation_input(std::istream& in) {
         if (t.size() != 6) fail(l.line_no, "junc <id> <a> <b> <R> <C>");
         const NodeId a = check_node(integer(t, 2, l.line_no), l.line_no);
         const NodeId b = check_node(integer(t, 3, l.line_no), l.line_no);
-        out.circuit.add_junction(a, b, num(t, 4, l.line_no), num(t, 5, l.line_no));
+        // The tunnel-rate preconditions documented in physics/rates.h
+        // (R > 0, C > 0) are enforced HERE, where the offending input line
+        // is known, with codes scripts can dispatch on.
+        const double r = num(t, 4, l.line_no);
+        const double c = num(t, 5, l.line_no);
+        if (!(r > 0.0)) {
+          fail(ErrorCode::kParseNonPositiveResistance, l.line_no,
+               "junction resistance must be positive (got " + t[4] + ")");
+        }
+        if (!(c > 0.0)) {
+          fail(ErrorCode::kParseNonPositiveCapacitance, l.line_no,
+               "junction capacitance must be positive (got " + t[5] + ")");
+        }
+        out.circuit.add_junction(a, b, r, c);
       } else if (kw == "cap") {
         if (t.size() != 4) fail(l.line_no, "cap <a> <b> <C>");
         const NodeId a = check_node(integer(t, 1, l.line_no), l.line_no);
         const NodeId b = check_node(integer(t, 2, l.line_no), l.line_no);
-        out.circuit.add_capacitor(a, b, num(t, 3, l.line_no));
+        const double c = num(t, 3, l.line_no);
+        if (!(c > 0.0)) {
+          fail(ErrorCode::kParseNonPositiveCapacitance, l.line_no,
+               "capacitance must be positive (got " + t[3] + ")");
+        }
+        out.circuit.add_capacitor(a, b, c);
       } else if (kw == "charge") {
         if (t.size() != 3) fail(l.line_no, "charge <node> <q_in_e>");
         const NodeId n = check_node(integer(t, 1, l.line_no), l.line_no);
@@ -156,7 +193,10 @@ SimulationInput parse_simulation_input(std::istream& in) {
       } else if (kw == "temp") {
         if (t.size() != 2) fail(l.line_no, "temp <K>");
         out.temperature = num(t, 1, l.line_no);
-        if (out.temperature < 0.0) fail(l.line_no, "negative temperature");
+        if (out.temperature < 0.0) {
+          fail(ErrorCode::kParseNegativeTemperature, l.line_no,
+               "temperature must be >= 0 K (got " + t[1] + ")");
+        }
       } else if (kw == "cotunnel") {
         out.cotunneling = true;
       } else if (kw == "super") {
@@ -244,7 +284,10 @@ SimulationInput parse_simulation_input(const std::string& text) {
 
 SimulationInput parse_simulation_file(const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw ParseError("cannot open input file: " + path);
+  if (!f) {
+    throw ParseError(ErrorCode::kParseFileOpen,
+                     "cannot open input file: " + path);
+  }
   return parse_simulation_input(f);
 }
 

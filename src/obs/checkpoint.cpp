@@ -216,14 +216,20 @@ SolverStats decode_solver_stats(BinaryReader& r) {
 // ---- RunCheckpoint ---------------------------------------------------------
 
 RunCheckpoint::RunCheckpoint(std::string path, std::uint64_t fingerprint,
-                             std::uint64_t unit_count, bool require_existing)
-    : path_(std::move(path)), fingerprint_(fingerprint), unit_count_(unit_count) {
+                             std::uint64_t unit_count, bool require_existing,
+                             bool salvage)
+    : path_(std::move(path)),
+      fingerprint_(fingerprint),
+      unit_count_(unit_count),
+      salvage_(salvage) {
   require(!path_.empty(), "RunCheckpoint: empty path");
   require(unit_count_ >= 1, "RunCheckpoint: need at least one unit");
   std::ifstream probe(path_, std::ios::binary);
   if (!probe) {
-    require(!require_existing,
-            "checkpoint: --resume file does not exist: " + path_);
+    if (require_existing) {
+      throw IoError(ErrorCode::kIoFailure,
+                    "checkpoint: --resume file does not exist: " + path_);
+    }
     return;  // fresh run: file is created on the first record()
   }
   probe.close();
@@ -232,54 +238,85 @@ RunCheckpoint::RunCheckpoint(std::string path, std::uint64_t fingerprint,
 
 void RunCheckpoint::load_file() {
   std::ifstream f(path_, std::ios::binary);
-  require(static_cast<bool>(f), "checkpoint: cannot open " + path_);
+  if (!f) throw IoError(ErrorCode::kIoFailure, "checkpoint: cannot open " + path_);
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
                                   std::istreambuf_iterator<char>());
-  require(static_cast<bool>(f) || f.eof(), "checkpoint: read failed for " + path_);
+  if (!f && !f.eof()) {
+    throw IoError(ErrorCode::kIoFailure, "checkpoint: read failed for " + path_);
+  }
 
+  // Header damage is always fatal: without a trusted magic/version/identity
+  // there is nothing safe to salvage.
   BinaryReader r(bytes);
   if (r.remaining() < 8 || r.u64() != kMagic) {
-    throw Error("checkpoint: " + path_ + " is not a SEMSIM checkpoint file");
+    throw IoError(ErrorCode::kCheckpointCorrupt,
+                  "checkpoint: " + path_ + " is not a SEMSIM checkpoint file");
   }
   const std::uint32_t version = r.u32();
   if (version != kFormatVersion) {
-    throw Error("checkpoint: " + path_ + " has format version " +
-                std::to_string(version) + ", this build reads version " +
-                std::to_string(kFormatVersion));
+    throw IoError(ErrorCode::kCheckpointMismatch,
+                  "checkpoint: " + path_ + " has format version " +
+                      std::to_string(version) + ", this build reads version " +
+                      std::to_string(kFormatVersion));
   }
   r.u32();  // reserved
   const std::uint64_t fp = r.u64();
   if (fp != fingerprint_) {
-    throw Error("checkpoint: " + path_ +
-                " was written by a run with a different configuration "
-                "(fingerprint mismatch) — refusing to resume");
+    throw IoError(ErrorCode::kCheckpointMismatch,
+                  "checkpoint: " + path_ +
+                      " was written by a run with a different configuration "
+                      "(fingerprint mismatch) — refusing to resume");
   }
   const std::uint64_t units = r.u64();
   if (units != unit_count_) {
-    throw Error("checkpoint: " + path_ + " describes " + std::to_string(units) +
-                " work units, this run has " + std::to_string(unit_count_));
+    throw IoError(ErrorCode::kCheckpointMismatch,
+                  "checkpoint: " + path_ + " describes " +
+                      std::to_string(units) + " work units, this run has " +
+                      std::to_string(unit_count_));
   }
   const std::uint64_t records = r.u64();
-  for (std::uint64_t i = 0; i < records; ++i) {
-    const std::uint64_t unit = r.u64();
-    if (unit >= unit_count_) {
-      throw Error("checkpoint: " + path_ + " has out-of-range unit index " +
-                  std::to_string(unit));
+  std::uint64_t kept = 0;
+  try {
+    for (std::uint64_t i = 0; i < records; ++i) {
+      const std::uint64_t unit = r.u64();
+      if (unit >= unit_count_) {
+        throw IoError(ErrorCode::kCheckpointCorrupt,
+                      "checkpoint: " + path_ + " has out-of-range unit index " +
+                          std::to_string(unit));
+      }
+      const std::uint64_t len = r.u64();
+      if (len > kMaxPayload) {
+        throw IoError(ErrorCode::kCheckpointCorrupt,
+                      "checkpoint: " + path_ + " has corrupt payload length");
+      }
+      std::vector<std::uint8_t> payload(static_cast<std::size_t>(len));
+      for (auto& b : payload) b = r.u8();
+      const std::uint64_t checksum = r.u64();
+      if (checksum != fnv1a64(payload.data(), payload.size())) {
+        throw IoError(ErrorCode::kCheckpointCorrupt,
+                      "checkpoint: " + path_ +
+                          " payload checksum mismatch for unit " +
+                          std::to_string(unit) + " (corrupt file)");
+      }
+      units_[unit] = std::move(payload);
+      ++kept;
     }
-    const std::uint64_t len = r.u64();
-    if (len > kMaxPayload) {
-      throw Error("checkpoint: " + path_ + " has corrupt payload length");
+    r.require_done();
+  } catch (const Error& e) {
+    if (!salvage_) {
+      // The reader throws uncoded Errors on truncation; surface every
+      // record-level failure as the coded corruption error so the CLI maps
+      // it to the I/O exit code.
+      if (e.category() == ErrorCategory::kIo) throw;
+      throw IoError(ErrorCode::kCheckpointCorrupt,
+                    "checkpoint: " + path_ + " is damaged: " + e.what());
     }
-    std::vector<std::uint8_t> payload(static_cast<std::size_t>(len));
-    for (auto& b : payload) b = r.u8();
-    const std::uint64_t checksum = r.u64();
-    if (checksum != fnv1a64(payload.data(), payload.size())) {
-      throw Error("checkpoint: " + path_ + " payload checksum mismatch for "
-                  "unit " + std::to_string(unit) + " (corrupt file)");
-    }
-    units_[unit] = std::move(payload);
+    // Salvage: the records stored before the damage all passed their own
+    // checksums — keep them and recompute the rest. (A record only enters
+    // units_ after its checksum verifies, so the map holds the valid
+    // prefix when the throw interrupted the loop.)
+    salvaged_dropped_ = records > kept ? records - kept : 1;
   }
-  r.require_done();
 }
 
 bool RunCheckpoint::has(std::size_t unit) const {

@@ -114,14 +114,26 @@ SolverStats decode_solver_stats(BinaryReader& r);
 /// Thread-safe: record() may be called concurrently from worker threads.
 class RunCheckpoint {
  public:
-  static constexpr std::uint32_t kFormatVersion = 1;
+  /// v2 (integrity layer): sweep-chunk payloads gained per-point status /
+  /// error-code / attempts fields, so v1 files are cleanly rejected.
+  static constexpr std::uint32_t kFormatVersion = 2;
 
   /// Binds to `path`. If the file exists it is loaded and validated
-  /// (throws Error on any mismatch or corruption); otherwise an empty
-  /// checkpoint starts. `require_existing` (--resume semantics) makes a
-  /// missing file an Error instead.
+  /// (throws a coded IoError on any mismatch or corruption); otherwise an
+  /// empty checkpoint starts. `require_existing` (--resume semantics) makes
+  /// a missing file an Error instead.
+  ///
+  /// `salvage` enables the degraded-recovery path for damaged files: when
+  /// the HEADER is intact (magic, version, fingerprint, unit count all
+  /// match) but a record is truncated or fails its checksum, the valid
+  /// record prefix is kept and the rest dropped (salvaged_dropped() reports
+  /// how many), instead of rejecting the whole file — the dropped units are
+  /// simply recomputed. Header-level damage is still an error: salvage
+  /// never guesses at the run identity. Off by default so tests and
+  /// pipelines that depend on corruption being loud keep their guarantees.
   RunCheckpoint(std::string path, std::uint64_t fingerprint,
-                std::uint64_t unit_count, bool require_existing = false);
+                std::uint64_t unit_count, bool require_existing = false,
+                bool salvage = false);
 
   bool has(std::size_t unit) const;
   /// Payload of a completed unit (copy; throws if absent).
@@ -136,6 +148,9 @@ class RunCheckpoint {
   std::size_t completed() const;
   std::uint64_t unit_count() const noexcept { return unit_count_; }
   const std::string& path() const noexcept { return path_; }
+  /// Records dropped by salvage mode on load (0 when the file was intact
+  /// or salvage was off).
+  std::uint64_t salvaged_dropped() const noexcept { return salvaged_dropped_; }
 
  private:
   void load_file();
@@ -145,6 +160,8 @@ class RunCheckpoint {
   std::string path_;
   std::uint64_t fingerprint_ = 0;
   std::uint64_t unit_count_ = 0;
+  bool salvage_ = false;
+  std::uint64_t salvaged_dropped_ = 0;
   std::map<std::uint64_t, std::vector<std::uint8_t>> units_;
 };
 
@@ -157,6 +174,9 @@ struct CheckpointConfig {
   /// Caller-side run identity (circuit, options, ...); the consumer mixes
   /// in its own decomposition parameters before opening the file.
   std::uint64_t fingerprint = 0;
+  /// Keep the valid record prefix of a damaged file instead of rejecting it
+  /// (RunCheckpoint salvage mode; CLI --salvage-checkpoint).
+  bool salvage = false;
 
   bool enabled() const noexcept { return !path.empty(); }
 };

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "analysis/api.h"
+#include "guard/exit_codes.h"
 #include "io/table_writer.h"
 #include "master/master_equation.h"
 
@@ -37,9 +38,11 @@ void usage(const char* argv0) {
       "usage: %s <input-file> [--seed N] [--threads N] [--repeats N]\n"
       "          [--non-adaptive] [--out FILE.tsv] [--json FILE.json]\n"
       "          [--master-check] [--target-rel-error X] [--max-events N]\n"
-      "          [--checkpoint FILE] [--resume FILE]\n"
+      "          [--checkpoint FILE] [--resume FILE] [--salvage-checkpoint]\n"
+      "          [--strict] [--retries N] [--audit-interval N] [--no-audit]\n"
+      "          [--watchdog-seconds X]\n"
       "  --json FILE.json     write the versioned machine-readable result\n"
-      "                       document (schema semsim.run_result/v1)\n"
+      "                       document (schema %s)\n"
       "  --threads N          worker threads for sweeps / repeated runs\n"
       "                       (0 = all cores); results are identical for\n"
       "                       every N\n"
@@ -50,8 +53,22 @@ void usage(const char* argv0) {
       "                       --target-rel-error\n"
       "  --checkpoint FILE    record completed work units to FILE (crash\n"
       "                       safe; an existing matching file is resumed)\n"
-      "  --resume FILE        like --checkpoint, but FILE must exist\n",
-      argv0);
+      "  --resume FILE        like --checkpoint, but FILE must exist\n"
+      "  --salvage-checkpoint keep the valid record prefix of a damaged\n"
+      "                       checkpoint file instead of rejecting it\n"
+      "  --strict             fail fast: the first work-unit error aborts\n"
+      "                       the run (default: retry recoverable errors,\n"
+      "                       then degrade the unit and continue)\n"
+      "  --retries N          attempts per work unit incl. the first\n"
+      "                       (default 3; 1 disables retry)\n"
+      "  --audit-interval N   events between runtime invariant audits\n"
+      "                       (default auto; see --no-audit)\n"
+      "  --no-audit           disable the runtime invariant auditor\n"
+      "  --watchdog-seconds X abort a work unit after X wall-clock seconds\n"
+      "exit codes: 0 ok, 1 error, 2 usage, 3 parse/circuit, 4 numeric or\n"
+      "invariant violation, 5 I/O or checkpoint mismatch, 6 watchdog\n"
+      "timeout, 8 completed degraded (some work units failed)\n",
+      argv0, RunResult::kJsonSchema);
 }
 
 /// Matches `--name VALUE` (consuming the next argv) or `--name=VALUE`.
@@ -114,7 +131,7 @@ int main(int argc, char** argv) {
       const std::uint64_t n = parse_u64("--repeats", v);
       if (n == 0 || n > 0xFFFFFFFFULL) {
         std::fprintf(stderr, "--repeats: out of range: %s\n", v.c_str());
-        return 2;
+        return kExitUsage;
       }
       repeats_override = static_cast<std::uint32_t>(n);
     } else if (flag_value(a, "--target-rel-error", argc, argv, i, &v)) {
@@ -122,7 +139,7 @@ int main(int argc, char** argv) {
       if (!(req.stop.target_rel_error > 0.0)) {
         std::fprintf(stderr, "--target-rel-error: must be > 0: %s\n",
                      v.c_str());
-        return 2;
+        return kExitUsage;
       }
     } else if (flag_value(a, "--max-events", argc, argv, i, &v)) {
       req.stop.max_events = parse_u64("--max-events", v);
@@ -130,6 +147,28 @@ int main(int argc, char** argv) {
       req.checkpoint_path = v;
     } else if (flag_value(a, "--resume", argc, argv, i, &v)) {
       req.resume_path = v;
+    } else if (a == "--salvage-checkpoint") {
+      req.salvage_checkpoint = true;
+    } else if (a == "--strict") {
+      req.retry.strict = true;
+    } else if (flag_value(a, "--retries", argc, argv, i, &v)) {
+      const std::uint64_t n = parse_u64("--retries", v);
+      if (n == 0 || n > 0xFFFFFFFFULL) {
+        std::fprintf(stderr, "--retries: out of range: %s\n", v.c_str());
+        return kExitUsage;
+      }
+      req.retry.max_attempts = static_cast<std::uint32_t>(n);
+    } else if (flag_value(a, "--audit-interval", argc, argv, i, &v)) {
+      req.audit.interval = parse_u64("--audit-interval", v);
+    } else if (a == "--no-audit") {
+      req.audit.enabled = false;
+    } else if (flag_value(a, "--watchdog-seconds", argc, argv, i, &v)) {
+      req.audit.watchdog_seconds = parse_f64("--watchdog-seconds", v);
+      if (!(req.audit.watchdog_seconds > 0.0)) {
+        std::fprintf(stderr, "--watchdog-seconds: must be > 0: %s\n",
+                     v.c_str());
+        return kExitUsage;
+      }
     } else if (a == "--non-adaptive") {
       req.adaptive = false;
     } else if (flag_value(a, "--out", argc, argv, i, &v)) {
@@ -146,12 +185,12 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
       usage(argv[0]);
-      return 2;
+      return kExitUsage;
     }
   }
   if (input_path.empty()) {
     usage(argv[0]);
-    return 2;
+    return kExitUsage;
   }
 
   try {
@@ -169,12 +208,13 @@ int main(int argc, char** argv) {
 
     if (!r.sweep.empty()) {
       TableWriter table({"v_swept_V", "current_A", "stderr_A", "rel_err",
-                         "tau_int", "events"});
+                         "tau_int", "events", "status"});
       table.add_comment("semsim sweep of node " +
                         std::to_string(input.sweep->source));
       for (const IvPoint& p : r.sweep) {
         table.add_row({p.bias, p.current, p.stderr_mean, p.rel_error,
-                       p.tau_int, static_cast<double>(p.events)});
+                       p.tau_int, static_cast<double>(p.events),
+                       point_status_label(p)});
       }
       if (!out_path.empty()) {
         table.write_file(out_path);
@@ -236,9 +276,19 @@ int main(int argc, char** argv) {
                     me.junction_current(j));
       }
     }
+
+    if (r.degraded()) {
+      // Non-strict runs finish even when work units fail; signal the
+      // degradation with a distinct exit code and name every failed unit.
+      for (const UnitFailure& f : r.failures) {
+        std::fprintf(stderr, "semsim: degraded: %s (code %s, %u attempts)\n",
+                     f.message.c_str(), error_code_name(f.code), f.attempts);
+      }
+      return kExitDegraded;
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "semsim: %s\n", e.what());
-    return 1;
+    return exit_code_for(e);
   }
-  return 0;
+  return kExitOk;
 }
