@@ -28,6 +28,91 @@ void BM_OrthodoxRate(benchmark::State& state) {
 }
 BENCHMARK(BM_OrthodoxRate);
 
+// --- batch rate kernels (physics/rates.h) ------------------------------
+// Per-element cost of the hot-path kernel three ways: a scalar call loop
+// (what the engine did before the SoA batch path), the exact batch kernel,
+// and the opt-in fast polynomial kernel. Thermal inputs spanning the
+// interesting |delta_w/kT| range keep every lane on the expm1-bound branch;
+// items_processed is elements, so the reported items/sec compares directly.
+
+constexpr double kBatchResistance = 1e6;
+constexpr double kBatchTemperature = 1.0;
+
+void fill_batch_inputs(std::size_t n, std::vector<double>& dw,
+                       std::vector<double>& g) {
+  dw.resize(n);
+  g.resize(n);
+  Xoshiro256 rng(11);
+  const double kt = kBoltzmann * kBatchTemperature;
+  for (std::size_t i = 0; i < n; ++i) {
+    // |x| in [1e-3, 50] kT, both signs: the chunked "simple" fast path.
+    dw[i] = (2.0 * rng.uniform01() - 1.0) * 50.0 * kt;
+    g[i] = 1.0 / (kElementaryCharge * kElementaryCharge * kBatchResistance);
+  }
+}
+
+void BM_TunnelRatesScalarLoop(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> dw, g, out(n);
+  fill_batch_inputs(n, dw, g);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = orthodox_rate(dw[i], kBatchResistance, kBatchTemperature);
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TunnelRatesScalarLoop)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_TunnelRatesBatch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> dw, g, out(n);
+  fill_batch_inputs(n, dw, g);
+  const double kt = kBoltzmann * kBatchTemperature;
+  for (auto _ : state) {
+    tunnel_rates_batch(dw.data(), g.data(), kt, out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TunnelRatesBatch)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_TunnelRatesBatchFast(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> dw, g, out(n);
+  fill_batch_inputs(n, dw, g);
+  const double kt = kBoltzmann * kBatchTemperature;
+  for (auto _ : state) {
+    tunnel_rates_batch_fast(dw.data(), g.data(), kt, out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TunnelRatesBatchFast)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_TunnelRatesBatchT0(benchmark::State& state) {
+  // T = 0 limit: the branch the chain perf-gate cases exercise. Pure
+  // max + multiply, should autovectorize.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> dw, g, out(n);
+  fill_batch_inputs(n, dw, g);
+  for (auto _ : state) {
+    tunnel_rates_batch(dw.data(), g.data(), 0.0, out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TunnelRatesBatchT0)->Arg(16)->Arg(256)->Arg(4096);
+
 void BM_QpRateDirectIntegral(benchmark::State& state) {
   const double d = 0.21e-3 * kElectronVolt;
   QuasiparticleRate qp({2.1e5, d, d, 0.52});

@@ -38,7 +38,19 @@
 namespace semsim {
 namespace {
 
-constexpr const char* kSchema = "semsim.bench_hotpath/v1";
+// v2: adds a top-level "rates_mode" ("exact" | "fast") recording which rate
+// kernel produced the numbers — fast-mode baselines must never gate exact
+// runs or vice versa — and the adaptive chain cases now couple neighbouring
+// islands (bench_util.h chain_circuit coupling_f) so they exercise the
+// partial-flagging regime instead of the degenerate flagged_fraction == 1.
+constexpr const char* kSchema = "semsim.bench_hotpath/v2";
+
+/// Inter-island coupling for the ADAPTIVE chain cases: strong enough that
+/// every event gets the neighbours' junctions tested, weak enough that the
+/// test usually clears — flagged_fraction lands strictly inside (0, 1).
+/// Non-adaptive cases keep the uncoupled circuit so events/sec comparisons
+/// against pre-coupling baselines stay apples-to-apples.
+constexpr double kAdaptiveCouplingF = 0.5e-18;
 
 struct GateCase {
   std::string name;
@@ -61,17 +73,19 @@ std::uint64_t total_rate_evals(const SolverStats& s) {
 /// Steady-state stepping rate of one engine configuration: warm up past the
 /// transient, calibrate a ~100 ms window, then keep the best of three
 /// windows (the one least disturbed by the scheduler).
-GateCase measure_engine_case(int stages, bool adaptive) {
+GateCase measure_engine_case(int stages, bool adaptive, bool fast_rates) {
   GateCase r;
   r.name = (adaptive ? "chain_adaptive_" : "chain_nonadaptive_") +
            std::to_string(stages);
   r.stages = stages;
   r.adaptive = adaptive;
 
-  const Circuit c = bench::chain_circuit(stages);
+  const Circuit c =
+      bench::chain_circuit(stages, adaptive ? kAdaptiveCouplingF : 0.0);
   EngineOptions o;
   o.temperature = 0.0;
   o.adaptive.enabled = adaptive;
+  o.fast_rates = fast_rates;
   Engine e(c, o);
 
   for (int i = 0; i < 2000; ++i) require(e.step(), "perf_gate: engine stuck");
@@ -131,7 +145,7 @@ sweep 2 0.02 0.004
 
 /// End-to-end case: the facade runs a parallel IV sweep and the gate reads
 /// events and wall seconds back out of the versioned RunResult JSON.
-GateCase measure_facade_case() {
+GateCase measure_facade_case(bool fast_rates) {
   GateCase r;
   r.name = "facade_set_sweep";
   r.adaptive = true;
@@ -139,6 +153,7 @@ GateCase measure_facade_case() {
   RunRequest req;
   req.input = parse_simulation_input(std::string(kSetSweepInput));
   req.seed = 1;
+  req.fast_rates = fast_rates;
   const RunResult res = run(req);
 
   const JsonValue doc = JsonValue::parse(res.to_json());
@@ -156,11 +171,12 @@ GateCase measure_facade_case() {
   return r;
 }
 
-std::string cases_to_json(const std::vector<GateCase>& cases,
-                          double tolerance) {
+std::string cases_to_json(const std::vector<GateCase>& cases, double tolerance,
+                          bool fast_rates) {
   JsonWriter w;
   w.begin_object();
   w.field("schema", kSchema);
+  w.field("rates_mode", fast_rates ? "fast" : "exact");
   w.field("tolerance", tolerance);
   w.key("cases").begin_array();
   for (const GateCase& c : cases) {
@@ -184,7 +200,8 @@ std::string cases_to_json(const std::vector<GateCase>& cases,
 /// cases. A baseline case with no current counterpart is a failure too —
 /// silently dropping a case would hollow out the gate.
 int gate_against(const std::vector<GateCase>& cases,
-                 const std::string& baseline_path, double tolerance) {
+                 const std::string& baseline_path, double tolerance,
+                 bool fast_rates) {
   std::ifstream f(baseline_path, std::ios::binary);
   require(static_cast<bool>(f), "perf_gate: cannot read " + baseline_path);
   std::ostringstream ss;
@@ -192,6 +209,10 @@ int gate_against(const std::vector<GateCase>& cases,
   const JsonValue doc = JsonValue::parse(ss.str());
   require(doc.at("schema").as_string() == kSchema,
           "perf_gate: baseline schema mismatch");
+  require(doc.at("rates_mode").as_string() ==
+              (fast_rates ? "fast" : "exact"),
+          "perf_gate: baseline rates_mode mismatch (exact and fast-mode "
+          "numbers must not gate each other)");
 
   int regressions = 0;
   for (const JsonValue& b : doc.at("cases").items()) {
@@ -226,12 +247,15 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string baseline_path;
   double tolerance = 0.25;
+  bool fast_rates = false;
   for (int i = 1; i < argc; ++i) {
     const std::string s = argv[i];
     if (s.rfind("--out=", 0) == 0) {
       out_path = s.substr(6);
     } else if (s.rfind("--baseline=", 0) == 0) {
       baseline_path = s.substr(11);
+    } else if (s == "--fast-rates") {
+      fast_rates = true;
     } else if (s.rfind("--tolerance=", 0) == 0) {
       char* end = nullptr;
       tolerance = std::strtod(s.c_str() + 12, &end);
@@ -242,7 +266,7 @@ int main(int argc, char** argv) {
       }
     } else if (s == "--help" || s == "-h") {
       std::printf("usage: %s [--out=FILE.json] [--baseline=FILE.json]\n"
-                  "          [--tolerance=0.25]\n",
+                  "          [--tolerance=0.25] [--fast-rates]\n",
                   argv[0]);
       return 0;
     } else {
@@ -255,7 +279,7 @@ int main(int argc, char** argv) {
     std::vector<GateCase> cases;
     for (const int stages : {8, 64, 256, 1024}) {
       for (const bool adaptive : {true, false}) {
-        cases.push_back(measure_engine_case(stages, adaptive));
+        cases.push_back(measure_engine_case(stages, adaptive, fast_rates));
         const GateCase& c = cases.back();
         std::printf("# %-28s %12.0f ev/s  %8.1f ns/rate-eval", c.name.c_str(),
                     c.events_per_sec, c.ns_per_rate_eval);
@@ -265,10 +289,25 @@ int main(int argc, char** argv) {
         std::printf("\n");
       }
     }
-    cases.push_back(measure_facade_case());
+    cases.push_back(measure_facade_case(fast_rates));
     std::printf("# %-28s %12.0f ev/s  %8.1f ns/rate-eval\n",
                 cases.back().name.c_str(), cases.back().events_per_sec,
                 cases.back().ns_per_rate_eval);
+
+    // The adaptive chain cases exist to time the flagged-subset path; if
+    // every tested junction also flags, they silently degrade into full
+    // refreshes per event and the gate stops covering the partial-flagging
+    // code at all. Guard that the coupled circuits really do produce it.
+    bool partial_flagging = false;
+    for (const GateCase& c : cases) {
+      if (c.stages > 0 && c.adaptive && c.flagged_fraction >= 0.0 &&
+          c.flagged_fraction < 1.0) {
+        partial_flagging = true;
+      }
+    }
+    require(partial_flagging,
+            "perf_gate: no adaptive chain case reported flagged_fraction < 1; "
+            "the flagged-subset path is not being exercised");
 
     if (!out_path.empty()) {
       std::ofstream f(out_path, std::ios::binary);
@@ -276,11 +315,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "perf_gate: cannot write %s\n", out_path.c_str());
         return 1;
       }
-      f << cases_to_json(cases, tolerance) << '\n';
+      f << cases_to_json(cases, tolerance, fast_rates) << '\n';
       std::printf("# wrote %s baseline to %s\n", kSchema, out_path.c_str());
     }
     if (!baseline_path.empty()) {
-      const int regressions = gate_against(cases, baseline_path, tolerance);
+      const int regressions =
+          gate_against(cases, baseline_path, tolerance, fast_rates);
       if (regressions > 0) {
         std::printf("# %d case(s) regressed by more than %.0f%%\n",
                     regressions, tolerance * 100.0);

@@ -48,6 +48,7 @@ DriverOptions RunRequest::driver_options() const {
   DriverOptions o;
   o.seed = seed;
   o.adaptive = adaptive;
+  o.fast_rates = fast_rates;
   o.threads = threads;
   o.stop = stop;
   o.checkpoint_path = checkpoint_path;
@@ -73,6 +74,7 @@ RunResult run(const RunRequest& request) {
   r.fingerprint = request.fingerprint();
   r.seed = request.seed;
   r.adaptive = request.adaptive;
+  r.fast_rates = request.fast_rates;
   r.threads = request.threads;
   return r;
 }
@@ -84,6 +86,7 @@ std::string RunResult::to_json() const {
   w.field("fingerprint", hex_u64(fingerprint));
   w.field("seed", seed);
   w.field("adaptive", adaptive);
+  w.field("fast_rates", fast_rates);
   w.field("threads", threads);
   w.field("events", driver.events);
   w.field("simulated_time_s", driver.simulated_time);
@@ -162,6 +165,7 @@ EngineOptions engine_options_for(const SimulationInput& input,
   eo.temperature = input.temperature;
   eo.cotunneling = input.cotunneling;
   eo.adaptive.enabled = options.adaptive;
+  eo.fast_rates = options.fast_rates;
   eo.seed = options.seed;
   eo.audit = options.audit;
   eo.fault = FaultInjector(options.fault_plan, 0, 0);

@@ -34,6 +34,8 @@ struct RunRequest {
 
   std::uint64_t seed = 1;
   bool adaptive = true;   ///< false = conventional non-adaptive solver
+  /// Opt-in fast thermal rate kernel; see DriverOptions::fast_rates.
+  bool fast_rates = false;
   /// Worker threads (0 = all hardware threads); results are bitwise
   /// identical for every value.
   unsigned threads = 1;
@@ -76,6 +78,7 @@ struct RunResult {
   std::uint64_t fingerprint = 0;  ///< RunRequest::fingerprint() of the run
   std::uint64_t seed = 0;
   bool adaptive = true;
+  bool fast_rates = false;
   unsigned threads = 1;
 
   /// Versioned machine-readable document: schema tag, run identity

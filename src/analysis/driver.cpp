@@ -79,6 +79,9 @@ std::uint64_t run_fingerprint(const SimulationInput& input,
   }
   w.u64(options.seed);
   w.u8(options.adaptive ? 1 : 0);
+  // fast_rates selects a different (approximate) rate kernel, so runs are
+  // not resumable across the flag: it must change the fingerprint.
+  w.u8(options.fast_rates ? 1 : 0);
   w.u64(options.stop.max_events);
   w.f64(options.stop.target_rel_error);
   w.u64(options.stop.check_interval);

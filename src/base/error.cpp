@@ -51,6 +51,7 @@ const char* error_code_name(ErrorCode code) noexcept {
       return "invariant.charge_not_conserved";
     case ErrorCode::kFenwickDrift: return "invariant.fenwick_drift";
     case ErrorCode::kNoProgress: return "invariant.no_progress";
+    case ErrorCode::kDeltaWDrift: return "invariant.delta_w_drift";
     case ErrorCode::kIoFailure: return "io.failure";
     case ErrorCode::kCheckpointCorrupt: return "io.checkpoint_corrupt";
     case ErrorCode::kCheckpointMismatch: return "io.checkpoint_mismatch";

@@ -60,6 +60,7 @@ enum class ErrorCode : std::uint16_t {
   kChargeNotConserved = 404,
   kFenwickDrift = 405,
   kNoProgress = 406,
+  kDeltaWDrift = 407,
 
   // io (5xx): files and checkpoints
   kIoFailure = 500,

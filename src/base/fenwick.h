@@ -6,6 +6,7 @@
 // only a few rates per event). A Fenwick tree gives O(log n) for all three.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <string>
@@ -102,26 +103,51 @@ class FenwickTree {
     return s;
   }
 
-  /// Replaces every weight at once and rebuilds in O(n) — much cheaper than
-  /// n individual set() calls when a full refresh recomputes all rates.
+  /// Replaces every weight at once and rebuilds — much cheaper than n
+  /// individual set() calls when a full refresh recomputes all rates.
   void set_all(const std::vector<double>& values) {
     require(values.size() == values_.size(), "FenwickTree::set_all: size mismatch");
-    for (std::size_t i = 0; i < values.size(); ++i) {
+    set_all(values.data(), values.size());
+  }
+
+  /// Pointer overload for the engine's SoA rate buffer: same semantics, no
+  /// requirement that the caller's storage be a std::vector.
+  void set_all(const double* values, std::size_t n) {
+    require(n == values_.size(), "FenwickTree::set_all: size mismatch");
+    for (std::size_t i = 0; i < n; ++i) {
       if (!valid_weight(values[i]))
         throw_bad_weight("FenwickTree::set_all", i, values[i]);
     }
-    values_ = values;
+    std::copy(values, values + n, values_.begin());
     rebuild();
   }
 
-  /// Rebuilds the internal prefix tree from the stored values. O(n).
+  /// Rebuilds the internal prefix tree from the stored values.
+  ///
+  /// BITWISE CONTRACT: every tree node must equal the left-to-right
+  /// sequential sum, STARTING FROM 0.0, of the values it covers — the
+  /// association the original delta-scatter build produced (and which
+  /// sample()/total() expose through the golden trajectory hashes). This
+  /// implementation keeps that association but reuses each node's left-half
+  /// partial sum (node k - lowbit/2 covers exactly the first half of node
+  /// k's range, summed in the same order), halving the flop count and
+  /// turning the scattered per-value walks into short sequential runs over
+  /// values_ — the rebuild is the dominant cost of the non-adaptive event
+  /// loop on large chains. The leading `0.0 +` is load-bearing: it
+  /// canonicalizes a -0.0 value to +0.0 exactly as accumulating into a
+  /// zero-initialized tree cell did.
   void rebuild() {
     const std::size_t n = values_.size();
     tree_.assign(n + 1, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double delta = values_[i];
-      for (std::size_t k = i + 1; k < tree_.size(); k += k & (~k + 1)) {
-        tree_[k] += delta;
+    for (std::size_t k = 1; k <= n; ++k) {
+      const std::size_t lowbit = k & (~k + 1);
+      if (lowbit == 1) {
+        tree_[k] = 0.0 + values_[k - 1];
+      } else {
+        const std::size_t m = k - lowbit / 2;
+        double s = tree_[m];
+        for (std::size_t i = m; i < k; ++i) s += values_[i];
+        tree_[k] = s;
       }
     }
   }

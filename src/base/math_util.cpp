@@ -5,14 +5,6 @@
 
 namespace semsim {
 
-double x_over_expm1(double x) noexcept {
-  if (x == 0.0) return 1.0;
-  if (std::abs(x) < 1e-8) return 1.0 - 0.5 * x;  // series, avoids 0/0 noise
-  if (x > 700.0) return 0.0;                     // exp overflow guard
-  if (x < -700.0) return -x;                     // exp(x) ~ 0
-  return x / std::expm1(x);
-}
-
 double fermi(double e, double kt) noexcept {
   if (kt <= 0.0) {
     if (e < 0.0) return 1.0;

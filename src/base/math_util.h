@@ -1,6 +1,7 @@
 // Numerically careful helpers shared by the physics models.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
@@ -11,7 +12,18 @@ namespace semsim {
 ///   x -> 0   : 1 - x/2 + O(x^2)  (series; expm1 underflows gracefully)
 ///   x -> +inf: -> 0 exponentially
 ///   x -> -inf: -> -x
-double x_over_expm1(double x) noexcept;
+/// Inline so the batched rate kernel (physics/rates) evaluates it without a
+/// cross-TU call per channel. The branch thresholds and expression forms are
+/// pinned: golden trajectories hash the resulting rates bitwise, and the
+/// series term `1.0 - 0.5 * x` is immune to FMA contraction (0.5 * x is
+/// exact), so inlining cannot change any bit.
+inline double x_over_expm1(double x) noexcept {
+  if (x == 0.0) return 1.0;
+  if (std::abs(x) < 1e-8) return 1.0 - 0.5 * x;  // series, avoids 0/0 noise
+  if (x > 700.0) return 0.0;                     // exp overflow guard
+  if (x < -700.0) return -x;                     // exp(x) ~ 0
+  return x / std::expm1(x);
+}
 
 /// Fermi-Dirac occupation f(e) = 1 / (1 + exp(e / kT)) with overflow-safe
 /// evaluation; `kt` is k_B * T in the same units as `e`. kt == 0 gives the

@@ -11,8 +11,6 @@ AdaptiveSolver::AdaptiveSolver(const Circuit& circuit, double threshold)
     : circuit_(circuit),
       threshold_(threshold),
       b0_(circuit.junction_count(), 0.0),
-      dw_fw_(circuit.junction_count(), 0.0),
-      dw_bw_(circuit.junction_count(), 0.0),
       visited_(circuit.junction_count(), 0) {
   require(threshold_ > 0.0, "AdaptiveSolver: threshold must be positive");
 }
@@ -24,9 +22,10 @@ void AdaptiveSolver::reset_accumulators() {
 bool AdaptiveSolver::exceeds_threshold(std::size_t j, double b) const noexcept {
   const double eb = kElementaryCharge * std::fabs(b);
   // Paper: flag when |b| >= alpha |dW'_fw| OR |b| >= alpha |dW'_bw| —
-  // i.e. the tighter of the two stored energies decides.
-  return eb >= threshold_ * std::fabs(dw_fw_[j]) ||
-         eb >= threshold_ * std::fabs(dw_bw_[j]);
+  // i.e. the tighter of the two stored energies decides. dw_ is the
+  // engine's per-channel ΔW store (see bind_delta_w).
+  return eb >= threshold_ * std::fabs(dw_[2 * j]) ||
+         eb >= threshold_ * std::fabs(dw_[2 * j + 1]);
 }
 
 }  // namespace semsim

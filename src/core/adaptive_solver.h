@@ -19,8 +19,13 @@
 // with a per-invocation visited set.
 //
 // The class only *selects* junctions; synchronizing node potentials and
-// recomputing rates stays in the engine, which reports the fresh dW' values
-// back via store_dw().
+// recomputing rates stays in the engine. The dW' store referenced by the
+// threshold test IS the engine's per-channel delta_w_[] array (bound once
+// via bind_delta_w()): the engine's batched rate kernel maintains it, and
+// the solver merely reads dw[2j] / dw[2j+1] — one array serves the kernel
+// input, the staleness test, and the integrity audit. The engine reports a
+// refresh of junction j's entries via mark_fresh(j), which discharges the
+// accumulated testing factor.
 #pragma once
 
 #include <cstddef>
@@ -45,30 +50,31 @@ class AdaptiveSolver {
   std::size_t collect(const std::vector<std::size_t>& seeds, DvFn&& dv_of,
                       std::vector<std::size_t>& flagged);
 
-  /// Stores the freshly computed free-energy changes of junction `j` and
-  /// zeroes its accumulated testing factor.
-  void store_dw(std::size_t j, double dw_fw, double dw_bw) {
-    dw_fw_[j] = dw_fw;
-    dw_bw_[j] = dw_bw;
-    b0_[j] = 0.0;
-  }
+  /// Binds the shared per-channel ΔW store: dw[2j] / dw[2j+1] are junction
+  /// j's forward/backward free-energy changes at its last recalculation.
+  /// The engine owns the array (its batch-kernel input) and guarantees it
+  /// outlives the solver and never reallocates.
+  void bind_delta_w(const double* dw) noexcept { dw_ = dw; }
+
+  /// Marks junction `j`'s ΔW entries as freshly recomputed: zeroes its
+  /// accumulated testing factor (the bound store already holds the values).
+  void mark_fresh(std::size_t j) { b0_[j] = 0.0; }
 
   /// Zeroes every accumulated factor (after a periodic full refresh the
   /// engine recomputes all rates, so all drift is discharged).
   void reset_accumulators();
 
   double accumulated(std::size_t j) const { return b0_[j]; }
-  double stored_dw_fw(std::size_t j) const { return dw_fw_[j]; }
-  double stored_dw_bw(std::size_t j) const { return dw_bw_[j]; }
+  double stored_dw_fw(std::size_t j) const { return dw_[2 * j]; }
+  double stored_dw_bw(std::size_t j) const { return dw_[2 * j + 1]; }
 
  private:
   bool exceeds_threshold(std::size_t j, double b) const noexcept;
 
   const Circuit& circuit_;
   double threshold_;
-  std::vector<double> b0_;     // accumulated testing factor [V]
-  std::vector<double> dw_fw_;  // dW' at last rate calculation [J]
-  std::vector<double> dw_bw_;
+  const double* dw_ = nullptr;  // bound ΔW store, 2 entries per junction [J]
+  std::vector<double> b0_;      // accumulated testing factor [V]
   std::vector<std::uint64_t> visited_;  // epoch marking
   std::uint64_t epoch_ = 0;
   std::vector<std::size_t> queue_;

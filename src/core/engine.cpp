@@ -7,6 +7,7 @@
 #include "base/constants.h"
 #include "base/error.h"
 #include "guard/retry.h"
+#include "physics/rates.h"
 
 namespace semsim {
 
@@ -32,6 +33,7 @@ Engine::Engine(const Circuit& circuit, EngineOptions options,
   adaptive_active_ = options_.adaptive.enabled && !calc_.superconducting();
   has_secondary_ =
       (calc_.superconducting() && calc_.gap() > 0.0) || calc_.cotunneling_enabled();
+  fast_rates_ = options_.fast_rates;
   refresh_interval_ =
       options_.adaptive.refresh_interval > 0
           ? options_.adaptive.refresh_interval
@@ -41,6 +43,10 @@ Engine::Engine(const Circuit& circuit, EngineOptions options,
 
   rates_.reset(channel_count());
   rate_buf_.resize(channel_count(), 0.0);
+  // The adaptive solver reads this array through a raw pointer: size it once
+  // here and never reallocate (reset()/restore() only rewrite the contents).
+  delta_w_.assign(2 * circuit.junction_count(), 0.0);
+  adaptive_.bind_delta_w(delta_w_.data());
   n_isl_ = model_.island_count();
   n_ext_ = model_.external_count();
   electrons_.assign(n_isl_, 0);
@@ -78,6 +84,8 @@ Engine::Engine(const Circuit& circuit, EngineOptions options,
   // Event-loop scratch, sized so the steady state never reallocates.
   fen_idx_.reserve(2 * circuit.junction_count());
   fen_val_.reserve(2 * circuit.junction_count());
+  dw_scratch_.reserve(2 * circuit.junction_count());
+  g_scratch_.reserve(2 * circuit.junction_count());
   seed_buf_.reserve(2 * circuit.junction_count());
   flagged_buf_.reserve(circuit.junction_count());
   touched_nodes_.reserve(n_isl_);
@@ -226,23 +234,30 @@ void Engine::full_update() {
 }
 
 void Engine::recompute_all_rates() {
-  // Linear walk over the SoA channel state: voltages come from node_v_ via
-  // the precomputed endpoint slots, parameters from the calculator's
-  // per-junction arrays. No Junction structs, no NodeId resolution.
+  // Two fused SoA passes over the channel state: one refreshes the whole
+  // persistent ΔW store from the potential cache (voltages via precomputed
+  // endpoint slots — no Junction structs, no NodeId resolution), then one
+  // batched kernel call turns ΔW into rates. The adaptive solver's dW'
+  // staleness store IS delta_w_ (bound at construction), so there is no
+  // per-junction store_dw bookkeeping here; the b0 accumulators are
+  // discharged by full_update()'s reset_accumulators() as before.
   const std::size_t j_count = circuit_.junction_count();
   const double* v = node_v_.data();
-  const std::uint32_t* sa = slot_a_.data();
-  const std::uint32_t* sb = slot_b_.data();
-  for (std::size_t j = 0; j < j_count; ++j) {
-    const ChannelRates r = calc_.junction_rates(j, v[sa[j]], v[sb[j]]);
-    rate_buf_[2 * j] = r.rate_fw;
-    rate_buf_[2 * j + 1] = r.rate_bw;
-    // The accumulators are only ever read on the adaptive path; skipping the
-    // stores in non-adaptive mode cannot change any trajectory.
-    if (adaptive_active_) adaptive_.store_dw(j, r.dw_fw, r.dw_bw);
+  calc_.delta_w_batch(v, slot_a_.data(), slot_b_.data(), j_count,
+                      delta_w_.data());
+  if (calc_.quasiparticle()) {
+    calc_.qp_rates_from_dw(delta_w_.data(), j_count, rate_buf_.data());
+  } else if (fast_rates_) {
+    tunnel_rates_batch_fast(delta_w_.data(), calc_.channel_conductance(),
+                            calc_.kt(), rate_buf_.data(), 2 * j_count);
+  } else {
+    tunnel_rates_batch(delta_w_.data(), calc_.channel_conductance(),
+                       calc_.kt(), rate_buf_.data(), 2 * j_count);
   }
   stats_.rate_evaluations += 2 * j_count;
 
+  const std::uint32_t* sa = slot_a_.data();
+  const std::uint32_t* sb = slot_b_.data();
   if (calc_.superconducting() && calc_.gap() > 0.0) {
     for (std::size_t j = 0; j < j_count; ++j) {
       const ChannelRates r = calc_.cooper_pair_rates(j, v[sa[j]], v[sb[j]]);
@@ -289,22 +304,44 @@ void Engine::apply_charge_move_everywhere(NodeId from, NodeId to, double q) {
 
 void Engine::commit_flagged_rates() {
   // Adaptive path only — superconducting circuits never flag (they run
-  // non-adaptively), so there are no Cooper-pair channels to refresh here.
-  // The staged set_many commit is bitwise equivalent to the per-channel
-  // set() sequence it replaced (same deltas, same order).
-  fen_idx_.clear();
-  fen_val_.clear();
-  const double* v = node_v_.data();
-  for (const std::size_t j : flagged_buf_) {
-    const ChannelRates r = calc_.junction_rates(j, v[slot_a_[j]], v[slot_b_[j]]);
-    fen_idx_.push_back(2 * j);
-    fen_val_.push_back(r.rate_fw);
-    fen_idx_.push_back(2 * j + 1);
-    fen_val_.push_back(r.rate_bw);
-    adaptive_.store_dw(j, r.dw_fw, r.dw_bw);
+  // non-adaptively), so the flagged channels always go through the normal
+  // tunnel kernel. Flagged subsets evaluate through the SAME batch kernel
+  // as the full refresh: gather the flagged junctions' ΔW and conductance
+  // into compact arrays, one kernel call, then scatter the fresh ΔW back
+  // into the persistent store. The staged set_many commit stays bitwise
+  // equivalent to the per-channel set() sequence it replaced (same values —
+  // identical expressions/TU as the old scalar path — same order).
+  const std::size_t nf = flagged_buf_.size();
+  if (nf == 0) return;
+  dw_scratch_.resize(2 * nf);
+  g_scratch_.resize(2 * nf);
+  fen_idx_.resize(2 * nf);
+  fen_val_.resize(2 * nf);
+  calc_.delta_w_flagged(node_v_.data(), slot_a_.data(), slot_b_.data(),
+                        flagged_buf_.data(), nf, dw_scratch_.data());
+  const double* g = calc_.channel_conductance();
+  for (std::size_t i = 0; i < nf; ++i) {
+    const std::size_t j = flagged_buf_[i];
+    fen_idx_[2 * i] = 2 * j;
+    fen_idx_[2 * i + 1] = 2 * j + 1;
+    g_scratch_[2 * i] = g[2 * j];
+    g_scratch_[2 * i + 1] = g[2 * j + 1];
   }
-  stats_.rate_evaluations += 2 * flagged_buf_.size();
-  rates_.set_many(fen_idx_.data(), fen_val_.data(), fen_idx_.size());
+  if (fast_rates_) {
+    tunnel_rates_batch_fast(dw_scratch_.data(), g_scratch_.data(), calc_.kt(),
+                            fen_val_.data(), 2 * nf);
+  } else {
+    tunnel_rates_batch(dw_scratch_.data(), g_scratch_.data(), calc_.kt(),
+                       fen_val_.data(), 2 * nf);
+  }
+  for (std::size_t i = 0; i < nf; ++i) {
+    const std::size_t j = flagged_buf_[i];
+    delta_w_[2 * j] = dw_scratch_[2 * i];
+    delta_w_[2 * j + 1] = dw_scratch_[2 * i + 1];
+    adaptive_.mark_fresh(j);
+  }
+  stats_.rate_evaluations += 2 * nf;
+  rates_.set_many(fen_idx_.data(), fen_val_.data(), 2 * nf);
 }
 
 void Engine::recompute_secondary() {
@@ -634,6 +671,14 @@ void Engine::run_audit() {
   view.n_junctions = circuit_.junction_count();
   view.slot_a = slot_a_.data();
   view.slot_b = slot_b_.data();
+  view.delta_w = delta_w_.data();
+  view.n_delta_w = delta_w_.size();
+  view.node_v = node_v_.data();
+  view.charging_u = calc_.charging_terms();
+  // Non-adaptive mode re-derives every delta_w_ entry from the exact
+  // potential cache after each event; adaptive mode lets unflagged entries
+  // go stale by design, so only finiteness can be audited there.
+  view.delta_w_synced = !adaptive_active_;
   view.sim_time = time_;
   view.events = stats_.events;
   view.rate_scale = audit_peak_total_;
@@ -656,6 +701,19 @@ void Engine::apply_fault(const FaultSpec& f) {
       break;
     case FaultKind::kNanPotential:
       if (n_isl_ > 0) node_v_[f.index % n_isl_] = kNan;
+      break;
+    case FaultKind::kCorruptDeltaW:
+      // Poisons the stored ΔW pair of the junction owning channel `index`
+      // (both directions: a single NaN side could still re-flag through the
+      // healthy side and self-heal before the audit sees it). Detection is
+      // the auditor's delta_w finiteness/recompute checks — the corrupted
+      // store otherwise silently disables the junction's staleness test.
+      if (!delta_w_.empty()) {
+        const std::size_t j = (f.index / 2) % (delta_w_.size() / 2);
+        const double payload = f.value != 0.0 ? f.value : kNan;
+        delta_w_[2 * j] = payload;
+        delta_w_[2 * j + 1] = payload;
+      }
       break;
     case FaultKind::kCorruptCharge:
       // Adds an electron with no matching junction transfer, violating the

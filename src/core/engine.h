@@ -220,6 +220,7 @@ class Engine {
 
   bool adaptive_active_ = false;  // false for SC circuits or when disabled
   bool has_secondary_ = false;    // CP or cotunneling channels present
+  bool fast_rates_ = false;       // opt-in polynomial thermal kernel
   std::uint64_t refresh_interval_ = 1000;  // resolved from options (0 = auto)
 
   double time_ = 0.0;
@@ -245,6 +246,18 @@ class Engine {
   std::vector<std::uint32_t> slot_b_;     // per junction: slot of node b
   std::vector<std::uint32_t> cot_slot_;   // per path: from, via, to slots
   std::vector<double> charge_buf_;        // full_update island-charge scratch
+  // Persistent per-channel ΔW store for the single-electron/QP channels:
+  // delta_w_[2j] / delta_w_[2j+1] are junction j's forward/backward
+  // free-energy changes AT THE LAST RECALCULATION of that junction. One
+  // fused SoA pass (RateCalculator::delta_w_batch) refreshes every entry
+  // per event in non-adaptive mode; in adaptive mode only flagged entries
+  // refresh between periodic full updates. The array triple-serves as the
+  // batch rate kernel's input, the adaptive solver's dW' staleness store
+  // (bound via bind_delta_w — never reallocate this vector), and the
+  // integrity auditor's delta_w view.
+  std::vector<double> delta_w_;
+  std::vector<double> dw_scratch_;        // compact flagged-subset ΔW
+  std::vector<double> g_scratch_;         // compact flagged-subset conductance
   std::vector<std::size_t> fen_idx_;      // staged Fenwick batch (indices)
   std::vector<double> fen_val_;           // staged Fenwick batch (weights)
   std::vector<bool> overridden_;      // per external index (set_dc_source)

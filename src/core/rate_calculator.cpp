@@ -30,15 +30,26 @@ RateCalculator::RateCalculator(const Circuit& circuit,
     gap_ = bcs_gap(sc.delta0, sc.tc, temperature_);
   }
 
+  kt_ = kBoltzmann * temperature_;
+
   const double e = kElementaryCharge;
   const std::size_t j_count = circuit.junction_count();
   resistance_.reserve(j_count);
+  inv_res_.reserve(j_count);
+  chan_g_.reserve(2 * j_count);
   ej_.assign(j_count, 0.0);
   cp_eta_.assign(j_count, 0.0);
   u_.reserve(j_count);
   for (std::size_t j = 0; j < j_count; ++j) {
     const Junction& jn = circuit.junction(j);
     resistance_.push_back(jn.resistance);
+    // Same expressions orthodox_rate / junction_rates evaluate per call, so
+    // the precomputed values are bitwise identical to the per-call ones.
+    inv_res_.push_back(1.0 / jn.resistance);
+    const double g =
+        1.0 / (kElementaryCharge * kElementaryCharge * jn.resistance);
+    chan_g_.push_back(g);
+    chan_g_.push_back(g);
     if (superconducting_ && gap_ > 0.0) {
       ej_[j] = josephson_energy(jn.resistance, gap_, temperature_);
       cp_eta_[j] = options.cp_broadening > 0.0
@@ -87,6 +98,48 @@ ChannelRates RateCalculator::junction_rates(std::size_t j, double va,
     r.rate_bw = orthodox_rate(r.dw_bw, res, temperature_);
   }
   return r;
+}
+
+void RateCalculator::delta_w_batch(const double* v,
+                                   const std::uint32_t* slot_a,
+                                   const std::uint32_t* slot_b,
+                                   std::size_t n_junc,
+                                   double* dw) const noexcept {
+  // Bitwise contract with junction_rates: identical expression forms,
+  // identical association, compiled in the same TU (so contraction choices
+  // match). `-e * dv + u` must stay in exactly this shape.
+  const double e = kElementaryCharge;
+  const double* u = u_.data();
+  for (std::size_t j = 0; j < n_junc; ++j) {
+    const double dv = v[slot_b[j]] - v[slot_a[j]];
+    dw[2 * j] = -e * dv + u[j];
+    dw[2 * j + 1] = e * dv + u[j];
+  }
+}
+
+void RateCalculator::delta_w_flagged(const double* v,
+                                     const std::uint32_t* slot_a,
+                                     const std::uint32_t* slot_b,
+                                     const std::size_t* junctions,
+                                     std::size_t n_flagged,
+                                     double* dw) const noexcept {
+  const double e = kElementaryCharge;
+  const double* u = u_.data();
+  for (std::size_t i = 0; i < n_flagged; ++i) {
+    const std::size_t j = junctions[i];
+    const double dv = v[slot_b[j]] - v[slot_a[j]];
+    dw[2 * i] = -e * dv + u[j];
+    dw[2 * i + 1] = e * dv + u[j];
+  }
+}
+
+void RateCalculator::qp_rates_from_dw(const double* dw, std::size_t n_junc,
+                                      double* out) const {
+  for (std::size_t j = 0; j < n_junc; ++j) {
+    const double scale = inv_res_[j];
+    out[2 * j] = qp_unit_->rate_cached(dw[2 * j]) * scale;
+    out[2 * j + 1] = qp_unit_->rate_cached(dw[2 * j + 1]) * scale;
+  }
 }
 
 ChannelRates RateCalculator::cooper_pair_rates(std::size_t j, double va,

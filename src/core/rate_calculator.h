@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -39,9 +40,48 @@ class RateCalculator {
   /// Effective gap Delta(T) for this simulation [J] (0 when normal).
   double gap() const noexcept { return gap_; }
 
+  /// True when single-electron channels go through the quasi-particle table
+  /// (superconducting with a non-zero gap) instead of the orthodox kernel.
+  bool quasiparticle() const noexcept { return qp_unit_ != nullptr; }
+
+  /// k_B * T [J] — the `kt` argument of physics/rates batch kernels.
+  double kt() const noexcept { return kt_; }
+
+  /// Per-CHANNEL conductance 1/(e^2 R_j), duplicated (fw, bw) per junction:
+  /// the `conductance` argument of the batch kernels, 2 * junction_count
+  /// entries aligned with the engine's channel layout.
+  const double* channel_conductance() const noexcept { return chan_g_.data(); }
+
+  /// Per-junction charging terms u_j [J], junction_count entries.
+  const double* charging_terms() const noexcept { return u_.data(); }
+
   /// Single-electron (normal) or quasi-particle (superconducting) channel
   /// rates for junction `j` given its current node potentials.
   ChannelRates junction_rates(std::size_t j, double va, double vb) const;
+
+  /// Fused SoA ΔW pass: dw[2j] / dw[2j+1] = forward / backward free-energy
+  /// change of junction j, read straight from the unified potential array
+  /// through the engine's endpoint slots. Deliberately compiled in this
+  /// translation unit with the same expression forms as junction_rates, so
+  /// the compiler emits identical contraction and the refreshed ΔW store is
+  /// bitwise equal to what the scalar path computed.
+  void delta_w_batch(const double* v, const std::uint32_t* slot_a,
+                     const std::uint32_t* slot_b, std::size_t n_junc,
+                     double* dw) const noexcept;
+
+  /// Gathered ΔW pass over a flagged-junction subset (adaptive path): for
+  /// i in [0, n_flagged), junction junctions[i] writes dw[2i] / dw[2i+1].
+  /// Same expressions and TU as delta_w_batch for the same bitwise reason.
+  void delta_w_flagged(const double* v, const std::uint32_t* slot_a,
+                       const std::uint32_t* slot_b,
+                       const std::size_t* junctions, std::size_t n_flagged,
+                       double* dw) const noexcept;
+
+  /// Quasi-particle channel rates from a precomputed per-channel ΔW array
+  /// (superconducting circuits): out[2j] / out[2j+1] per junction, scaled
+  /// by 1/R_j exactly as junction_rates does.
+  void qp_rates_from_dw(const double* dw, std::size_t n_junc,
+                        double* out) const;
 
   /// Cooper-pair channel rates for junction `j` (superconducting only).
   ChannelRates cooper_pair_rates(std::size_t j, double va, double vb) const;
@@ -68,6 +108,7 @@ class RateCalculator {
   const Circuit& circuit_;
   const ElectrostaticModel& model_;
   double temperature_ = 0.0;
+  double kt_ = 0.0;  // k_B * temperature_ [J], precomputed once
   bool superconducting_ = false;
   bool cotunneling_ = false;
   double gap_ = 0.0;
@@ -75,6 +116,8 @@ class RateCalculator {
   // resistance_/u_ linearly (one cache line covers 8 junctions) instead of
   // striding over an AoS record.
   std::vector<double> resistance_;
+  std::vector<double> inv_res_;  // 1/R [1/Ohm] (QP channel scaling)
+  std::vector<double> chan_g_;   // per CHANNEL 1/(e^2 R), 2 per junction
   std::vector<double> ej_;      // Josephson energy [J] (SC only, else 0)
   std::vector<double> cp_eta_;  // Cooper-pair broadening eta [J]
   std::vector<double> u_;  // per-junction single-charge charging term [J]

@@ -27,6 +27,13 @@ enum class FaultKind : std::uint8_t {
   kNegativeRate,    ///< overwrite one channel's rate with a negative value
   kNanPotential,    ///< poison one island potential with NaN
   kCorruptCharge,   ///< silently add an electron to one island
+  /// Poison the stored per-channel ΔW pair of the junction owning channel
+  /// `index` (value payload, NaN when `value` == 0). In adaptive mode a
+  /// NaN ΔW silently disables the junction's staleness test (NaN compares
+  /// false), so detection must come from the auditor's delta_w checks; in
+  /// non-adaptive mode the next fused ΔW pass overwrites the slot before
+  /// any kernel reads it, so the fault is self-healing there.
+  kCorruptDeltaW,
   kStallClock,      ///< freeze the simulation clock (dt forced to zero)
   kSleep,           ///< block the thread for `millis` (watchdog tests)
 };
@@ -44,7 +51,7 @@ struct FaultSpec {
   std::uint32_t attempt = kAnyAttempt;
   std::uint64_t at_event = 0;    ///< fires when stats.events == at_event
   std::size_t index = 0;         ///< target channel / island
-  double value = 0.0;            ///< payload for kNegativeRate
+  double value = 0.0;            ///< payload for kNegativeRate / kCorruptDeltaW
   std::uint32_t millis = 0;      ///< sleep duration for kSleep
   bool sticky = false;           ///< keep firing every event once triggered
 };

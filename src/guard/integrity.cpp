@@ -3,6 +3,9 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "base/constants.h"
+#include "base/math_util.h"
+
 namespace semsim {
 
 void InvariantAuditor::arm(double sim_time, std::uint64_t events) {
@@ -39,6 +42,7 @@ void InvariantAuditor::audit(const AuditView& view) {
   // fire at once; cheapest-to-diagnose first.
   check_watchdog(view);
   check_rates(view);
+  check_delta_w(view);
   check_potentials(view);
   check_fenwick(view);
   check_charge(view);
@@ -59,6 +63,48 @@ void InvariantAuditor::check_rates(const AuditView& view) {
       fail(ErrorCode::kNegativeRate, view,
            "audit: channel " + std::to_string(i) + " rate is negative (" +
                std::to_string(w) + ")");
+    }
+  }
+}
+
+void InvariantAuditor::check_delta_w(const AuditView& view) {
+  if (!view.delta_w) return;
+  // Finiteness always: a NaN in the stored ΔW poisons the next batched
+  // kernel evaluation (caught late, as a NaN rate) and — worse — silently
+  // disables the adaptive staleness test for its junction, because NaN
+  // comparisons are false and the junction then never re-flags. Surfaced
+  // as the rate-finiteness family: the store IS the kernel input.
+  for (std::size_t i = 0; i < view.n_delta_w; ++i) {
+    if (!std::isfinite(view.delta_w[i])) {
+      fail(ErrorCode::kNonFiniteRate, view,
+           "audit: stored delta_w of channel " + std::to_string(i) + " is " +
+               std::to_string(view.delta_w[i]));
+    }
+  }
+  if (!view.delta_w_synced || !view.node_v || !view.charging_u ||
+      !view.slot_a || !view.slot_b) {
+    return;
+  }
+  // Synced recompute check: in non-adaptive mode every entry was just
+  // re-derived from the exact potential cache, so an independent recompute
+  // here must agree. The tolerance is relative and generous (the engine's
+  // fused pass and this one live in different TUs, so contraction may
+  // differ by an ulp); real corruption is NaN or orders of magnitude off.
+  for (std::size_t j = 0; j < view.n_junctions && 2 * j + 1 < view.n_delta_w;
+       ++j) {
+    const double dv =
+        view.node_v[view.slot_b[j]] - view.node_v[view.slot_a[j]];
+    const double u = view.charging_u[j];
+    const double fw = -kElementaryCharge * dv + u;
+    const double bw = kElementaryCharge * dv + u;
+    if (rel_diff(view.delta_w[2 * j], fw, 1e-30) > 1e-9 ||
+        rel_diff(view.delta_w[2 * j + 1], bw, 1e-30) > 1e-9) {
+      fail(ErrorCode::kDeltaWDrift, view,
+           "audit: stored delta_w of junction " + std::to_string(j) +
+               " (" + std::to_string(view.delta_w[2 * j]) + ", " +
+               std::to_string(view.delta_w[2 * j + 1]) +
+               ") drifted from recompute (" + std::to_string(fw) + ", " +
+               std::to_string(bw) + ")");
     }
   }
 }

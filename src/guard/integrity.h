@@ -10,6 +10,10 @@
 // base <- guard <- core):
 //
 //   * every channel rate is finite and non-negative;
+//   * every stored per-channel ΔW is finite (it feeds the batched rate
+//     kernel and the adaptive staleness test), and — when the engine marks
+//     the store as freshly derived from exact potentials — agrees with a
+//     recompute from the potential cache within a small relative tolerance;
 //   * every cached island potential is finite;
 //   * the Fenwick running total agrees with an exact recompute within a
 //     relative tolerance (incremental drift is squashed periodically by the
@@ -99,6 +103,22 @@ struct AuditView {
   std::size_t n_junctions = 0;
   const std::uint32_t* slot_a = nullptr;  ///< per junction endpoint slot
   const std::uint32_t* slot_b = nullptr;
+  /// Stored per-channel ΔW maintained by the engine's batch-kernel path:
+  /// 2 entries per junction (fw, bw), n_delta_w total. Optional (nullptr
+  /// skips the delta_w checks).
+  const double* delta_w = nullptr;
+  std::size_t n_delta_w = 0;
+  /// Full unified potential array (islands, externals, ground) indexed by
+  /// slot_a/slot_b, and the per-junction charging terms u_j [J]. Needed
+  /// only for the synced recompute check below.
+  const double* node_v = nullptr;
+  const double* charging_u = nullptr;
+  /// True when delta_w was fully re-derived from exact potentials after the
+  /// last charge move (non-adaptive mode recomputes every entry per event).
+  /// The auditor then recomputes ΔW from node_v/charging_u and flags any
+  /// entry that drifted beyond a small relative tolerance. In adaptive mode
+  /// the store is stale by design, so only finiteness is checked.
+  bool delta_w_synced = false;
   double sim_time = 0.0;
   std::uint64_t events = 0;
   /// Peak Fenwick total since the tree was last rebuilt. Incremental-update
@@ -135,6 +155,7 @@ class InvariantAuditor {
 
  private:
   void check_rates(const AuditView& view);
+  void check_delta_w(const AuditView& view);
   void check_potentials(const AuditView& view);
   void check_fenwick(const AuditView& view);
   void check_charge(const AuditView& view);

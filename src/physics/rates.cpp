@@ -1,6 +1,9 @@
 #include "physics/rates.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
 
 #include "base/constants.h"
 #include "base/math_util.h"
@@ -16,6 +19,119 @@ double orthodox_rate(double delta_w, double resistance,
   const double kt = kBoltzmann * temperature;
   // delta_w / (exp(delta_w/kT) - 1) = kT * x_over_expm1(delta_w / kT)
   return kt * x_over_expm1(delta_w / kt) * g;
+}
+
+void tunnel_rates_batch(const double* delta_w, const double* conductance,
+                        double kt, double* out, std::size_t n) noexcept {
+  if (kt <= 0.0) {
+    // T = 0 limit: branch-free max + multiply, vectorizes as-is. The
+    // expression must stay `std::max(-delta_w, 0.0) * g` verbatim — it can
+    // produce -0.0 (max picks its first argument on ties), and the Fenwick
+    // build preserves that bit pattern.
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::max(-delta_w[i], 0.0) * conductance[i];
+    }
+    return;
+  }
+  // Thermal path: per-channel libm expm1 through the (now inline)
+  // x_over_expm1, same expression and association as orthodox_rate.
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = kt * x_over_expm1(delta_w[i] / kt) * conductance[i];
+  }
+}
+
+namespace {
+
+// Cody-Waite split of ln 2: the high part has zero low-order bits, so
+// k * kLn2Hi is exact for |k| < 2^20 and the reduced argument
+// r = x - k*ln2 carries no cancellation error beyond k * kLn2Lo rounding.
+constexpr double kInvLn2 = 1.4426950408889634;
+constexpr double kLn2Hi = 6.93147180369123816490e-01;
+constexpr double kLn2Lo = 1.90821492927058770002e-10;
+
+/// expm1 via range reduction x = k*ln2 + r, |r| <= ln2/2, and a degree-12
+/// Taylor polynomial for expm1(r):
+///     expm1(x) = 2^k * expm1(r) + (2^k - 1)
+/// The two-term form avoids the cancellation of 2^k*exp(r) - 1 near x = 0
+/// (k = 0 returns the polynomial directly). Truncation error at |r| = 0.347
+/// is ~5e-16 relative; callers only see |x| in [1e-8, 700], so k is within
+/// [-1010, 1010] and 2^k stays a normal double built by exponent-field bit
+/// construction (no ldexp call in the loop).
+inline double expm1_fast(double x) noexcept {
+  const double t = x * kInvLn2;
+  const long long k =
+      static_cast<long long>(t + (t >= 0.0 ? 0.5 : -0.5));  // round to nearest
+  const double kd = static_cast<double>(k);
+  const double r = (x - kd * kLn2Hi) - kd * kLn2Lo;
+  const double r2 = r * r;
+  // q = expm1(r)/r - 1 ... = 1/2! + r/3! + ... + r^10/12!, Horner.
+  double q = 1.0 / 479001600.0;
+  q = q * r + 1.0 / 39916800.0;
+  q = q * r + 1.0 / 3628800.0;
+  q = q * r + 1.0 / 362880.0;
+  q = q * r + 1.0 / 40320.0;
+  q = q * r + 1.0 / 5040.0;
+  q = q * r + 1.0 / 720.0;
+  q = q * r + 1.0 / 120.0;
+  q = q * r + 1.0 / 24.0;
+  q = q * r + 1.0 / 6.0;
+  q = q * r + 0.5;
+  const double p = r + r2 * q;  // expm1(r), leading term exact
+  const double two_k = std::bit_cast<double>(
+      static_cast<std::uint64_t>(1023 + k) << 52);
+  return two_k * p + (two_k - 1.0);
+}
+
+/// x_over_expm1 with the SAME branch thresholds as the exact helper; only
+/// the final expm1 differs. Scalar fallback for mixed chunks and the tail —
+/// it computes the identical value to the chunked lane for in-range x, so
+/// fast-mode output does not depend on where a channel lands in a chunk.
+inline double x_over_expm1_fast(double x) noexcept {
+  if (x == 0.0) return 1.0;
+  if (std::abs(x) < 1e-8) return 1.0 - 0.5 * x;
+  if (x > 700.0) return 0.0;
+  if (x < -700.0) return -x;
+  return x / expm1_fast(x);
+}
+
+}  // namespace
+
+void tunnel_rates_batch_fast(const double* delta_w, const double* conductance,
+                             double kt, double* out, std::size_t n) noexcept {
+  if (kt <= 0.0) {
+    // T = 0 never touches expm1: byte-identical to the exact kernel.
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::max(-delta_w[i], 0.0) * conductance[i];
+    }
+    return;
+  }
+  constexpr std::size_t kChunk = 8;
+  std::size_t i = 0;
+  for (; i + kChunk <= n; i += kChunk) {
+    // Classify the chunk: when every lane is inside the polynomial range
+    // the whole block runs branch-free (vectorizable); any edge-case lane
+    // (series region, clamp region, NaN) drops the block to the scalar
+    // helper, which keeps the exact kernel's branch semantics.
+    double x[kChunk];
+    bool simple = true;
+    for (std::size_t l = 0; l < kChunk; ++l) {
+      x[l] = delta_w[i + l] / kt;
+      const double a = std::abs(x[l]);
+      simple = simple && (a >= 1e-8) && (a <= 700.0);
+    }
+    if (simple) {
+      for (std::size_t l = 0; l < kChunk; ++l) {
+        out[i + l] = kt * (x[l] / expm1_fast(x[l])) * conductance[i + l];
+      }
+    } else {
+      for (std::size_t l = 0; l < kChunk; ++l) {
+        out[i + l] = kt * x_over_expm1_fast(x[l]) * conductance[i + l];
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    out[i] = kt * x_over_expm1_fast(delta_w[i] / kt) * conductance[i];
+  }
 }
 
 }  // namespace semsim

@@ -12,7 +12,14 @@
 //     delta_w -> 0, T>0 : kT / (e^2 R)
 //     delta_w >> kT     : exponentially suppressed but non-zero (detailed
 //                         balance: Gamma(x) = exp(-x/kT) * Gamma(-x)).
+//
+// The batched kernels below evaluate whole channel arrays at once for the
+// Monte-Carlo hot path: the engine maintains per-channel delta_w[] and
+// conductance[] contiguously (SoA), so one call covers every channel with a
+// chunked, autovectorization-friendly loop instead of a call per channel.
 #pragma once
+
+#include <cstddef>
 
 namespace semsim {
 
@@ -20,5 +27,29 @@ namespace semsim {
 /// `delta_w` in joules. Preconditions: resistance > 0, temperature >= 0.
 double orthodox_rate(double delta_w, double resistance,
                      double temperature) noexcept;
+
+/// Batched orthodox rates: out[i] = Gamma(delta_w[i]) for n channels.
+/// `conductance[i]` must be 1 / (e^2 R_i) and `kt` = k_B * T [J]; kt <= 0
+/// selects the T = 0 limit. BITWISE CONTRACT: out[i] is identical, bit for
+/// bit, to orthodox_rate(delta_w[i], R_i, T) — same expression forms, same
+/// x_over_expm1 branches — because golden trajectories hash the sampled
+/// waiting times, which depend on every rate bit. The T = 0 loop (max + mul)
+/// autovectorizes; the thermal loop is bound by libm expm1 and stays scalar.
+void tunnel_rates_batch(const double* delta_w, const double* conductance,
+                        double kt, double* out, std::size_t n) noexcept;
+
+/// Fast thermal variant (opt-in via --fast-rates): replaces libm expm1 with
+/// a Cody-Waite range reduction and a degree-12 polynomial, evaluated in
+/// chunks that the compiler can vectorize. Guarantees
+///
+///     |fast - exact| <= 1e-12 * exact      (relative, per channel)
+///
+/// over the full argument range (property-tested in tests/test_property.cpp;
+/// the mathematical bound is ~1e-14). The x_over_expm1 edge branches
+/// (|x| < 1e-8 series, |x| > 700 clamps, x == 0) and the entire kt <= 0 path
+/// are byte-identical to the exact kernel, so fast mode only perturbs
+/// channels with 1e-8 <= |delta_w / kT| <= 700.
+void tunnel_rates_batch_fast(const double* delta_w, const double* conductance,
+                             double kt, double* out, std::size_t n) noexcept;
 
 }  // namespace semsim

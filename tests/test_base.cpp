@@ -2,7 +2,9 @@
 // helpers, string/number parsing.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <set>
 
@@ -176,6 +178,68 @@ TEST(Fenwick, ExactTotalSquashesDrift) {
 }
 
 // ---- math_util --------------------------------------------------------------
+
+/// Out-of-line replica of x_over_expm1 exactly as it lived in math_util.cpp
+/// before the move into the header. The move is only legal if it cannot
+/// change a single output bit (golden trajectories hash rates bitwise), so
+/// we keep a sealed copy the optimizer cannot merge with the inline one and
+/// compare them across the whole branch structure.
+[[gnu::noinline]] double x_over_expm1_outofline(double x) noexcept {
+  if (x == 0.0) return 1.0;
+  if (std::abs(x) < 1e-8) return 1.0 - 0.5 * x;  // series, avoids 0/0 noise
+  if (x > 700.0) return 0.0;                     // exp overflow guard
+  if (x < -700.0) return -x;                     // exp(x) ~ 0
+  return x / std::expm1(x);
+}
+
+TEST(MathUtil, XOverExpm1EdgeCasesExact) {
+  // Exact zero hits the dedicated branch, not the series.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(x_over_expm1(0.0)),
+            std::bit_cast<std::uint64_t>(1.0));
+  // Series region: the result is exactly 1 - x/2 (no expm1 call).
+  for (double x : {1e-9, -1e-9, 5e-12, -5e-12, 9.999e-9, -9.999e-9}) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(x_over_expm1(x)),
+              std::bit_cast<std::uint64_t>(1.0 - 0.5 * x))
+        << "x = " << x;
+  }
+  // Threshold neighbourhood: 1e-8 itself is NOT in the series region.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(x_over_expm1(1e-8)),
+            std::bit_cast<std::uint64_t>(1e-8 / std::expm1(1e-8)));
+  // Overflow guards.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(x_over_expm1(700.0000001)),
+            std::bit_cast<std::uint64_t>(0.0));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(x_over_expm1(-700.0000001)),
+            std::bit_cast<std::uint64_t>(700.0000001));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(x_over_expm1(1e308)),
+            std::bit_cast<std::uint64_t>(0.0));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(x_over_expm1(-1e308)),
+            std::bit_cast<std::uint64_t>(1e308));
+}
+
+TEST(MathUtil, XOverExpm1BitwiseEqualsOutOfLineVersion) {
+  // Deterministic sweep over every branch: dense small-x grid, the general
+  // region over many decades (both signs), and the clamp regions.
+  std::vector<double> xs = {0.0, 1e-8, -1e-8, 700.0, -700.0, 700.5, -700.5};
+  for (int e = -320; e <= 2; ++e) {
+    for (double m : {1.0, 1.37, 9.99}) {
+      const double x = m * std::pow(10.0, e);
+      xs.push_back(x);
+      xs.push_back(-x);
+    }
+  }
+  for (double x : xs) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(x_over_expm1(x)),
+              std::bit_cast<std::uint64_t>(x_over_expm1_outofline(x)))
+        << "x = " << x;
+  }
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = (2.0 * rng.uniform01() - 1.0) * 1500.0;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(x_over_expm1(x)),
+              std::bit_cast<std::uint64_t>(x_over_expm1_outofline(x)))
+        << "x = " << x;
+  }
+}
 
 TEST(MathUtil, XOverExpm1Limits) {
   EXPECT_DOUBLE_EQ(x_over_expm1(0.0), 1.0);

@@ -423,8 +423,10 @@ TEST(PotentialTracker, DeltaHelpersMatchKappa) {
 TEST(AdaptiveSolverUnit, TinyThresholdFlagsSeeds) {
   SetFixture f;
   AdaptiveSolver s(f.c, 1e-12);
-  s.store_dw(0, 1e-21, 1e-21);
-  s.store_dw(1, 1e-21, 1e-21);
+  // The solver reads dW' from a bound per-channel store (the engine's
+  // delta_w_ array in production).
+  std::vector<double> dw = {1e-21, 1e-21, 1e-21, 1e-21};
+  s.bind_delta_w(dw.data());
   std::vector<std::size_t> flagged;
   // Island (node 4) potential moved; leads unchanged.
   s.collect({0}, [](NodeId n) { return n == 4 ? 1e-3 : 0.0; }, flagged);
@@ -436,7 +438,8 @@ TEST(AdaptiveSolverUnit, TinyThresholdFlagsSeeds) {
 TEST(AdaptiveSolverUnit, HugeThresholdAccumulates) {
   SetFixture f;
   AdaptiveSolver s(f.c, 1e9);
-  s.store_dw(0, 1e-21, 1e-21);
+  std::vector<double> dw = {1e-21, 1e-21, 0.0, 0.0};
+  s.bind_delta_w(dw.data());
   std::vector<std::size_t> flagged;
   s.collect({0}, [](NodeId n) { return n == 4 ? 1e-4 : 0.0; }, flagged);
   EXPECT_TRUE(flagged.empty());
@@ -449,14 +452,18 @@ TEST(AdaptiveSolverUnit, HugeThresholdAccumulates) {
   EXPECT_DOUBLE_EQ(s.accumulated(0), 0.0);
 }
 
-TEST(AdaptiveSolverUnit, StoreDwClearsAccumulator) {
+TEST(AdaptiveSolverUnit, MarkFreshClearsAccumulator) {
   SetFixture f;
   AdaptiveSolver s(f.c, 1e9);
-  s.store_dw(0, 1e-21, 1e-21);  // non-zero thresholds so nothing flags
+  // Non-zero thresholds so nothing flags.
+  std::vector<double> dw = {1e-21, 1e-21, 0.0, 0.0};
+  s.bind_delta_w(dw.data());
   std::vector<std::size_t> flagged;
   s.collect({0}, [](NodeId n) { return n == 4 ? 1e-4 : 0.0; }, flagged);
   ASSERT_NE(s.accumulated(0), 0.0);
-  s.store_dw(0, 1e-21, 2e-21);
+  // The engine refreshes the bound store in place, then reports it.
+  dw[1] = 2e-21;
+  s.mark_fresh(0);
   EXPECT_DOUBLE_EQ(s.accumulated(0), 0.0);
   EXPECT_DOUBLE_EQ(s.stored_dw_bw(0), 2e-21);
 }

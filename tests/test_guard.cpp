@@ -19,6 +19,7 @@
 #include "analysis/api.h"
 #include "analysis/driver.h"
 #include "analysis/sweep.h"
+#include "base/constants.h"
 #include "base/error.h"
 #include "base/fenwick.h"
 #include "base/random.h"
@@ -319,6 +320,111 @@ TEST(FaultDetection, CorruptChargeTripsChargeConservation) {
   Engine engine(fx.c, faulty_opts(&plan, /*audit_interval=*/16));
   EXPECT_EQ(run_expecting<InvariantViolation>(engine),
             ErrorCode::kChargeNotConserved);
+}
+
+TEST(FaultDetection, CorruptDeltaWIsCaughtByTheAuditInAdaptiveMode) {
+  // The batch-kernel path stores per-channel ΔW; in adaptive mode a stale
+  // entry is only ever refreshed when its junction flags, and a NaN there
+  // DISABLES the flag test (NaN comparisons are false) — the classic
+  // self-hiding corruption. Give the circuit a deeply blockaded island that
+  // is electrically isolated from the active SET: its ΔW slots are never
+  // rewritten by events, so only the auditor's finiteness check over the
+  // stored ΔW array can see the fault.
+  SetFixture fx;
+  const NodeId lead = fx.c.add_external("blk_lead");
+  const NodeId blk = fx.c.add_island("blk_island");
+  fx.c.add_junction(lead, blk, 1e6, 1e-18);   // junction 2 -> channels 4,5
+  fx.c.add_junction(blk, lead, 1e6, 1e-18);   // junction 3 -> channels 6,7
+  fx.c.add_capacitor(blk, Circuit::kGroundNode, 1e-18);
+  fx.c.set_source(lead, Waveform::dc(0.0));
+
+  FaultPlan plan;
+  FaultSpec f = fault(FaultKind::kCorruptDeltaW, 50);
+  f.index = 4;  // a channel of blockaded junction 2
+  plan.faults.push_back(f);
+  EngineOptions o = faulty_opts(&plan, /*audit_interval=*/1);
+  ASSERT_TRUE(o.adaptive.enabled);
+  Engine engine(fx.c, o);
+  EXPECT_EQ(run_expecting<InvariantViolation>(engine),
+            ErrorCode::kNonFiniteRate);
+  const IntegrityReport& rep = engine.integrity_report();
+  ASSERT_EQ(rep.issues.size(), 1u);
+  EXPECT_NE(rep.issues[0].detail.find("delta_w"), std::string::npos)
+      << rep.issues[0].detail;
+}
+
+TEST(FaultDetection, CorruptDeltaWSelfHealsInNonAdaptiveMode) {
+  // The non-adaptive solver re-derives the whole ΔW store from the exact
+  // potential cache inside every event, after the injection point — the
+  // corruption is overwritten before any kernel or audit reads it. This is
+  // the documented semantics, and it doubles as coverage for the auditor's
+  // synced ΔW-vs-recompute drift check running clean on every audit.
+  SetFixture fx;
+  FaultPlan plan;
+  plan.faults.push_back(fault(FaultKind::kCorruptDeltaW, 50));
+  EngineOptions o = faulty_opts(&plan, /*audit_interval=*/1);
+  o.adaptive.enabled = false;
+  Engine engine(fx.c, o);
+  engine.run_events(2000);
+  EXPECT_TRUE(engine.integrity_report().ok());
+  EXPECT_GE(engine.integrity_report().audits_run, 2000u);
+}
+
+TEST(InvariantAuditorTest, DetectsDeltaWDriftWhenSynced) {
+  // Direct audit-side test of the synced recompute check: one junction
+  // between island slot 0 and external slot 1.
+  FenwickTree rates(2);
+  rates.set(0, 1.0);
+  rates.set(1, 2.0);
+  const double island_v[] = {0.001};
+  const std::uint32_t slot_a[] = {0};
+  const std::uint32_t slot_b[] = {1};
+  const double node_v[] = {0.001, 0.02};
+  const double u[] = {1e-22};
+  const double dv = node_v[1] - node_v[0];
+  double delta_w[2] = {-kElementaryCharge * dv + u[0],
+                       kElementaryCharge * dv + u[0]};
+
+  AuditView view;
+  view.rates = &rates;
+  view.island_v = island_v;
+  view.n_islands = 1;
+  view.n_junctions = 1;
+  view.slot_a = slot_a;
+  view.slot_b = slot_b;
+  view.delta_w = delta_w;
+  view.n_delta_w = 2;
+  view.node_v = node_v;
+  view.charging_u = u;
+  view.delta_w_synced = true;
+  view.events = 32;
+
+  InvariantAuditor auditor{AuditOptions{}};
+  auditor.audit(view);  // consistent store passes
+
+  delta_w[0] *= 1.0 + 1e-6;  // well past the 1e-9 relative tolerance
+  try {
+    auditor.audit(view);
+    FAIL() << "drifted delta_w passed the synced audit";
+  } catch (const InvariantViolation& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeltaWDrift);
+    EXPECT_STREQ(error_code_name(e.code()), "invariant.delta_w_drift");
+  }
+
+  // The same drifted store is legal when the engine marks it stale-by-design
+  // (adaptive mode): only finiteness is enforced then.
+  view.delta_w_synced = false;
+  InvariantAuditor lax{AuditOptions{}};
+  lax.audit(view);
+
+  // ...but a NaN is never legal, synced or not.
+  delta_w[1] = std::numeric_limits<double>::quiet_NaN();
+  try {
+    lax.audit(view);
+    FAIL() << "NaN delta_w passed the unsynced audit";
+  } catch (const InvariantViolation& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNonFiniteRate);
+  }
 }
 
 TEST(FaultDetection, StalledClockTripsTheNoProgressWatchdog) {

@@ -40,7 +40,7 @@ void usage(const char* argv0) {
       "          [--master-check] [--target-rel-error X] [--max-events N]\n"
       "          [--checkpoint FILE] [--resume FILE] [--salvage-checkpoint]\n"
       "          [--strict] [--retries N] [--audit-interval N] [--no-audit]\n"
-      "          [--watchdog-seconds X]\n"
+      "          [--watchdog-seconds X] [--fast-rates]\n"
       "  --json FILE.json     write the versioned machine-readable result\n"
       "                       document (schema %s)\n"
       "  --threads N          worker threads for sweeps / repeated runs\n"
@@ -65,6 +65,9 @@ void usage(const char* argv0) {
       "                       (default auto; see --no-audit)\n"
       "  --no-audit           disable the runtime invariant auditor\n"
       "  --watchdog-seconds X abort a work unit after X wall-clock seconds\n"
+      "  --fast-rates         polynomial thermal rate kernel (~1e-12 relative\n"
+      "                       of exact); faster at T > 0, but trajectories\n"
+      "                       are not bitwise comparable with exact runs\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 parse/circuit, 4 numeric or\n"
       "invariant violation, 5 I/O or checkpoint mismatch, 6 watchdog\n"
       "timeout, 8 completed degraded (some work units failed)\n",
@@ -171,6 +174,8 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--non-adaptive") {
       req.adaptive = false;
+    } else if (a == "--fast-rates") {
+      req.fast_rates = true;
     } else if (flag_value(a, "--out", argc, argv, i, &v)) {
       out_path = v;
     } else if (flag_value(a, "--json", argc, argv, i, &v)) {
