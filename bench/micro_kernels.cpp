@@ -150,6 +150,38 @@ void BM_CotunnelingRate(benchmark::State& state) {
 }
 BENCHMARK(BM_CotunnelingRate);
 
+// Batched SoA cotunneling kernel (the engine's secondary-refresh path) over
+// the enumerated paths of a multi-island chain; Arg is 0 = exact libm
+// kernel, 1 = the --fast-rates polynomial. items/sec is paths/sec.
+void BM_CotunnelingRatesBatch(benchmark::State& state) {
+  const bool fast = state.range(0) != 0;
+  const Circuit c = bench::chain_circuit(64);
+  const ElectrostaticModel em(c);
+  EngineOptions o;
+  o.temperature = 1.0;
+  o.cotunneling = true;
+  const RateCalculator calc(c, em, o);
+  const auto& paths = calc.cotunneling_paths();
+  std::vector<std::uint32_t> cot_slot;
+  for (const CotunnelingPath& p : paths) {
+    cot_slot.push_back(static_cast<std::uint32_t>(p.from));
+    cot_slot.push_back(static_cast<std::uint32_t>(p.via));
+    cot_slot.push_back(static_cast<std::uint32_t>(p.to));
+  }
+  std::vector<double> v(c.node_count());
+  Xoshiro256 rng(5);
+  for (double& x : v) x = (rng.uniform01() - 0.5) * 0.01;
+  std::vector<double> out(paths.size());
+  for (auto _ : state) {
+    calc.cotunneling_rates_batch(v.data(), cot_slot.data(), fast, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(paths.size()));
+}
+BENCHMARK(BM_CotunnelingRatesBatch)->Arg(0)->Arg(1);
+
 void BM_SetCompactModel(benchmark::State& state) {
   SetModelParams m;
   for (auto _ : state) {

@@ -43,7 +43,13 @@ namespace {
 // runs or vice versa — and the adaptive chain cases now couple neighbouring
 // islands (bench_util.h chain_circuit coupling_f) so they exercise the
 // partial-flagging regime instead of the degenerate flagged_fraction == 1.
-constexpr const char* kSchema = "semsim.bench_hotpath/v2";
+// v3: adds warm (4.2 K) adaptive chain cases in exact and fast-rates
+// variants — at T = 0 the fast kernel is byte-identical to the exact one,
+// so only a thermal case can regress the fast path — and gates
+// ns_per_rate_eval for adaptive cases alongside events/sec (a rate-kernel
+// regression can hide inside an events/sec number when the flagged count
+// shifts).
+constexpr const char* kSchema = "semsim.bench_hotpath/v3";
 
 /// Inter-island coupling for the ADAPTIVE chain cases: strong enough that
 /// every event gets the neighbours' junctions tested, weak enough that the
@@ -73,17 +79,24 @@ std::uint64_t total_rate_evals(const SolverStats& s) {
 /// Steady-state stepping rate of one engine configuration: warm up past the
 /// transient, calibrate a ~100 ms window, then keep the best of three
 /// windows (the one least disturbed by the scheduler).
-GateCase measure_engine_case(int stages, bool adaptive, bool fast_rates) {
+GateCase measure_engine_case(int stages, bool adaptive, bool fast_rates,
+                             double temperature = 0.0) {
   GateCase r;
   r.name = (adaptive ? "chain_adaptive_" : "chain_nonadaptive_") +
            std::to_string(stages);
+  if (temperature > 0.0) {
+    // Thermal cases carry their kernel variant in the name: they appear in
+    // BOTH gate modes (the warm-fast case runs the fast kernel even in an
+    // exact-mode gate), so the name — not rates_mode — keys the comparison.
+    r.name += fast_rates ? "_warm_fast" : "_warm_exact";
+  }
   r.stages = stages;
   r.adaptive = adaptive;
 
   const Circuit c =
       bench::chain_circuit(stages, adaptive ? kAdaptiveCouplingF : 0.0);
   EngineOptions o;
-  o.temperature = 0.0;
+  o.temperature = temperature;
   o.adaptive.enabled = adaptive;
   o.fast_rates = fast_rates;
   Engine e(c, o);
@@ -229,10 +242,29 @@ int gate_against(const std::vector<GateCase>& cases,
     }
     const double floor = (1.0 - tolerance) * base;
     const bool ok = cur->events_per_sec >= floor;
-    std::printf("%s %-28s %12.0f ev/s vs baseline %12.0f (floor %12.0f)\n",
+    std::printf("%s %-32s %12.0f ev/s vs baseline %12.0f (floor %12.0f)\n",
                 ok ? "ok  " : "FAIL", name.c_str(), cur->events_per_sec, base,
                 floor);
     if (!ok) ++regressions;
+
+    // Adaptive cases also gate the per-rate-evaluation cost: a slower rate
+    // kernel can hide behind a stable events/sec when the flagged count
+    // drops, and vice versa. Non-adaptive cases skip this (their eval count
+    // is fixed at channels/event, so events/sec already covers it).
+    const JsonValue* adaptive_field = b.find("adaptive");
+    const JsonValue* ns_field = b.find("ns_per_rate_eval");
+    const bool base_adaptive =
+        adaptive_field != nullptr && adaptive_field->as_bool();
+    const double base_ns = ns_field != nullptr ? ns_field->as_number() : 0.0;
+    if (base_adaptive && base_ns > 0.0 && cur->ns_per_rate_eval > 0.0) {
+      const double ceiling = (1.0 + tolerance) * base_ns;
+      const bool ns_ok = cur->ns_per_rate_eval <= ceiling;
+      std::printf("%s %-32s %10.1f ns/rate-eval vs baseline %8.1f (ceiling "
+                  "%8.1f)\n",
+                  ns_ok ? "ok  " : "FAIL", name.c_str(),
+                  cur->ns_per_rate_eval, base_ns, ceiling);
+      if (!ns_ok) ++regressions;
+    }
   }
   return regressions;
 }
@@ -277,16 +309,28 @@ int main(int argc, char** argv) {
 
   try {
     std::vector<GateCase> cases;
+    auto report = [](const GateCase& c) {
+      std::printf("# %-32s %12.0f ev/s  %8.1f ns/rate-eval", c.name.c_str(),
+                  c.events_per_sec, c.ns_per_rate_eval);
+      if (c.flagged_fraction >= 0.0) {
+        std::printf("  flagged %.3f", c.flagged_fraction);
+      }
+      std::printf("\n");
+    };
     for (const int stages : {8, 64, 256, 1024}) {
       for (const bool adaptive : {true, false}) {
         cases.push_back(measure_engine_case(stages, adaptive, fast_rates));
-        const GateCase& c = cases.back();
-        std::printf("# %-28s %12.0f ev/s  %8.1f ns/rate-eval", c.name.c_str(),
-                    c.events_per_sec, c.ns_per_rate_eval);
-        if (c.flagged_fraction >= 0.0) {
-          std::printf("  flagged %.3f", c.flagged_fraction);
-        }
-        std::printf("\n");
+        report(cases.back());
+      }
+    }
+    // Warm adaptive cases (4.2 K): the only regime where the fast kernel
+    // diverges from the exact one, timed in both variants so the fast
+    // path's advantage — and any regression to it — is visible per run.
+    for (const int stages : {64, 1024}) {
+      for (const bool fast : {false, true}) {
+        cases.push_back(measure_engine_case(stages, /*adaptive=*/true, fast,
+                                            /*temperature=*/4.2));
+        report(cases.back());
       }
     }
     cases.push_back(measure_facade_case(fast_rates));

@@ -22,7 +22,8 @@ class FenwickTree {
   FenwickTree() = default;
 
   /// Creates a tree of `n` zero weights.
-  explicit FenwickTree(std::size_t n) : tree_(n + 1, 0.0), values_(n, 0.0) {}
+  explicit FenwickTree(std::size_t n)
+      : tree_(n + 1, 0.0), values_(n, 0.0), mask_(highest_power_of_two(n)) {}
 
   std::size_t size() const noexcept { return values_.size(); }
 
@@ -30,6 +31,7 @@ class FenwickTree {
   void reset(std::size_t n) {
     tree_.assign(n + 1, 0.0);
     values_.assign(n, 0.0);
+    mask_ = highest_power_of_two(n);
   }
 
   /// Current weight of channel `i`.
@@ -82,6 +84,72 @@ class FenwickTree {
     require(indices.size() == weights.size(),
             "FenwickTree::set_many: size mismatch");
     set_many(indices.data(), weights.data(), indices.size());
+  }
+
+  /// Fused commit of each junction's (forward, backward) channel pair:
+  /// channel 2*junctions[i] takes weights[2i], channel 2*junctions[i]+1
+  /// takes weights[2i+1]. EXACTLY equivalent — including bitwise — to the
+  /// set_many sequence over the interleaved index list (2j, 2j+1, ...): the
+  /// two channels of a junction share their entire tree path above the leaf
+  /// pair, and each shared node accumulates the forward delta before the
+  /// backward one, which is the same per-node order the two separate walks
+  /// produced. One traversal instead of two halves the pointer chasing of
+  /// the adaptive flagged-rate commit. Duplicate junctions are legal and
+  /// apply in order.
+  void set_junction_pairs(const std::size_t* junctions, const double* weights,
+                          std::size_t n_junc) {
+    for (std::size_t k = 0; k < n_junc; ++k) {
+      require(2 * junctions[k] + 1 < values_.size(),
+              "FenwickTree::set_junction_pairs: junction out of range");
+      if (!valid_weight(weights[2 * k]))
+        throw_bad_weight("FenwickTree::set_junction_pairs", 2 * junctions[k],
+                         weights[2 * k]);
+      if (!valid_weight(weights[2 * k + 1]))
+        throw_bad_weight("FenwickTree::set_junction_pairs",
+                         2 * junctions[k] + 1, weights[2 * k + 1]);
+    }
+    for (std::size_t k = 0; k < n_junc; ++k) {
+      const std::size_t c0 = 2 * junctions[k];
+      const double d0 = weights[2 * k] - values_[c0];
+      const double d1 = weights[2 * k + 1] - values_[c0 + 1];
+      // Mirror set()'s skip-on-zero-delta semantics per channel (including
+      // leaving a stored +0.0 untouched when the new weight is -0.0).
+      if (d0 != 0.0) {
+        values_[c0] = weights[2 * k];
+        // The even channel's leaf node (odd tree index c0+1) is the only
+        // node not shared with the odd channel's path.
+        tree_[c0 + 1] += d0;
+      }
+      if (d1 != 0.0) values_[c0 + 1] = weights[2 * k + 1];
+      if (d0 == 0.0 && d1 == 0.0) continue;
+      // Shared path: both channels' walks continue from tree index c0+2.
+      for (std::size_t t = c0 + 2; t < tree_.size(); t += t & (~t + 1)) {
+        if (d0 != 0.0) tree_[t] += d0;
+        if (d1 != 0.0) tree_[t] += d1;
+      }
+    }
+  }
+
+  /// Sets the contiguous channel block [first, first + n) to values[0..n):
+  /// exactly equivalent (bitwise) to sequential set() calls in order. The
+  /// engine commits the cotunneling channel block this way without staging
+  /// an index array.
+  void set_range(std::size_t first, const double* values, std::size_t n) {
+    require(first + n <= values_.size(),
+            "FenwickTree::set_range: range out of bounds");
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!valid_weight(values[i]))
+        throw_bad_weight("FenwickTree::set_range", first + i, values[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = first + i;
+      const double delta = values[i] - values_[c];
+      if (delta == 0.0) continue;
+      values_[c] = values[i];
+      for (std::size_t t = c + 1; t < tree_.size(); t += t & (~t + 1)) {
+        tree_[t] += delta;
+      }
+    }
   }
 
   /// Sum of weights of channels [0, i). O(log n).
@@ -158,7 +226,7 @@ class FenwickTree {
   /// O(log n).
   std::size_t sample(double target) const {
     std::size_t idx = 0;
-    std::size_t mask = highest_power_of_two(values_.size());
+    std::size_t mask = mask_;  // precomputed: sample runs once per MC event
     double remaining = target;
     while (mask > 0) {
       const std::size_t next = idx + mask;
@@ -197,6 +265,7 @@ class FenwickTree {
 
   std::vector<double> tree_;    // 1-based implicit tree
   std::vector<double> values_;  // mirrored raw weights
+  std::size_t mask_ = 0;        // highest power of two <= size()
 };
 
 }  // namespace semsim

@@ -1,31 +1,71 @@
 #include "core/adaptive_solver.h"
 
-#include <cmath>
-
-#include "base/constants.h"
 #include "base/error.h"
 
 namespace semsim {
 
-AdaptiveSolver::AdaptiveSolver(const Circuit& circuit, double threshold)
+AdaptiveSolver::AdaptiveSolver(const Circuit& circuit,
+                               const ElectrostaticModel& model,
+                               double threshold)
     : circuit_(circuit),
       threshold_(threshold),
       b0_(circuit.junction_count(), 0.0),
       visited_(circuit.junction_count(), 0) {
   require(threshold_ > 0.0, "AdaptiveSolver: threshold must be positive");
+
+  const std::size_t j_count = circuit.junction_count();
+  ia_.resize(j_count);
+  ib_.resize(j_count);
+  na_.resize(j_count);
+  nb_.resize(j_count);
+  exp_off_.assign(j_count + 1, 0);
+  for (std::size_t j = 0; j < j_count; ++j) {
+    const Junction& jn = circuit.junction(j);
+    ia_[j] = model.island_index(jn.a);
+    ib_[j] = model.island_index(jn.b);
+    na_[j] = jn.a;
+    nb_[j] = jn.b;
+    std::uint32_t cnt = 0;
+    for (const NodeId n : {jn.a, jn.b}) {
+      if (!circuit.is_island(n)) continue;
+      cnt += static_cast<std::uint32_t>(circuit.coupled_junctions_of(n).size());
+    }
+    exp_off_[j + 1] = exp_off_[j] + cnt;
+  }
+  exp_list_.resize(exp_off_[j_count]);
+  for (std::size_t j = 0; j < j_count; ++j) {
+    std::uint32_t w = exp_off_[j];
+    const Junction& jn = circuit.junction(j);
+    for (const NodeId n : {jn.a, jn.b}) {
+      if (!circuit.is_island(n)) continue;
+      for (std::size_t nb : circuit.coupled_junctions_of(n)) {
+        exp_list_[w++] = static_cast<std::uint32_t>(nb);
+      }
+    }
+  }
+
+  const std::size_t n_isl = model.island_count();
+  isl_node_.resize(n_isl);
+  isl_off_.assign(n_isl + 1, 0);
+  for (std::size_t k = 0; k < n_isl; ++k) {
+    isl_node_[k] = model.island_node(k);
+    isl_off_[k + 1] =
+        isl_off_[k] + static_cast<std::uint32_t>(
+                          circuit.coupled_junctions_of(isl_node_[k]).size());
+  }
+  isl_list_.resize(isl_off_[n_isl]);
+  for (std::size_t k = 0; k < n_isl; ++k) {
+    std::uint32_t w = isl_off_[k];
+    for (std::size_t j : circuit.coupled_junctions_of(isl_node_[k])) {
+      isl_list_[w++] = static_cast<std::uint32_t>(j);
+    }
+  }
+
+  queue_.reserve(j_count);
 }
 
 void AdaptiveSolver::reset_accumulators() {
   b0_.assign(b0_.size(), 0.0);
-}
-
-bool AdaptiveSolver::exceeds_threshold(std::size_t j, double b) const noexcept {
-  const double eb = kElementaryCharge * std::fabs(b);
-  // Paper: flag when |b| >= alpha |dW'_fw| OR |b| >= alpha |dW'_bw| —
-  // i.e. the tighter of the two stored energies decides. dw_ is the
-  // engine's per-channel ΔW store (see bind_delta_w).
-  return eb >= threshold_ * std::fabs(dw_[2 * j]) ||
-         eb >= threshold_ * std::fabs(dw_[2 * j + 1]);
 }
 
 }  // namespace semsim

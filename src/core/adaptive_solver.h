@@ -15,8 +15,25 @@
 // (the stored free-energy changes of the last recalculation; the factor e
 // converts the voltage drift into an energy so the comparison is
 // dimensionally consistent — equivalent to the paper's b measured in eV).
-// Flagged junctions propagate the test to their neighbours breadth-first,
-// with a per-invocation visited set.
+// Flagged junctions propagate the test to their neighbours breadth-first.
+//
+// HOT-PATH SHAPE (see DESIGN.md section 3e). The breadth-first search runs
+// entirely over flat per-junction arrays built once at construction:
+//   ia_/ib_     island index of each junction endpoint (-1 for lead/ground),
+//   na_/nb_     the endpoint NodeIds (only consulted for non-island ends),
+//   exp_off_/exp_list_   CSR expansion lists: the junctions enqueued when
+//               junction j flags — the concatenation of the coupled-junction
+//               lists of j's ISLAND endpoints, in the circuit's order,
+//   isl_off_/isl_list_   CSR seed rows: the coupled junctions of each island
+//               (what the engine seeds from after a charge lands on it).
+// The frontier is a single reusable array (queue_) indexed by a moving head,
+// and the visited set is an epoch-stamped array: ++epoch_ per invocation
+// invalidates every stamp at once, so there is no per-event clear. The
+// INVARIANT the property tests pin: collect()/collect_event() flag exactly
+// the junctions, in exactly the discovery order, that the retained reference
+// BFS (collect_reference) produces — order is load-bearing because the
+// engine commits flagged rates to the Fenwick tree in this order and the
+// tree's floating-point sums are order-sensitive.
 //
 // The class only *selects* junctions; synchronizing node potentials and
 // recomputing rates stays in the engine. The dW' store referenced by the
@@ -28,27 +45,66 @@
 // accumulated testing factor.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "base/constants.h"
 #include "netlist/circuit.h"
+#include "netlist/electrostatics.h"
 
 namespace semsim {
 
 class AdaptiveSolver {
  public:
-  AdaptiveSolver(const Circuit& circuit, double threshold);
+  /// `model` supplies the island indexing the SoA arrays are keyed by; both
+  /// references must outlive the solver.
+  AdaptiveSolver(const Circuit& circuit, const ElectrostaticModel& model,
+                 double threshold);
 
-  /// Runs the junction tests for one perturbation.
+  /// Runs the junction tests for one perturbation with split potential-delta
+  /// callbacks:
   ///   `seeds`   — junction indices adjacent to the event / stepped inputs;
-  ///   `dv_of`   — NodeId -> potential change for THIS perturbation
-  ///               (callable; O(1) per node; must return 0 for non-islands);
-  ///   `flagged` — out: junctions whose rates must be recalculated.
+  ///   `dv_isl`  — island index -> potential change (O(1), may memoize);
+  ///   `dv_fix`  — NodeId -> potential change of a NON-island node (0 except
+  ///               for stepped external leads during a source update);
+  ///   `flagged` — out: junctions whose rates must be recalculated, in
+  ///               discovery order (the engine's commit order).
   /// Returns the number of junctions tested.
+  template <typename DvIslFn, typename DvFixFn>
+  std::size_t collect(const std::vector<std::size_t>& seeds, DvIslFn&& dv_isl,
+                      DvFixFn&& dv_fix, std::vector<std::size_t>& flagged);
+
+  /// Convenience overload with a single NodeId -> dv callable (unit tests,
+  /// legacy call shape): islands resolve through their NodeId as before.
   template <typename DvFn>
   std::size_t collect(const std::vector<std::size_t>& seeds, DvFn&& dv_of,
-                      std::vector<std::size_t>& flagged);
+                      std::vector<std::size_t>& flagged) {
+    auto isl = [&](std::size_t k) { return dv_of(isl_node_[k]); };
+    return collect(seeds, isl, dv_of, flagged);
+  }
+
+  /// Charge-move entry point: seeds directly from the CSR rows of the two
+  /// event islands (pass -1 for a lead/ground endpoint), equivalent to — and
+  /// bit-compatible with — seeding collect() with the concatenated
+  /// coupled-junction lists of the island endpoints. Non-island nodes see
+  /// zero dv (a fixed-potential lead does not move).
+  template <typename DvIslFn>
+  std::size_t collect_event(int isl_from, int isl_to, DvIslFn&& dv_isl,
+                            std::vector<std::size_t>& flagged);
+
+  /// Reference implementation of Algorithm 1 retained for differential
+  /// tests: a straightforward BFS over the Circuit adjacency with a
+  /// per-call visited array, no epoch stamps, no CSR arrays. Reads the
+  /// caller-owned accumulator vector `b0` (same layout as the internal one)
+  /// and updates it exactly as collect() updates the internal state, so a
+  /// lock-stepped comparison can drive both implementations from identical
+  /// state. Const: never touches the solver's own b0_/visited_/queue_.
+  template <typename DvFn>
+  std::size_t collect_reference(const std::vector<std::size_t>& seeds,
+                                DvFn&& dv_of, std::vector<double>& b0,
+                                std::vector<std::size_t>& flagged) const;
 
   /// Binds the shared per-channel ΔW store: dw[2j] / dw[2j+1] are junction
   /// j's forward/backward free-energy changes at its last recalculation.
@@ -69,7 +125,33 @@ class AdaptiveSolver {
   double stored_dw_bw(std::size_t j) const { return dw_[2 * j + 1]; }
 
  private:
-  bool exceeds_threshold(std::size_t j, double b) const noexcept;
+  bool exceeds_threshold(std::size_t j, double b) const noexcept {
+    const double eb = kElementaryCharge * std::fabs(b);
+    // Paper: flag when |b| >= alpha |dW'_fw| OR |b| >= alpha |dW'_bw| —
+    // i.e. the tighter of the two stored energies decides. dw_ is the
+    // engine's per-channel ΔW store (see bind_delta_w).
+    return eb >= threshold_ * std::fabs(dw_[2 * j]) ||
+           eb >= threshold_ * std::fabs(dw_[2 * j + 1]);
+  }
+
+  /// Enqueues one island's CSR seed row (dedup via the current epoch).
+  void seed_row(int isl) {
+    if (isl < 0) return;
+    const std::size_t k = static_cast<std::size_t>(isl);
+    for (std::uint32_t t = isl_off_[k]; t < isl_off_[k + 1]; ++t) {
+      const std::uint32_t s = isl_list_[t];
+      if (visited_[s] != epoch_) {
+        visited_[s] = epoch_;
+        queue_.push_back(s);
+      }
+    }
+  }
+
+  /// The shared frontier walk: queue_ holds the seeds, head moves forward,
+  /// flagged junctions append their expansion row.
+  template <typename DvIslFn, typename DvFixFn>
+  std::size_t drain_frontier(DvIslFn&& dv_isl, DvFixFn&& dv_fix,
+                             std::vector<std::size_t>& flagged);
 
   const Circuit& circuit_;
   double threshold_;
@@ -77,14 +159,70 @@ class AdaptiveSolver {
   std::vector<double> b0_;      // accumulated testing factor [V]
   std::vector<std::uint64_t> visited_;  // epoch marking
   std::uint64_t epoch_ = 0;
-  std::vector<std::size_t> queue_;
+  std::vector<std::uint32_t> queue_;  // reusable frontier array
+  // ---- SoA topology (built once; see header comment) -----------------------
+  std::vector<std::int32_t> ia_, ib_;    // endpoint island indices (-1 fixed)
+  std::vector<NodeId> na_, nb_;          // endpoint NodeIds (fix path only)
+  std::vector<NodeId> isl_node_;         // island index -> NodeId
+  std::vector<std::uint32_t> exp_off_;   // CSR offsets into exp_list_ (J+1)
+  std::vector<std::uint32_t> exp_list_;  // flagged-junction expansion lists
+  std::vector<std::uint32_t> isl_off_;   // CSR offsets into isl_list_ (I+1)
+  std::vector<std::uint32_t> isl_list_;  // per-island seed rows
 };
 
-// ---- implementation (template) ---------------------------------------------
+// ---- implementation (templates) --------------------------------------------
 
-template <typename DvFn>
+template <typename DvIslFn, typename DvFixFn>
+std::size_t AdaptiveSolver::drain_frontier(DvIslFn&& dv_isl, DvFixFn&& dv_fix,
+                                           std::vector<std::size_t>& flagged) {
+  const std::int32_t* ia = ia_.data();
+  const std::int32_t* ib = ib_.data();
+  const double* dw = dw_;
+  double* b0 = b0_.data();
+  std::size_t tested = 0;
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const std::uint32_t j = queue_[head];
+    if (head + 1 < queue_.size()) {
+      const std::uint32_t nj = queue_[head + 1];
+      __builtin_prefetch(&dw[2 * nj]);
+      __builtin_prefetch(&b0[nj]);
+    }
+    ++tested;
+    // Same arithmetic as the reference BFS: dp = dv(a) - dv(b), b = b0 + dp.
+    // dv_isl is called a-side first — the engine's memoization records
+    // touched nodes in this call order.
+    const std::int32_t ka = ia[j];
+    const std::int32_t kb = ib[j];
+    const double da =
+        ka >= 0 ? dv_isl(static_cast<std::size_t>(ka)) : dv_fix(na_[j]);
+    const double db =
+        kb >= 0 ? dv_isl(static_cast<std::size_t>(kb)) : dv_fix(nb_[j]);
+    const double dp = da - db;
+    const double b = b0[j] + dp;
+    if (exceeds_threshold(j, b)) {
+      flagged.push_back(j);
+      // The precomputed expansion row IS the old nested loop — coupled
+      // junctions of the a-side island, then of the b-side island, each in
+      // circuit order — flattened. Same candidates, same order, so the
+      // frontier (and therefore the commit order) is unchanged.
+      for (std::uint32_t t = exp_off_[j]; t < exp_off_[j + 1]; ++t) {
+        const std::uint32_t cand = exp_list_[t];
+        if (visited_[cand] != epoch_) {
+          visited_[cand] = epoch_;
+          queue_.push_back(cand);
+        }
+      }
+      // b0 is zeroed by mark_fresh() once the engine recomputes the rates.
+    } else {
+      b0[j] = b;
+    }
+  }
+  return tested;
+}
+
+template <typename DvIslFn, typename DvFixFn>
 std::size_t AdaptiveSolver::collect(const std::vector<std::size_t>& seeds,
-                                    DvFn&& dv_of,
+                                    DvIslFn&& dv_isl, DvFixFn&& dv_fix,
                                     std::vector<std::size_t>& flagged) {
   flagged.clear();
   ++epoch_;
@@ -92,16 +230,44 @@ std::size_t AdaptiveSolver::collect(const std::vector<std::size_t>& seeds,
   for (std::size_t s : seeds) {
     if (visited_[s] != epoch_) {
       visited_[s] = epoch_;
-      queue_.push_back(s);
+      queue_.push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+  return drain_frontier(dv_isl, dv_fix, flagged);
+}
+
+template <typename DvIslFn>
+std::size_t AdaptiveSolver::collect_event(int isl_from, int isl_to,
+                                          DvIslFn&& dv_isl,
+                                          std::vector<std::size_t>& flagged) {
+  flagged.clear();
+  ++epoch_;
+  queue_.clear();
+  seed_row(isl_from);
+  seed_row(isl_to);
+  return drain_frontier(dv_isl, [](NodeId) { return 0.0; }, flagged);
+}
+
+template <typename DvFn>
+std::size_t AdaptiveSolver::collect_reference(
+    const std::vector<std::size_t>& seeds, DvFn&& dv_of,
+    std::vector<double>& b0, std::vector<std::size_t>& flagged) const {
+  flagged.clear();
+  std::vector<char> visited(circuit_.junction_count(), 0);
+  std::vector<std::size_t> queue;
+  for (std::size_t s : seeds) {
+    if (!visited[s]) {
+      visited[s] = 1;
+      queue.push_back(s);
     }
   }
   std::size_t tested = 0;
-  for (std::size_t head = 0; head < queue_.size(); ++head) {
-    const std::size_t j = queue_[head];
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::size_t j = queue[head];
     ++tested;
     const Junction& jn = circuit_.junction(j);
     const double dp = dv_of(jn.a) - dv_of(jn.b);
-    const double b = b0_[j] + dp;
+    const double b = b0[j] + dp;
     if (exceeds_threshold(j, b)) {
       flagged.push_back(j);
       // Junctions capacitively coupled to either ISLAND node join the test
@@ -111,15 +277,14 @@ std::size_t AdaptiveSolver::collect(const std::vector<std::size_t>& seeds,
       for (const NodeId n : {jn.a, jn.b}) {
         if (!circuit_.is_island(n)) continue;
         for (std::size_t nb : circuit_.coupled_junctions_of(n)) {
-          if (visited_[nb] != epoch_) {
-            visited_[nb] = epoch_;
-            queue_.push_back(nb);
+          if (!visited[nb]) {
+            visited[nb] = 1;
+            queue.push_back(nb);
           }
         }
       }
-      // b0 is zeroed by store_dw() once the engine recomputes the rates.
     } else {
-      b0_[j] = b;
+      b0[j] = b;
     }
   }
   return tested;

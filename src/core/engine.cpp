@@ -23,7 +23,7 @@ Engine::Engine(const Circuit& circuit, EngineOptions options,
                                  : std::make_shared<ElectrostaticModel>(circuit)),
       model_(*model_holder_),
       calc_(circuit, model_, options_),
-      adaptive_(circuit, options_.adaptive.threshold),
+      adaptive_(circuit, model_, options_.adaptive.threshold),
       rng_(options_.seed),
       auditor_(options_.audit),
       fault_(options_.fault) {
@@ -82,10 +82,7 @@ Engine::Engine(const Circuit& circuit, EngineOptions options,
   }
 
   // Event-loop scratch, sized so the steady state never reallocates.
-  fen_idx_.reserve(2 * circuit.junction_count());
   fen_val_.reserve(2 * circuit.junction_count());
-  dw_scratch_.reserve(2 * circuit.junction_count());
-  g_scratch_.reserve(2 * circuit.junction_count());
   seed_buf_.reserve(2 * circuit.junction_count());
   flagged_buf_.reserve(circuit.junction_count());
   touched_nodes_.reserve(n_isl_);
@@ -139,10 +136,21 @@ std::size_t Engine::channel_count() const noexcept {
   return n;
 }
 
+void Engine::resync_schedules() {
+  // Events until the next multiple of each interval: the countdowns fire on
+  // exactly the events `stats_.events % interval == 0` fired on. Called
+  // wherever stats_.events is overwritten wholesale.
+  until_refresh_ = refresh_interval_ - stats_.events % refresh_interval_;
+  until_audit_ = audit_interval_ != 0
+                     ? audit_interval_ - stats_.events % audit_interval_
+                     : 0;
+}
+
 void Engine::reset(std::uint64_t seed) {
   rng_.reseed(seed);
   time_ = 0.0;
   stats_ = SolverStats{};
+  resync_schedules();
   electrons_.assign(n_isl_, 0);
   transferred_e_.assign(circuit_.junction_count(), 0.0);
   overridden_.assign(n_ext_, false);
@@ -195,6 +203,7 @@ void Engine::restore(const EngineSnapshot& s) {
   pending_changes_.clear();
   full_update();  // rebuild all caches from the restored state
   stats_ = s.stats;  // after full_update: its work must not double-count
+  resync_schedules();
   next_breakpoint_ = s.next_breakpoint;
   rebaseline_audit();
   auditor_.arm(time_, stats_.events);
@@ -268,11 +277,8 @@ void Engine::recompute_all_rates() {
   }
   const std::size_t n_paths = calc_.cotunneling_paths().size();
   const std::size_t cot_base = channel_count() - n_paths;
-  for (std::size_t p = 0; p < n_paths; ++p) {
-    rate_buf_[cot_base + p] = calc_.cotunneling_path_rate(
-        calc_.cotunneling_paths()[p], v[cot_slot_[3 * p]],
-        v[cot_slot_[3 * p + 1]], v[cot_slot_[3 * p + 2]]);
-  }
+  calc_.cotunneling_rates_batch(v, cot_slot_.data(), fast_rates_,
+                                rate_buf_.data() + cot_base);
   stats_.cot_rate_evaluations += n_paths;
 
   rates_.set_all(rate_buf_);
@@ -305,57 +311,37 @@ void Engine::apply_charge_move_everywhere(NodeId from, NodeId to, double q) {
 void Engine::commit_flagged_rates() {
   // Adaptive path only — superconducting circuits never flag (they run
   // non-adaptively), so the flagged channels always go through the normal
-  // tunnel kernel. Flagged subsets evaluate through the SAME batch kernel
-  // as the full refresh: gather the flagged junctions' ΔW and conductance
-  // into compact arrays, one kernel call, then scatter the fresh ΔW back
-  // into the persistent store. The staged set_many commit stays bitwise
-  // equivalent to the per-channel set() sequence it replaced (same values —
-  // identical expressions/TU as the old scalar path — same order).
+  // tunnel kernel. One fused kernel call recomputes each flagged junction's
+  // ΔW pair straight into the persistent store and its two rates into
+  // fen_val_ — no gather/scatter scratch round-trip — and the pair-fused
+  // Fenwick commit walks each junction's shared tree path once instead of
+  // twice. Both halves are bitwise equivalent to the staged
+  // delta_w_flagged + tunnel_rates_batch + set_many sequence they replaced
+  // (same expressions and TU; same per-node accumulation order).
   const std::size_t nf = flagged_buf_.size();
   if (nf == 0) return;
-  dw_scratch_.resize(2 * nf);
-  g_scratch_.resize(2 * nf);
-  fen_idx_.resize(2 * nf);
   fen_val_.resize(2 * nf);
-  calc_.delta_w_flagged(node_v_.data(), slot_a_.data(), slot_b_.data(),
-                        flagged_buf_.data(), nf, dw_scratch_.data());
-  const double* g = calc_.channel_conductance();
-  for (std::size_t i = 0; i < nf; ++i) {
-    const std::size_t j = flagged_buf_[i];
-    fen_idx_[2 * i] = 2 * j;
-    fen_idx_[2 * i + 1] = 2 * j + 1;
-    g_scratch_[2 * i] = g[2 * j];
-    g_scratch_[2 * i + 1] = g[2 * j + 1];
-  }
-  if (fast_rates_) {
-    tunnel_rates_batch_fast(dw_scratch_.data(), g_scratch_.data(), calc_.kt(),
-                            fen_val_.data(), 2 * nf);
-  } else {
-    tunnel_rates_batch(dw_scratch_.data(), g_scratch_.data(), calc_.kt(),
-                       fen_val_.data(), 2 * nf);
-  }
-  for (std::size_t i = 0; i < nf; ++i) {
-    const std::size_t j = flagged_buf_[i];
-    delta_w_[2 * j] = dw_scratch_[2 * i];
-    delta_w_[2 * j + 1] = dw_scratch_[2 * i + 1];
-    adaptive_.mark_fresh(j);
-  }
+  calc_.flagged_rates_fused(node_v_.data(), slot_a_.data(), slot_b_.data(),
+                            flagged_buf_.data(), nf, fast_rates_,
+                            delta_w_.data(), fen_val_.data());
+  for (std::size_t i = 0; i < nf; ++i) adaptive_.mark_fresh(flagged_buf_[i]);
   stats_.rate_evaluations += 2 * nf;
-  rates_.set_many(fen_idx_.data(), fen_val_.data(), 2 * nf);
+  rates_.set_junction_pairs(flagged_buf_.data(), fen_val_.data(), nf);
 }
 
 void Engine::recompute_secondary() {
   // Cotunneling channels: the non-adaptive path of the paper. Callers keep
-  // all island potentials exact when these channels exist.
+  // all island potentials exact when these channels exist. The batched
+  // kernel streams the per-path SoA constants linearly; the contiguous
+  // set_range commit is bitwise equivalent to the per-channel set() loop it
+  // replaced. --fast-rates routes the thermal factor through the shared
+  // Cody-Waite expm1 (byte-identical at T = 0).
   const double* v = node_v_.data();
   const std::size_t n_paths = calc_.cotunneling_paths().size();
   const std::size_t cot_base = channel_count() - n_paths;
-  for (std::size_t p = 0; p < n_paths; ++p) {
-    rates_.set(cot_base + p,
-               calc_.cotunneling_path_rate(
-                   calc_.cotunneling_paths()[p], v[cot_slot_[3 * p]],
-                   v[cot_slot_[3 * p + 1]], v[cot_slot_[3 * p + 2]]));
-  }
+  calc_.cotunneling_rates_batch(v, cot_slot_.data(), fast_rates_,
+                                rate_buf_.data() + cot_base);
+  rates_.set_range(cot_base, rate_buf_.data() + cot_base, n_paths);
   stats_.cot_rate_evaluations += n_paths;
 }
 
@@ -370,33 +356,53 @@ void Engine::after_charge_move(NodeId from, NodeId to, double q) {
     }
   }
 
-  // Seed only from island endpoints: a fixed-potential lead does not move,
-  // so the perturbation spreads exclusively through the island's couplings.
-  // (Seeding from a supply rail would test every device on the rail.)
-  seed_buf_.clear();
-  if (circuit_.is_island(from)) {
-    for (std::size_t j : circuit_.coupled_junctions_of(from)) seed_buf_.push_back(j);
-  }
-  if (circuit_.is_island(to)) {
-    for (std::size_t j : circuit_.coupled_junctions_of(to)) seed_buf_.push_back(j);
-  }
-
   ++epoch_;
   touched_nodes_.clear();
   const bool exact_potentials = has_secondary_;  // already applied above
-  const auto dv_of = [&](NodeId n) -> double {
-    const int ki = model_.island_index(n);
-    if (ki < 0) return 0.0;
-    const std::size_t k = static_cast<std::size_t>(ki);
+  // Hoist the two kappa rows of the event's islands once per event: by
+  // bitwise symmetry row[k] carries exactly the bits of the column entry
+  // potential_delta() reads, so each memoized dv is bit-identical to the
+  // old column-strided form while the per-junction test reads contiguous
+  // cache lines (the tested islands cluster around the event site).
+  const int ev_kf = model_.island_index(from);
+  const int ev_kt = model_.island_index(to);
+  const double* row_from =
+      ev_kf >= 0 ? model_.kappa_row(static_cast<std::size_t>(ev_kf)) : nullptr;
+  const double* row_to =
+      ev_kt >= 0 ? model_.kappa_row(static_cast<std::size_t>(ev_kt)) : nullptr;
+  // On a large circuit the two rows live in L3 (the kappa matrix is MBs);
+  // the dv tests below read them at columns clustered around the event
+  // islands. Request those lines now so the miss latency overlaps the BFS
+  // seed setup instead of stalling the first dv test. Pure prefetch: no
+  // value or trajectory effect.
+  for (const int k0 : {ev_kf, ev_kt}) {
+    if (k0 < 0) continue;
+    const std::size_t k = static_cast<std::size_t>(k0);
+    if (row_from) {
+      __builtin_prefetch(row_from + k, 0, 1);
+      if (k + 8 < n_isl_) __builtin_prefetch(row_from + k + 8, 0, 1);
+    }
+    if (row_to) {
+      __builtin_prefetch(row_to + k, 0, 1);
+      if (k + 8 < n_isl_) __builtin_prefetch(row_to + k + 8, 0, 1);
+    }
+  }
+  const auto dv_isl = [&](std::size_t k) -> double {
     if (node_epoch_[k] != epoch_) {
       node_epoch_[k] = epoch_;
-      node_dv_[k] = model_.potential_delta(k, to, q) -
-                    model_.potential_delta(k, from, q);
+      node_dv_[k] = ElectrostaticModel::potential_delta_row(row_to, k, q) -
+                    ElectrostaticModel::potential_delta_row(row_from, k, q);
       touched_nodes_.push_back(k);
     }
     return node_dv_[k];
   };
-  stats_.junctions_tested += adaptive_.collect(seed_buf_, dv_of, flagged_buf_);
+  // Seeds come straight from the solver's per-island CSR rows — the same
+  // coupled-junction lists, in the same order, the seed_buf_ construction
+  // used to copy. A fixed-potential lead does not move, so only island
+  // endpoints seed (seeding from a supply rail would test every device on
+  // the rail).
+  stats_.junctions_tested +=
+      adaptive_.collect_event(ev_kf, ev_kt, dv_isl, flagged_buf_);
   stats_.junctions_flagged += flagged_buf_.size();
 
   // Selective potential update (paper Sec. III-B): only the nodes the test
@@ -450,30 +456,29 @@ void Engine::handle_source_deltas() {
   ++epoch_;
   touched_nodes_.clear();
   const bool exact_potentials = has_secondary_;
-  const auto dv_of = [&](NodeId n) -> double {
-    const int ki = model_.island_index(n);
-    if (ki >= 0) {
-      const std::size_t k = static_cast<std::size_t>(ki);
-      if (node_epoch_[k] != epoch_) {
-        node_epoch_[k] = epoch_;
-        double dv = 0.0;
-        for (const SourceChange& c : pending_changes_) {
-          dv += model_.source_gain()(k, c.ext) * c.dv;
-        }
-        node_dv_[k] = dv;
-        touched_nodes_.push_back(k);
+  const auto dv_isl = [&](std::size_t k) -> double {
+    if (node_epoch_[k] != epoch_) {
+      node_epoch_[k] = epoch_;
+      double dv = 0.0;
+      for (const SourceChange& c : pending_changes_) {
+        dv += model_.source_gain()(k, c.ext) * c.dv;
       }
-      return node_dv_[k];
+      node_dv_[k] = dv;
+      touched_nodes_.push_back(k);
     }
-    // A stepped lead's own potential change is the step itself — without
-    // this, a symmetric bias step (island potentials unchanged) would never
-    // flag the junctions whose dW it shifted.
+    return node_dv_[k];
+  };
+  // A stepped lead's own potential change is the step itself — without
+  // this, a symmetric bias step (island potentials unchanged) would never
+  // flag the junctions whose dW it shifted.
+  const auto dv_fix = [&](NodeId n) -> double {
     for (const SourceChange& c : pending_changes_) {
       if (c.node == n) return c.dv;
     }
     return 0.0;
   };
-  stats_.junctions_tested += adaptive_.collect(seed_buf_, dv_of, flagged_buf_);
+  stats_.junctions_tested +=
+      adaptive_.collect(seed_buf_, dv_isl, dv_fix, flagged_buf_);
   stats_.junctions_flagged += flagged_buf_.size();
   if (!exact_potentials) {
     for (const std::size_t k : touched_nodes_) node_v_[k] += node_dv_[k];
@@ -565,8 +570,10 @@ void Engine::apply_event(std::size_t channel, Event& ev) {
 
   // Electron bookkeeping: an electron (-e) arriving at `to` increments its
   // excess-electron count.
+  // -charge/e is exactly 1.0 or 2.0 (charge is -e or -2e verbatim), so a
+  // plain truncating cast replaces the lround libm call in the hot loop.
   const double n_moved = -ev.charge / e;  // 1 for electron, 2 for pair
-  const long dn = static_cast<long>(std::lround(n_moved));
+  const long dn = static_cast<long>(n_moved);
   const int k_from = model_.island_index(ev.from);
   const int k_to = model_.island_index(ev.to);
   if (k_from >= 0) electrons_[static_cast<std::size_t>(k_from)] -= dn;
@@ -639,13 +646,17 @@ Engine::StepOutcome Engine::step_internal(double t_limit, Event* out) {
 
   after_charge_move(ev.from, ev.to, ev.charge);
 
-  if (adaptive_active_ && stats_.events % refresh_interval_ == 0) {
+  // Countdown equivalents of `events % interval == 0` — same firing events,
+  // no 64-bit division in the hot loop (see resync_schedules()).
+  if (adaptive_active_ && --until_refresh_ == 0) {
+    until_refresh_ = refresh_interval_;
     full_update();
   }
 
   // Periodic integrity audit: read-only and RNG-free, so trajectories are
   // bitwise unaffected; amortized cost is negligible at the default cadence.
-  if (audit_interval_ != 0 && stats_.events % audit_interval_ == 0) {
+  if (until_audit_ != 0 && --until_audit_ == 0) {
+    until_audit_ = audit_interval_;
     run_audit();
   }
 

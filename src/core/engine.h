@@ -184,6 +184,8 @@ class Engine {
 
   std::size_t channel_count() const noexcept;
   StepOutcome step_internal(double t_limit, Event* out);
+  /// Re-derives the interval countdowns from stats_.events.
+  void resync_schedules();
   void handle_source_deltas();  // consumes pending_changes_
   /// Exact island potentials from scratch + every channel rate.
   void full_update();
@@ -222,6 +224,12 @@ class Engine {
   bool has_secondary_ = false;    // CP or cotunneling channels present
   bool fast_rates_ = false;       // opt-in polynomial thermal kernel
   std::uint64_t refresh_interval_ = 1000;  // resolved from options (0 = auto)
+  // Countdown twins of the interval schedules: `events % interval == 0`
+  // costs a 64-bit division per event in the hot loop, a decrement does
+  // not. Resynced from stats_.events wherever that counter is overwritten
+  // (construction, reset, restore) so the firing events are identical.
+  std::uint64_t until_refresh_ = 0;
+  std::uint64_t until_audit_ = 0;  // stays 0 when auditing is disabled
 
   double time_ = 0.0;
   double next_breakpoint_ = 0.0;
@@ -256,10 +264,7 @@ class Engine {
   // (bound via bind_delta_w — never reallocate this vector), and the
   // integrity auditor's delta_w view.
   std::vector<double> delta_w_;
-  std::vector<double> dw_scratch_;        // compact flagged-subset ΔW
-  std::vector<double> g_scratch_;         // compact flagged-subset conductance
-  std::vector<std::size_t> fen_idx_;      // staged Fenwick batch (indices)
-  std::vector<double> fen_val_;           // staged Fenwick batch (weights)
+  std::vector<double> fen_val_;  // fused flagged-commit rate pairs (2/junction)
   std::vector<bool> overridden_;      // per external index (set_dc_source)
   std::vector<SourceChange> pending_changes_;
   // Per-event memoization of island potential deltas (adaptive path).

@@ -43,11 +43,12 @@ struct EngineOptions {
   AdaptiveOptions adaptive;
 
   /// Opt-in fast thermal rate kernel (--fast-rates): single-electron rates
-  /// at T > 0 go through tunnel_rates_batch_fast (polynomial expm1, <= 1e-12
-  /// relative error per channel) instead of the bitwise-exact libm kernel.
+  /// at T > 0 go through tunnel_rates_batch_fast, and cotunneling channels
+  /// through cotunneling_rate_fast (polynomial expm1, <= 1e-12 relative
+  /// error per channel), instead of the bitwise-exact libm kernels.
   /// Trajectories are still deterministic for a given seed, but are NOT
-  /// bitwise comparable to exact-mode runs. No effect at T = 0, on
-  /// superconducting (quasi-particle) channels, or on cotunneling channels.
+  /// bitwise comparable to exact-mode runs. No effect at T = 0 or on
+  /// superconducting (quasi-particle / Cooper-pair) channels.
   bool fast_rates = false;
 
   /// Cooper-pair lifetime broadening eta [J]; 0 selects the per-junction

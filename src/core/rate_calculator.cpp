@@ -1,7 +1,11 @@
 #include "core/rate_calculator.h"
 
+#include <algorithm>
+
 #include "base/constants.h"
 #include "base/error.h"
+#include "base/math_util.h"
+#include "physics/fast_expm1.h"
 #include "physics/bcs.h"
 #include "physics/cooper_pair.h"
 #include "physics/free_energy.h"
@@ -64,6 +68,23 @@ RateCalculator::RateCalculator(const Circuit& circuit,
 
   if (cotunneling_) {
     paths_ = enumerate_cotunneling_paths(circuit);
+    const std::size_t n_paths = paths_.size();
+    cot_u1_.reserve(n_paths);
+    cot_u2_.reserve(n_paths);
+    cot_kff_.reserve(n_paths);
+    cot_ktt_.reserve(n_paths);
+    cot_kft_.reserve(n_paths);
+    cot_r1_.reserve(n_paths);
+    cot_r2_.reserve(n_paths);
+    for (const CotunnelingPath& p : paths_) {
+      cot_u1_.push_back(u_[p.j1]);
+      cot_u2_.push_back(u_[p.j2]);
+      cot_kff_.push_back(model.kappa_node(p.from, p.from));
+      cot_ktt_.push_back(model.kappa_node(p.to, p.to));
+      cot_kft_.push_back(model.kappa_node(p.from, p.to));
+      cot_r1_.push_back(resistance_[p.j1]);
+      cot_r2_.push_back(resistance_[p.j2]);
+    }
   }
   if (superconducting_ && gap_ > 0.0) {
     QuasiparticleRate::Params p;
@@ -130,6 +151,77 @@ void RateCalculator::delta_w_flagged(const double* v,
     const double dv = v[slot_b[j]] - v[slot_a[j]];
     dw[2 * i] = -e * dv + u[j];
     dw[2 * i + 1] = e * dv + u[j];
+  }
+}
+
+void RateCalculator::flagged_rates_fused(const double* v,
+                                         const std::uint32_t* slot_a,
+                                         const std::uint32_t* slot_b,
+                                         const std::size_t* junctions,
+                                         std::size_t n_flagged, bool fast,
+                                         double* dw_store,
+                                         double* rates_out) const noexcept {
+  // Same ΔW expressions as delta_w_flagged (same TU, same association), and
+  // the same per-element rate expressions as the batch kernels:
+  //   T = 0   : max(-dw, 0) * g            (products only — contraction-free)
+  //   thermal : kt * x_over_expm1(dw/kt) * g
+  // x_over_expm1 / x_over_expm1_fast are shared inline code, so evaluating
+  // here instead of physics/rates.cpp cannot change a bit.
+  const double e = kElementaryCharge;
+  const double* u = u_.data();
+  const double* g = chan_g_.data();
+  const double kt = kt_;
+  for (std::size_t i = 0; i < n_flagged; ++i) {
+    const std::size_t j = junctions[i];
+    if (i + 1 < n_flagged) {
+      const std::size_t jn = junctions[i + 1];
+      __builtin_prefetch(&g[2 * jn]);
+      __builtin_prefetch(&dw_store[2 * jn]);
+    }
+    const double dv = v[slot_b[j]] - v[slot_a[j]];
+    const double dw_fw = -e * dv + u[j];
+    const double dw_bw = e * dv + u[j];
+    dw_store[2 * j] = dw_fw;
+    dw_store[2 * j + 1] = dw_bw;
+    if (kt <= 0.0) {
+      rates_out[2 * i] = std::max(-dw_fw, 0.0) * g[2 * j];
+      rates_out[2 * i + 1] = std::max(-dw_bw, 0.0) * g[2 * j + 1];
+    } else if (fast) {
+      rates_out[2 * i] = kt * x_over_expm1_fast(dw_fw / kt) * g[2 * j];
+      rates_out[2 * i + 1] = kt * x_over_expm1_fast(dw_bw / kt) * g[2 * j + 1];
+    } else {
+      rates_out[2 * i] = kt * x_over_expm1(dw_fw / kt) * g[2 * j];
+      rates_out[2 * i + 1] = kt * x_over_expm1(dw_bw / kt) * g[2 * j + 1];
+    }
+  }
+}
+
+void RateCalculator::cotunneling_rates_batch(const double* v,
+                                             const std::uint32_t* cot_slot,
+                                             bool fast,
+                                             double* out) const noexcept {
+  // Expression shapes are cotunneling_path_rate's verbatim; only the
+  // per-path kappa_node/u_/resistance_ lookups are replaced by the SoA
+  // constants gathered at construction (bitwise-identical values).
+  const double e = kElementaryCharge;
+  const std::size_t n_paths = paths_.size();
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    const double v_from = v[cot_slot[3 * p]];
+    const double v_via = v[cot_slot[3 * p + 1]];
+    const double v_to = v[cot_slot[3 * p + 2]];
+    const double e1 = -e * (v_via - v_from) + cot_u1_[p];
+    const double e2 = -e * (v_to - v_via) + cot_u2_[p];
+    if (e1 <= 0.0 || e2 <= 0.0) {
+      out[p] = 0.0;
+      continue;
+    }
+    const double dw_total =
+        -e * (v_to - v_from) +
+        0.5 * e * e * (cot_kff_[p] + cot_ktt_[p] - 2.0 * cot_kft_[p]);
+    out[p] = fast ? cotunneling_rate_fast(dw_total, e1, e2, cot_r1_[p],
+                                          cot_r2_[p], temperature_)
+                  : cotunneling_rate(dw_total, e1, e2, cot_r1_[p], cot_r2_[p],
+                                     temperature_);
   }
 }
 

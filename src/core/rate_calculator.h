@@ -77,6 +77,34 @@ class RateCalculator {
                        const std::size_t* junctions, std::size_t n_flagged,
                        double* dw) const noexcept;
 
+  /// Fused adaptive flagged-commit kernel: for each flagged junction j =
+  /// junctions[i], recomputes the ΔW pair (same expressions as
+  /// delta_w_flagged), writes it straight into the persistent per-channel
+  /// store `dw_store` at (2j, 2j+1), and evaluates the junction's two rates
+  /// into rates_out (2i, 2i+1) in the same pass — eliminating the
+  /// gather/scatter scratch round-trip of the staged path. `fast` selects
+  /// the Cody-Waite expm1 kernel. BITWISE CONTRACT (property-tested): the
+  /// ΔW values equal delta_w_flagged's and the rates equal
+  /// tunnel_rates_batch[_fast] over the gathered subset — per-element
+  /// expression forms are identical and the x_over_expm1[_fast] helpers are
+  /// shared inline code. Normal-state only (the superconducting QP path
+  /// never flags).
+  void flagged_rates_fused(const double* v, const std::uint32_t* slot_a,
+                           const std::uint32_t* slot_b,
+                           const std::size_t* junctions, std::size_t n_flagged,
+                           bool fast, double* dw_store,
+                           double* rates_out) const noexcept;
+
+  /// Batched cotunneling rates over every enumerated path: per-path SoA
+  /// constants (intermediate-state charging terms, end-node kappa entries,
+  /// junction resistances) are precomputed at construction, so the per-event
+  /// recompute reads three potentials per path from `cot_slot` (from, via,
+  /// to — the engine's slot triples) and streams linearly. `fast` routes the
+  /// thermal factor through cotunneling_rate_fast (byte-identical at T = 0).
+  /// Exact mode is bitwise identical to cotunneling_path_rate per path.
+  void cotunneling_rates_batch(const double* v, const std::uint32_t* cot_slot,
+                               bool fast, double* out) const noexcept;
+
   /// Quasi-particle channel rates from a precomputed per-channel ΔW array
   /// (superconducting circuits): out[2j] / out[2j+1] per junction, scaled
   /// by 1/R_j exactly as junction_rates does.
@@ -122,6 +150,15 @@ class RateCalculator {
   std::vector<double> cp_eta_;  // Cooper-pair broadening eta [J]
   std::vector<double> u_;  // per-junction single-charge charging term [J]
   std::vector<CotunnelingPath> paths_;
+  // Per-path SoA constants for cotunneling_rates_batch (empty when
+  // cotunneling is off): intermediate-state charging terms u_[j1]/u_[j2],
+  // the three end-node kappa entries of the net-transfer charging term, and
+  // the two junction resistances. Pure gathers of already-computed values —
+  // the batch kernel's arithmetic expressions stay identical to
+  // cotunneling_path_rate's, so the rates are bitwise unchanged.
+  std::vector<double> cot_u1_, cot_u2_;
+  std::vector<double> cot_kff_, cot_ktt_, cot_kft_;
+  std::vector<double> cot_r1_, cot_r2_;
   // One shared QP shape table (rate at R = 1 Ohm); per-junction rates scale
   // by 1/R since Eq. 3 is linear in the junction conductance.
   std::unique_ptr<QuasiparticleRate> qp_unit_;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -87,6 +88,14 @@ class ElectrostaticModel {
   /// island node `n`: kappa[k][island_index(n)] * dq (0 for non-island n).
   double potential_delta(std::size_t k, NodeId n, double dq) const noexcept;
 
+  /// Row-based variant for the adaptive hot loop: `row` is kappa_row() of
+  /// the perturbed island (nullptr when the endpoint is not an island) and
+  /// the result is row[k] * dq — bitwise identical to potential_delta(k, n,
+  /// dq) because kappa is bitwise symmetric, but reading contiguous memory.
+  /// Deliberately out of line: see the definition for the rounding contract.
+  static double potential_delta_row(const double* row, std::size_t k,
+                                    double dq) noexcept;
+
   /// Potential change of island `k` when external lead node `src` steps by
   /// `dv_src`: S[k][external_index(src)] * dv_src.
   double source_step_delta(std::size_t k, NodeId src, double dv_src) const;
@@ -109,6 +118,13 @@ class ElectrostaticModel {
   Matrix c_ie_;
   Matrix kappa_;
   Matrix source_gain_;
+  // Per-row nonzero extent of kappa: [row_begin_[r], row_end_[r]) brackets
+  // every nonzero entry of row r after the construction-time flush. The
+  // inverse of a chain-topology C_II decays geometrically off-diagonal, so
+  // flushing turns it into a band matrix; the refresh matvec skips the
+  // all-zero tails (bitwise safe — see island_potentials_into).
+  std::vector<std::uint32_t> row_begin_;
+  std::vector<std::uint32_t> row_end_;
 };
 
 }  // namespace semsim

@@ -1,0 +1,73 @@
+// The --fast-rates expm1 kernel (Cody-Waite range reduction + degree-12
+// polynomial), shared by the batched tunnel kernels (physics/rates.cpp), the
+// fused adaptive flagged-commit kernel (core/rate_calculator.cpp) and the
+// fast cotunneling thermal factor (physics/cotunneling.cpp).
+//
+// Inline in a header on purpose: every translation unit that evaluates a
+// fast rate must compile EXACTLY this code with the project's uniform flags,
+// so the per-element value is bitwise identical wherever it is computed —
+// the chunk-position-independence and fused-vs-batch property tests pin
+// this. Accuracy: |fast - exact| <= ~1e-14 relative over the ranges callers
+// feed it (see tunnel_rates_batch_fast's documented 1e-12 contract).
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace semsim {
+
+// Cody-Waite split of ln 2: the high part has zero low-order bits, so
+// k * kLn2Hi is exact for |k| < 2^20 and the reduced argument
+// r = x - k*ln2 carries no cancellation error beyond k * kLn2Lo rounding.
+inline constexpr double kFastInvLn2 = 1.4426950408889634;
+inline constexpr double kFastLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kFastLn2Lo = 1.90821492927058770002e-10;
+
+/// expm1 via range reduction x = k*ln2 + r, |r| <= ln2/2, and a degree-12
+/// Taylor polynomial for expm1(r):
+///     expm1(x) = 2^k * expm1(r) + (2^k - 1)
+/// The two-term form avoids the cancellation of 2^k*exp(r) - 1 near x = 0
+/// (k = 0 returns the polynomial directly). Truncation error at |r| = 0.347
+/// is ~5e-16 relative; callers only see |x| in [1e-8, 700], so k is within
+/// [-1010, 1010] and 2^k stays a normal double built by exponent-field bit
+/// construction (no ldexp call in the loop).
+inline double expm1_fast(double x) noexcept {
+  const double t = x * kFastInvLn2;
+  const long long k =
+      static_cast<long long>(t + (t >= 0.0 ? 0.5 : -0.5));  // round to nearest
+  const double kd = static_cast<double>(k);
+  const double r = (x - kd * kFastLn2Hi) - kd * kFastLn2Lo;
+  const double r2 = r * r;
+  // q = expm1(r)/r - 1 ... = 1/2! + r/3! + ... + r^10/12!, Horner.
+  double q = 1.0 / 479001600.0;
+  q = q * r + 1.0 / 39916800.0;
+  q = q * r + 1.0 / 3628800.0;
+  q = q * r + 1.0 / 362880.0;
+  q = q * r + 1.0 / 40320.0;
+  q = q * r + 1.0 / 5040.0;
+  q = q * r + 1.0 / 720.0;
+  q = q * r + 1.0 / 120.0;
+  q = q * r + 1.0 / 24.0;
+  q = q * r + 1.0 / 6.0;
+  q = q * r + 0.5;
+  const double p = r + r2 * q;  // expm1(r), leading term exact
+  const double two_k = std::bit_cast<double>(
+      static_cast<std::uint64_t>(1023 + k) << 52);
+  return two_k * p + (two_k - 1.0);
+}
+
+/// x_over_expm1 with the SAME branch thresholds as the exact helper
+/// (base/math_util.h); only the final expm1 differs. Per-element evaluation
+/// computes the identical value to a chunked lane for in-range x, so
+/// fast-mode output does not depend on where a channel lands in a chunk —
+/// or on which translation unit evaluated it.
+inline double x_over_expm1_fast(double x) noexcept {
+  if (x == 0.0) return 1.0;
+  if (std::abs(x) < 1e-8) return 1.0 - 0.5 * x;
+  if (x > 700.0) return 0.0;
+  if (x < -700.0) return -x;
+  return x / expm1_fast(x);
+}
+
+}  // namespace semsim

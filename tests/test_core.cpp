@@ -422,7 +422,8 @@ TEST(PotentialTracker, DeltaHelpersMatchKappa) {
 
 TEST(AdaptiveSolverUnit, TinyThresholdFlagsSeeds) {
   SetFixture f;
-  AdaptiveSolver s(f.c, 1e-12);
+  ElectrostaticModel em(f.c);
+  AdaptiveSolver s(f.c, em, 1e-12);
   // The solver reads dW' from a bound per-channel store (the engine's
   // delta_w_ array in production).
   std::vector<double> dw = {1e-21, 1e-21, 1e-21, 1e-21};
@@ -437,7 +438,8 @@ TEST(AdaptiveSolverUnit, TinyThresholdFlagsSeeds) {
 
 TEST(AdaptiveSolverUnit, HugeThresholdAccumulates) {
   SetFixture f;
-  AdaptiveSolver s(f.c, 1e9);
+  ElectrostaticModel em(f.c);
+  AdaptiveSolver s(f.c, em, 1e9);
   std::vector<double> dw = {1e-21, 1e-21, 0.0, 0.0};
   s.bind_delta_w(dw.data());
   std::vector<std::size_t> flagged;
@@ -454,7 +456,8 @@ TEST(AdaptiveSolverUnit, HugeThresholdAccumulates) {
 
 TEST(AdaptiveSolverUnit, MarkFreshClearsAccumulator) {
   SetFixture f;
-  AdaptiveSolver s(f.c, 1e9);
+  ElectrostaticModel em(f.c);
+  AdaptiveSolver s(f.c, em, 1e9);
   // Non-zero thresholds so nothing flags.
   std::vector<double> dw = {1e-21, 1e-21, 0.0, 0.0};
   s.bind_delta_w(dw.data());
