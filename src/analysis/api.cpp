@@ -8,13 +8,14 @@
 
 namespace semsim {
 
-namespace {
-
-std::string hex_u64(std::uint64_t v) {
+std::string fingerprint_hex(std::uint64_t fingerprint) {
   char buf[19];
-  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fingerprint));
   return buf;
 }
+
+namespace {
 
 void write_solver_stats(JsonWriter& w, const SolverStats& s) {
   w.begin_object();
@@ -30,15 +31,15 @@ void write_solver_stats(JsonWriter& w, const SolverStats& s) {
   w.end_object();
 }
 
-void write_run_counters(JsonWriter& w, const RunCounters& c) {
+void write_run_counters(JsonWriter& w, const RunCounters& c, bool canonical) {
   w.begin_object();
-  w.field("threads", c.threads);
+  if (!canonical) w.field("threads", c.threads);
   w.field("units", c.units);
   w.field("events", c.events);
   w.field("rate_evaluations", c.rate_evaluations);
   w.field("flags_raised", c.flags_raised);
   w.field("full_refreshes", c.full_refreshes);
-  w.field("wall_seconds", c.wall_seconds);
+  if (!canonical) w.field("wall_seconds", c.wall_seconds);
   w.end_object();
 }
 
@@ -57,6 +58,9 @@ DriverOptions RunRequest::driver_options() const {
   o.audit = audit;
   o.retry = retry;
   o.fault_plan = fault_plan;
+  o.executor = executor;
+  o.cancel = cancel;
+  o.progress = progress;
   return o;
 }
 
@@ -79,15 +83,15 @@ RunResult run(const RunRequest& request) {
   return r;
 }
 
-std::string RunResult::to_json() const {
+std::string RunResult::to_json(bool canonical) const {
   JsonWriter w;
   w.begin_object();
   w.field("schema", kJsonSchema);
-  w.field("fingerprint", hex_u64(fingerprint));
+  w.field("fingerprint", fingerprint_hex(fingerprint));
   w.field("seed", seed);
   w.field("adaptive", adaptive);
   w.field("fast_rates", fast_rates);
-  w.field("threads", threads);
+  if (!canonical) w.field("threads", threads);
   w.field("events", driver.events);
   w.field("simulated_time_s", driver.simulated_time);
 
@@ -154,7 +158,7 @@ std::string RunResult::to_json() const {
   w.key("stats");
   write_solver_stats(w, driver.stats);
   w.key("counters");
-  write_run_counters(w, driver.counters);
+  write_run_counters(w, driver.counters, canonical);
   w.end_object();
   return w.take();
 }

@@ -53,6 +53,14 @@ struct RunRequest {
   /// Deterministic fault schedule (tests/benches); see DriverOptions.
   const FaultPlan* fault_plan = nullptr;
 
+  // ---- service hooks (DriverOptions mirrors; none affect fingerprint) --
+  /// External worker pool; see DriverOptions::executor.
+  const ParallelExecutor* executor = nullptr;
+  /// Cooperative cancellation; see DriverOptions::cancel.
+  const CancelToken* cancel = nullptr;
+  /// Streaming partial-result consumer; see DriverOptions::progress.
+  ProgressSink* progress = nullptr;
+
   /// The equivalent DriverOptions (exact field-for-field mapping).
   DriverOptions driver_options() const;
   /// The EngineOptions every engine of this run starts from.
@@ -85,8 +93,20 @@ struct RunResult {
   /// (fingerprint as a hex string — JSON numbers cannot carry 64 bits),
   /// currents with rel_err/tau_int/events, sweep table, solver stats and
   /// run counters. Parse with JsonValue::parse (io/json.h).
-  std::string to_json() const;
+  ///
+  /// `canonical` omits the fields that depend on the execution environment
+  /// rather than the run identity — the top-level "threads" and the
+  /// counters' "threads"/"wall_seconds" — making the document a pure
+  /// function of the fingerprinted inputs. Two runs of the same request are
+  /// byte-identical canonical documents at ANY thread count; the service
+  /// daemon stores and serves this form, and CLI --canonical-json emits it
+  /// for golden comparisons.
+  std::string to_json(bool canonical = false) const;
 };
+
+/// The run fingerprint the way every JSON document spells it: 16 lowercase
+/// hex digits, zero-padded (u64 identities cannot travel as JSON numbers).
+std::string fingerprint_hex(std::uint64_t fingerprint);
 
 /// Runs the simulation a request describes. Throws on structurally invalid
 /// inputs, exactly like run_simulation.

@@ -44,6 +44,15 @@ CheckpointConfig checkpoint_config(const SimulationInput& input,
   return ckpt;
 }
 
+/// Checked OUTSIDE retry try-blocks so a cancellation is never degraded
+/// into a recorded failure (see analysis/sweep.cpp for the sweep twin).
+void throw_if_cancelled(const CancelToken* cancel, const char* where) {
+  if (cancel != nullptr && cancel->stop_requested()) {
+    throw Error(ErrorCode::kCancelled,
+                std::string("run cancelled before ") + where);
+  }
+}
+
 }  // namespace
 
 std::uint64_t run_fingerprint(const SimulationInput& input,
@@ -95,7 +104,13 @@ DriverResult run_simulation(const SimulationInput& input,
   std::vector<CurrentProbe> probes;
   for (const std::size_t j : input.record_junctions) probes.push_back({j, 1.0});
 
-  const ParallelExecutor exec(options.threads);
+  // The service daemon shares one long-lived pool across jobs; everyone
+  // else gets a private executor sized from the options. Either way the
+  // results are identical — thread count never affects them.
+  std::optional<ParallelExecutor> owned_exec;
+  if (options.executor == nullptr) owned_exec.emplace(options.threads);
+  const ParallelExecutor& exec =
+      options.executor != nullptr ? *options.executor : *owned_exec;
   const CheckpointConfig ckpt = checkpoint_config(input, options);
 
   DriverResult result;
@@ -110,6 +125,8 @@ DriverResult run_simulation(const SimulationInput& input,
       if (cfg.stop.max_events == 0) cfg.stop.max_events = input.max_jumps;
     }
     cfg.retry = options.retry;
+    cfg.cancel = options.cancel;
+    cfg.progress = options.progress;
     ParallelSweepConfig par;
     par.base_seed = options.seed;
     result.sweep = run_iv_sweep(input.circuit, eo, cfg, exec, par,
@@ -137,11 +154,13 @@ DriverResult run_simulation(const SimulationInput& input,
     // over the whole window after a warm-up tenth (paper: "until the
     // desired simulation time is met").
     const auto wall0 = std::chrono::steady_clock::now();
+    throw_if_cancelled(options.cancel, "transient");
     Engine engine(input.circuit, eo);
     const double warmup_t = 0.1 * input.max_time;
     double t0 = 0.0;
     std::vector<double> q0;
     if (!ckpt.enabled()) {
+      if (options.progress != nullptr) options.progress->on_run_started(1, 0);
       engine.run_until(warmup_t);
       t0 = engine.time();
       for (const CurrentProbe& p : probes) {
@@ -166,6 +185,9 @@ DriverResult run_simulation(const SimulationInput& input,
       RunCheckpoint cp(ckpt.path,
                        fnv1a64(fp.bytes().data(), fp.bytes().size()),
                        kSlices + 1, ckpt.require_existing, ckpt.salvage);
+      if (options.progress != nullptr) {
+        options.progress->on_run_started(kSlices + 1, 0);
+      }
       std::int64_t done = cp.last_unit();
       if (done >= 0) {
         const std::vector<std::uint8_t> bytes =
@@ -178,6 +200,7 @@ DriverResult run_simulation(const SimulationInput& input,
       }
       for (std::uint64_t k = static_cast<std::uint64_t>(done + 1);
            k <= kSlices; ++k) {
+        throw_if_cancelled(options.cancel, "transient slice");
         if (k == 0) {
           engine.run_until(warmup_t);
           t0 = engine.time();
@@ -198,6 +221,9 @@ DriverResult run_simulation(const SimulationInput& input,
         w.f64(t0);
         w.vec_f64(q0);
         cp.record(k, w.take());
+        if (options.progress != nullptr) {
+          options.progress->on_unit_done(static_cast<std::size_t>(k));
+        }
       }
     }
     if (!probes.empty()) {
@@ -316,9 +342,15 @@ DriverResult run_simulation(const SimulationInput& input,
   };
 
   const auto t0 = std::chrono::steady_clock::now();
+  if (options.progress != nullptr) options.progress->on_run_started(repeats, 0);
   const std::vector<RepeatResult> runs_out =
       exec.map<RepeatResult>(repeats, [&](std::size_t rpt) {
-        if (cp && cp->has(rpt)) return decode_repeat(cp->payload(rpt));
+        if (cp && cp->has(rpt)) {
+          RepeatResult restored = decode_repeat(cp->payload(rpt));
+          if (options.progress != nullptr) options.progress->on_unit_done(rpt);
+          return restored;
+        }
+        throw_if_cancelled(options.cancel, "repeat");
         // Fault-isolated repeat: recoverable errors rebuild the engine on
         // the re-derived retry stream; an exhausted repeat is recorded as
         // failed and excluded from the merge instead of aborting the run.
@@ -367,6 +399,7 @@ DriverResult run_simulation(const SimulationInput& input,
           }
         }
         if (cp) cp->record(rpt, encode_repeat(r));
+        if (options.progress != nullptr) options.progress->on_unit_done(rpt);
         return r;
       });
   result.counters.threads = exec.threads();

@@ -12,6 +12,7 @@
 
 #include "analysis/current.h"
 #include "analysis/sweep.h"
+#include "base/cancel.h"
 #include "netlist/parser.h"
 #include "obs/checkpoint.h"
 
@@ -61,6 +62,22 @@ struct DriverOptions {
   /// Optional deterministic fault schedule (tests/benches); the caller owns
   /// the plan, which must outlive the run. nullptr = no injection.
   const FaultPlan* fault_plan = nullptr;
+
+  // ---- service hooks (analysis/api.h RunRequest mirrors these) --------
+  // None of the three participates in run_fingerprint(): they observe or
+  // interrupt a run but never change what it computes.
+
+  /// External worker pool to shard work units on. The service daemon passes
+  /// its long-lived pool so every job shares one set of threads; nullptr =
+  /// construct a private executor from `threads`.
+  const ParallelExecutor* executor = nullptr;
+  /// Cooperative cancellation (base/cancel.h): polled at work-unit and
+  /// bias-point boundaries; a raised token aborts the run with
+  /// Error(ErrorCode::kCancelled). Completed units are already checkpointed
+  /// when checkpointing is on, so cancelled work is resumable.
+  const CancelToken* cancel = nullptr;
+  /// Streaming partial-result consumer; must be thread-safe. nullptr = off.
+  ProgressSink* progress = nullptr;
 };
 
 /// One work unit (sweep point index, repeat index) that exhausted its

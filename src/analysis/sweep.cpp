@@ -101,12 +101,23 @@ IvPoint decode_iv_point(BinaryReader& r) {
 /// `integrity` and `abandoned_stats`, when non-null, collect the audit
 /// trail and solver work of every engine discarded by a retry (the final
 /// engine is the caller's to harvest).
+/// Throws Error(kCancelled) when `cancel` is raised. Checked OUTSIDE the
+/// retry try-blocks so a cancellation is never degraded into a failed row
+/// (which would be checkpointed and survive a resume).
+void throw_if_cancelled(const CancelToken* cancel, const char* where) {
+  if (cancel != nullptr && cancel->stop_requested()) {
+    throw Error(ErrorCode::kCancelled,
+                std::string("run cancelled before ") + where);
+  }
+}
+
 template <typename Rebuild>
 IvPoint run_point_isolated(Engine*& eng, const IvSweepConfig& cfg,
                            std::size_t index, double bias,
                            std::uint32_t& stream_attempt, Rebuild&& rebuild,
                            IntegrityReport* integrity,
                            SolverStats* abandoned_stats) {
+  throw_if_cancelled(cfg.cancel, "bias point");
   std::uint32_t tried = 0;
   ErrorCode last_code = ErrorCode::kNone;
   for (;;) {
@@ -259,6 +270,9 @@ std::vector<IvPoint> run_iv_sweep(const Circuit& circuit,
   std::vector<IvPoint> out(points.size());
   std::vector<SolverStats> unit_stats(n_units);
   std::vector<IntegrityReport> unit_reports(integrity != nullptr ? n_units : 0);
+  if (cfg.progress != nullptr) {
+    cfg.progress->on_run_started(n_units, points.size());
+  }
   const auto t0 = std::chrono::steady_clock::now();
   exec.for_each(n_units, [&](std::size_t u) {
     const std::size_t begin = u * par.points_per_unit;
@@ -272,8 +286,12 @@ std::vector<IvPoint> run_iv_sweep(const Circuit& circuit,
       for (std::size_t i = begin; i < end; ++i) out[i] = decode_iv_point(r);
       unit_stats[u] = decode_solver_stats(r);
       r.require_done();
+      if (cfg.progress != nullptr) {
+        cfg.progress->on_sweep_points(begin, &out[begin], end - begin);
+      }
       return;
     }
+    throw_if_cancelled(cfg.cancel, "sweep chunk");
     IntegrityReport* report = integrity != nullptr ? &unit_reports[u] : nullptr;
     std::optional<Engine> slot;
     slot.emplace(circuit, unit_engine_options(options, par.base_seed, u, 0),
@@ -300,6 +318,9 @@ std::vector<IvPoint> run_iv_sweep(const Circuit& circuit,
       for (std::size_t i = begin; i < end; ++i) encode_iv_point(w, out[i]);
       encode_solver_stats(w, unit_stats[u]);
       cp->record(u, w.take());
+    }
+    if (cfg.progress != nullptr) {
+      cfg.progress->on_sweep_points(begin, &out[begin], end - begin);
     }
   });
   if (counters != nullptr) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "analysis/current.h"
+#include "base/cancel.h"
 #include "base/thread_pool.h"
 #include "core/engine.h"
 #include "guard/integrity.h"
@@ -52,6 +53,28 @@ struct IvPoint {
 /// "failed:invariant.non_finite_rate").
 std::string point_status_label(const IvPoint& p);
 
+/// Streaming progress consumer for long runs (the service daemon's status
+/// verb). Callbacks fire from WORKER THREADS as work units complete, so
+/// implementations must be thread-safe. Observing progress never draws RNG
+/// or changes results; a run with a sink is bitwise identical to one
+/// without.
+class ProgressSink {
+ public:
+  virtual ~ProgressSink() = default;
+  /// The run's decomposition, reported once before execution: total work
+  /// units, and total sweep points (0 for non-sweep runs).
+  virtual void on_run_started(std::uint64_t /*units_total*/,
+                              std::uint64_t /*points_total*/) {}
+  /// A sweep chunk finished (or was restored from a checkpoint): points
+  /// [first, first + count) of the table are final, including degraded
+  /// `failed:<code>` rows. Counts as one completed work unit.
+  virtual void on_sweep_points(std::size_t /*first*/,
+                               const IvPoint* /*points*/,
+                               std::size_t /*count*/) {}
+  /// A non-sweep work unit (repeat run, transient slice) finished.
+  virtual void on_unit_done(std::size_t /*unit*/) {}
+};
+
 struct IvSweepConfig {
   NodeId swept = 0;        ///< external node being swept
   NodeId mirror = -1;      ///< optional `symm` node driven at -V
@@ -71,6 +94,12 @@ struct IvSweepConfig {
   /// restores fail-fast: the first error is rethrown with the bias point
   /// added to its context chain.
   RetryPolicy retry;
+  /// Cooperative cancellation, polled before every bias point and work
+  /// unit: a raised token throws Error(kCancelled) WITHOUT recording the
+  /// in-progress chunk, so checkpoints only ever hold fully finished units.
+  const CancelToken* cancel = nullptr;
+  /// Streaming partial-result consumer (thread-safe); nullptr = off.
+  ProgressSink* progress = nullptr;
 };
 
 /// Runs the sweep in place. Points are from, from+step, ..., <= to (+eps).

@@ -12,6 +12,8 @@ ErrorCategory category_of(ErrorCode code) noexcept {
     case 4: return ErrorCategory::kInvariant;
     case 5: return ErrorCategory::kIo;
     case 6: return ErrorCategory::kTimeout;
+    case 7: return ErrorCategory::kCancel;
+    case 8: return ErrorCategory::kServe;
     default: return ErrorCategory::kInternal;
   }
 }
@@ -32,6 +34,8 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kParseNegativeTemperature:
       return "parse.negative_temperature";
     case ErrorCode::kParseNonFiniteValue: return "parse.non_finite_value";
+    case ErrorCode::kParseJsonTooLarge: return "parse.json_too_large";
+    case ErrorCode::kParseJsonTooDeep: return "parse.json_too_deep";
     case ErrorCode::kCircuitInvalid: return "circuit.invalid";
     case ErrorCode::kCircuitSelfLoop: return "circuit.self_loop";
     case ErrorCode::kCircuitDanglingIsland: return "circuit.dangling_island";
@@ -56,6 +60,12 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kCheckpointCorrupt: return "io.checkpoint_corrupt";
     case ErrorCode::kCheckpointMismatch: return "io.checkpoint_mismatch";
     case ErrorCode::kWatchdogWallClock: return "timeout.wall_clock";
+    case ErrorCode::kCancelled: return "cancel.requested";
+    case ErrorCode::kServeBadRequest: return "serve.bad_request";
+    case ErrorCode::kServeUnknownJob: return "serve.unknown_job";
+    case ErrorCode::kServeJobNotReady: return "serve.job_not_ready";
+    case ErrorCode::kServeShuttingDown: return "serve.shutting_down";
+    case ErrorCode::kServeIo: return "serve.io";
   }
   return "internal.unknown";
 }

@@ -39,6 +39,10 @@ enum class ErrorCode : std::uint16_t {
   kParseNonPositiveCapacitance = 111,
   kParseNegativeTemperature = 112,
   kParseNonFiniteValue = 113,
+  // JSON documents from untrusted transports (the service socket) are
+  // bounded before/while parsing; both rejections are loud and coded.
+  kParseJsonTooLarge = 114,
+  kParseJsonTooDeep = 115,
 
   // circuit (2xx): structurally invalid circuits
   kCircuitInvalid = 200,
@@ -69,6 +73,20 @@ enum class ErrorCode : std::uint16_t {
 
   // timeout (6xx): watchdog aborts
   kWatchdogWallClock = 600,
+
+  // cancel (7xx): cooperative cancellation (base/cancel.h). Not retryable —
+  // the controller asked the run to stop — but also not a defect: the
+  // service layer maps it to a "cancelled" job state, never to a failure.
+  kCancelled = 700,
+
+  // serve (8xx): service-layer request failures (src/serve/). These
+  // describe the REQUEST, not the simulation: the daemon answers with a
+  // coded error response and keeps running.
+  kServeBadRequest = 800,    ///< malformed verb/field combination
+  kServeUnknownJob = 801,    ///< job id the scheduler has never seen
+  kServeJobNotReady = 802,   ///< `result` before the job reached `done`
+  kServeShuttingDown = 803,  ///< submit refused during shutdown
+  kServeIo = 804,            ///< socket transport failure (client side)
 };
 
 enum class ErrorCategory : std::uint8_t {
@@ -80,6 +98,8 @@ enum class ErrorCategory : std::uint8_t {
   kInvariant,
   kIo,
   kTimeout,
+  kCancel,
+  kServe,
 };
 
 enum class Severity : std::uint8_t {

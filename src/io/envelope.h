@@ -1,0 +1,88 @@
+// Wire envelope for the simulation service (src/serve/).
+//
+// One request is one newline-delimited JSON object, in the spirit of
+// SEMLDB's POST /run_simulation payload: a verb plus, for `submit`, the
+// netlist TEXT (the daemon parses it with the same strict parser the CLI
+// uses) and the solver/stop knobs of a RunRequest. The codec is symmetric —
+// encode_request_envelope() is what the semsim_submit client sends,
+// parse_request_envelope() is what the daemon accepts — and strict: unknown
+// verbs, wrong schema tags, missing fields, and type mismatches are coded
+// ParseErrors, and the parse itself runs under JsonParseLimits so a
+// pathological payload is rejected, never crashed on.
+//
+// Schema `semsim.request/v1`:
+//
+//   {"schema":"semsim.request/v1","verb":"submit","priority":0,
+//    "netlist":"num ext 2\n...","seed":1,"adaptive":true,
+//    "fast_rates":false,"repeats":0,
+//    "stop":{"max_events":0,"target_rel_error":0.0,"check_interval":0},
+//    "retry":{"strict":false,"max_attempts":3},
+//    "fault":[{"kind":"nan_rate","unit":0,"at_event":50,...}]}   // tests
+//   {"schema":"semsim.request/v1","verb":"status","job":3}
+//   ... and likewise result / cancel / stats / ping / shutdown.
+//
+// Integer fields travel as JSON numbers and must be exactly representable
+// as doubles (<= 2^53); out-of-range or fractional values are rejected.
+// Every submit field except `netlist` is optional and defaults to the
+// RunRequest default.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/options.h"
+#include "guard/fault.h"
+#include "guard/retry.h"
+#include "io/json.h"
+
+namespace semsim {
+
+struct RequestEnvelope {
+  static constexpr const char* kSchema = "semsim.request/v1";
+
+  enum class Verb : std::uint8_t {
+    kPing = 0,   ///< liveness probe; response carries the daemon schema tags
+    kSubmit,     ///< enqueue a run; response carries the job id + fingerprint
+    kStatus,     ///< job state + streaming partial results
+    kResult,     ///< the completed job's RunResult document, verbatim
+    kCancel,     ///< stop a queued/running job (checkpointing in-flight work)
+    kStats,      ///< scheduler + cache counters
+    kShutdown,   ///< stop the daemon (checkpointing the running job)
+  };
+
+  Verb verb = Verb::kPing;
+  /// Target job for status / result / cancel.
+  std::uint64_t job_id = 0;
+
+  // ---- submit payload -------------------------------------------------
+  /// Higher runs first; ties run in submission order.
+  int priority = 0;
+  /// SEMSIM input text (netlist/parser.h grammar), parsed server-side.
+  std::string netlist;
+  std::uint64_t seed = 1;
+  bool adaptive = true;
+  bool fast_rates = false;
+  /// Overrides the netlist's `jumps` repeat count when > 0.
+  std::uint32_t repeats = 0;
+  StopCriterion stop;
+  /// Only `strict` and `max_attempts` travel; backoff is a daemon concern.
+  RetryPolicy retry;
+  /// Deterministic fault schedule (guard/fault.h). A testing hook: CI and
+  /// the equivalence suite use it to drive the degraded-unit paths through
+  /// the full wire protocol. Empty for production requests.
+  FaultPlan fault;
+};
+
+/// Stable verb spelling used on the wire ("submit", "status", ...).
+const char* verb_name(RequestEnvelope::Verb verb) noexcept;
+
+/// Serializes an envelope to one JSON line (no trailing newline).
+std::string encode_request_envelope(const RequestEnvelope& env);
+
+/// Parses and validates one request line under `limits`. Throws ParseError
+/// (coded) on schema/verb/type violations and on breached limits.
+RequestEnvelope parse_request_envelope(std::string_view line,
+                                       const JsonParseLimits& limits = {});
+
+}  // namespace semsim

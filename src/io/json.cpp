@@ -123,9 +123,16 @@ JsonWriter& JsonWriter::null() {
 
 class JsonParser {
  public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
+  JsonParser(std::string_view text, const JsonParseLimits& limits)
+      : text_(text), limits_(limits) {}
 
   JsonValue parse_document() {
+    if (limits_.max_bytes > 0 && text_.size() > limits_.max_bytes) {
+      throw ParseError(ErrorCode::kParseJsonTooLarge,
+                       "json: document of " + std::to_string(text_.size()) +
+                           " bytes exceeds the " +
+                           std::to_string(limits_.max_bytes) + "-byte limit");
+    }
     JsonValue v = parse_value();
     skip_ws();
     require(pos_ == text_.size(), "json: trailing characters after document");
@@ -194,7 +201,24 @@ class JsonParser {
     }
   }
 
+  /// RAII depth guard for the two recursive productions. Containers are the
+  /// only recursion in this grammar, so bounding them bounds the parser
+  /// stack; strings and numbers are iterative.
+  struct DepthGuard {
+    JsonParser* p;
+    explicit DepthGuard(JsonParser* parser) : p(parser) {
+      if (++p->depth_ > p->limits_.max_depth) {
+        throw ParseError(ErrorCode::kParseJsonTooDeep,
+                         "json: nesting deeper than " +
+                             std::to_string(p->limits_.max_depth) +
+                             " levels at offset " + std::to_string(p->pos_));
+      }
+    }
+    ~DepthGuard() { --p->depth_; }
+  };
+
   void parse_object(JsonValue& v) {
+    const DepthGuard guard(this);
     v.kind_ = JsonValue::Kind::kObject;
     expect('{');
     skip_ws();
@@ -217,6 +241,7 @@ class JsonParser {
   }
 
   void parse_array(JsonValue& v) {
+    const DepthGuard guard(this);
     v.kind_ = JsonValue::Kind::kArray;
     expect('[');
     skip_ws();
@@ -316,11 +341,18 @@ class JsonParser {
   }
 
   std::string_view text_;
+  JsonParseLimits limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 JsonValue JsonValue::parse(std::string_view text) {
-  return JsonParser(text).parse_document();
+  return JsonParser(text, JsonParseLimits{}).parse_document();
+}
+
+JsonValue JsonValue::parse(std::string_view text,
+                           const JsonParseLimits& limits) {
+  return JsonParser(text, limits).parse_document();
 }
 
 bool JsonValue::as_bool() const {

@@ -57,6 +57,18 @@ class JsonWriter {
   bool after_key_ = false;
 };
 
+/// Resource bounds for parsing documents from untrusted transports (the
+/// service socket). Exceeding a bound throws a coded ParseError
+/// (kParseJsonTooLarge / kParseJsonTooDeep) — a rejection, never a crash:
+/// the depth cap in particular turns a pathological "[[[[..." payload from
+/// a parser-stack overflow into an error response.
+struct JsonParseLimits {
+  /// Maximum document size in bytes; 0 = unlimited.
+  std::size_t max_bytes = 0;
+  /// Maximum container nesting depth (objects + arrays).
+  std::size_t max_depth = 128;
+};
+
 /// Parsed JSON document node. Numbers are doubles (sufficient for our
 /// schemas: u64 identities travel as hex strings, see RunResult::to_json).
 class JsonValue {
@@ -64,8 +76,11 @@ class JsonValue {
   enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kObject, kArray };
 
   /// Parses a complete document; throws Error on any malformed input or
-  /// trailing garbage.
+  /// trailing garbage. The no-limits overload still enforces the default
+  /// nesting-depth cap (self-produced documents are a handful of levels
+  /// deep; a recursion guard costs nothing and protects every caller).
   static JsonValue parse(std::string_view text);
+  static JsonValue parse(std::string_view text, const JsonParseLimits& limits);
 
   Kind kind() const noexcept { return kind_; }
   bool is_object() const noexcept { return kind_ == Kind::kObject; }

@@ -1,0 +1,52 @@
+#include "serve/cache.h"
+
+namespace semsim {
+
+std::optional<std::string> ResultCache::lookup(std::uint64_t fingerprint) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(fingerprint);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->document;
+}
+
+void ResultCache::insert(std::uint64_t fingerprint, std::string document) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (document.size() > max_bytes_) return;  // handles max_bytes_ == 0 too
+  const auto it = index_.find(fingerprint);
+  if (it != index_.end()) {
+    bytes_ -= it->second->document.size();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  bytes_ += document.size();
+  lru_.push_front(Entry{fingerprint, std::move(document)});
+  index_[fingerprint] = lru_.begin();
+  ++insertions_;
+  while (bytes_ > max_bytes_) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.document.size();
+    index_.erase(victim.fingerprint);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  s.max_bytes = max_bytes_;
+  return s;
+}
+
+}  // namespace semsim

@@ -1,0 +1,113 @@
+#include "serve/client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/error.h"
+
+namespace semsim {
+
+namespace {
+
+[[noreturn]] void transport_fail(const std::string& what) {
+  throw Error(ErrorCode::kServeIo,
+              "client: " + what + ": " + std::strerror(errno));
+}
+
+struct FdGuard {
+  int fd = -1;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServeClient ServeClient::unix_socket(std::string path) {
+  ServeClient c;
+  c.unix_path_ = std::move(path);
+  return c;
+}
+
+ServeClient ServeClient::tcp(std::uint16_t port) {
+  ServeClient c;
+  c.port_ = port;
+  return c;
+}
+
+std::string ServeClient::call(const RequestEnvelope& env) const {
+  return call_raw(encode_request_envelope(env));
+}
+
+std::string ServeClient::call_raw(const std::string& line) const {
+  FdGuard guard;
+  if (!unix_path_.empty()) {
+    guard.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (guard.fd < 0) transport_fail("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (unix_path_.size() >= sizeof(addr.sun_path)) {
+      throw Error(ErrorCode::kServeIo,
+                  "client: unix socket path too long: " + unix_path_);
+    }
+    std::memcpy(addr.sun_path, unix_path_.c_str(), unix_path_.size() + 1);
+    if (::connect(guard.fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      transport_fail("connect(" + unix_path_ + ")");
+    }
+  } else {
+    guard.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (guard.fd < 0) transport_fail("socket(AF_INET)");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port_);
+    if (::connect(guard.fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      transport_fail("connect(127.0.0.1:" + std::to_string(port_) + ")");
+    }
+  }
+
+  if (!write_all(guard.fd, line + "\n")) transport_fail("write");
+  // Half-close so a server reading until EOF would also proceed; ours is
+  // line-driven, this is just hygiene.
+  ::shutdown(guard.fd, SHUT_WR);
+
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(guard.fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      transport_fail("read");
+    }
+    if (n == 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+    const std::size_t nl = response.find('\n');
+    if (nl != std::string::npos) return response.substr(0, nl);
+  }
+  if (response.empty()) {
+    throw Error(ErrorCode::kServeIo, "client: connection closed by server");
+  }
+  return response;
+}
+
+}  // namespace semsim

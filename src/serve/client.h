@@ -1,0 +1,41 @@
+// Thin client for the simulation service (tools/semsim_submit, tests).
+//
+// One call = one connection = one request line = one response line. The
+// response is returned as raw text: every verb but `result` answers with a
+// "semsim.response/v1" object, `result` answers with the stored canonical
+// RunResult document verbatim — callers that need fields parse with
+// JsonValue::parse; callers comparing bytes (the equivalence tests, the CI
+// golden check) use the raw string directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "io/envelope.h"
+
+namespace semsim {
+
+class ServeClient {
+ public:
+  /// Unix-domain endpoint.
+  static ServeClient unix_socket(std::string path);
+  /// TCP loopback endpoint.
+  static ServeClient tcp(std::uint16_t port);
+
+  /// Sends one envelope, returns the raw response line (without the
+  /// trailing newline). Throws Error(kServeIo) on connect/transport
+  /// failure.
+  std::string call(const RequestEnvelope& env) const;
+
+  /// Like call(), but with a pre-encoded request line (malformed-input
+  /// tests).
+  std::string call_raw(const std::string& line) const;
+
+ private:
+  ServeClient() = default;
+
+  std::string unix_path_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace semsim

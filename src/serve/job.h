@@ -1,0 +1,85 @@
+// Job model of the simulation service (src/serve/).
+//
+// A job is one submitted RunRequest moving through a small state machine:
+//
+//   queued ----> running ----> done
+//     |             |-------> failed     (fatal Error from the driver)
+//     |             '-------> cancelled  (cancel verb / daemon shutdown)
+//     '---------------------> cancelled  (cancelled while still queued)
+//     '---------------------> done       (result cache hit: born done)
+//
+// Terminal states are done / failed / cancelled; a cancelled or failed job
+// keeps its spool checkpoint on disk, so resubmitting the identical request
+// resumes from the finished prefix (obs/checkpoint.h) instead of starting
+// over. JobStatus is the immutable snapshot the status verb serializes,
+// including the streaming partial results a ProgressSink collected so far.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+
+namespace semsim {
+
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+/// Stable wire spelling ("queued", "running", "done", "failed",
+/// "cancelled").
+const char* job_state_name(JobState state) noexcept;
+
+inline bool job_state_terminal(JobState state) noexcept {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+/// One completed sweep point, streamed while the job is still running.
+/// Mirrors the final document's sweep rows (analysis/api.cpp) so a client
+/// can render the table incrementally.
+struct PartialPoint {
+  std::uint64_t index = 0;
+  double bias = 0.0;
+  double current = 0.0;
+  double stderr_mean = 0.0;
+  double rel_error = 0.0;
+  std::uint64_t events = 0;
+  std::string status;  ///< "ok" / "retried" / "failed:<code>"
+  std::uint32_t attempts = 1;
+};
+
+/// Point-in-time snapshot of one job (the status verb's payload).
+struct JobStatus {
+  std::uint64_t id = 0;
+  JobState state = JobState::kQueued;
+  int priority = 0;
+  std::uint64_t fingerprint = 0;
+  /// True when the result came from the fingerprint cache and the job never
+  /// touched the engine.
+  bool cached = false;
+
+  // ---- streaming progress --------------------------------------------
+  std::uint64_t units_total = 0;
+  std::uint64_t units_done = 0;
+  std::uint64_t points_total = 0;  ///< 0 for non-sweep runs
+  std::uint64_t points_done = 0;
+  std::uint64_t degraded_points = 0;  ///< failed rows streamed so far
+  /// Completed sweep rows in bias order (may be sparse while running).
+  std::vector<PartialPoint> partial;
+
+  // ---- terminal detail ------------------------------------------------
+  /// failed: the driver error. cancelled: the cancellation message.
+  std::string error;
+  ErrorCode error_code = ErrorCode::kNone;
+  /// Spool checkpoint left on disk by a cancelled/failed job ("" = none);
+  /// a resubmit of the identical request resumes from it.
+  std::string checkpoint_path;
+};
+
+}  // namespace semsim

@@ -1,0 +1,380 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "analysis/api.h"
+#include "analysis/sweep.h"
+
+namespace semsim {
+
+/// Full job record. Request fields are immutable after submit(); `state`
+/// and terminal detail are guarded by the scheduler mutex; the streaming
+/// progress block is guarded by its own mutex because worker threads write
+/// it while status() reads it.
+struct JobScheduler::Job {
+  std::uint64_t id = 0;
+  int priority = 0;
+  JobState state = JobState::kQueued;
+  bool cached = false;
+
+  // ---- request (frozen at submit) ------------------------------------
+  SimulationInput input;
+  std::uint64_t seed = 1;
+  bool adaptive = true;
+  bool fast_rates = false;
+  StopCriterion stop;
+  RetryPolicy retry;
+  FaultPlan fault;  ///< owned copy; empty = no injection
+  std::uint64_t fingerprint = 0;
+  std::string checkpoint_path;  ///< spool file; "" = checkpointing off
+
+  // ---- terminal detail (scheduler mutex) ------------------------------
+  std::string document;  ///< canonical RunResult JSON once done
+  std::string error;
+  ErrorCode error_code = ErrorCode::kNone;
+
+  CancelToken cancel;
+
+  // ---- streaming progress (own mutex; written from worker threads) ----
+  mutable std::mutex progress_mu;
+  std::uint64_t units_total = 0;
+  std::uint64_t units_done = 0;
+  std::uint64_t points_total = 0;
+  std::uint64_t points_done = 0;
+  std::uint64_t degraded_points = 0;
+  std::vector<PartialPoint> partial;
+};
+
+namespace {
+
+/// ProgressSink writing into a Job's progress block. Thread-safe, as the
+/// sweep contract requires (callbacks fire from pool workers).
+class JobProgressSink final : public ProgressSink {
+ public:
+  explicit JobProgressSink(JobScheduler::Job& job) : job_(job) {}
+
+  void on_run_started(std::uint64_t units_total,
+                      std::uint64_t points_total) override {
+    const std::lock_guard<std::mutex> lock(job_.progress_mu);
+    job_.units_total = units_total;
+    job_.points_total = points_total;
+  }
+
+  void on_sweep_points(std::size_t first, const IvPoint* points,
+                       std::size_t count) override {
+    const std::lock_guard<std::mutex> lock(job_.progress_mu);
+    job_.units_done += 1;
+    job_.points_done += count;
+    for (std::size_t i = 0; i < count; ++i) {
+      const IvPoint& p = points[i];
+      PartialPoint row;
+      row.index = first + i;
+      row.bias = p.bias;
+      row.current = p.current;
+      row.stderr_mean = p.stderr_mean;
+      row.rel_error = p.rel_error;
+      row.events = p.events;
+      row.status = point_status_label(p);
+      row.attempts = p.attempts;
+      if (p.status == PointStatus::kFailed) job_.degraded_points += 1;
+      job_.partial.push_back(std::move(row));
+    }
+  }
+
+  void on_unit_done(std::size_t /*unit*/) override {
+    const std::lock_guard<std::mutex> lock(job_.progress_mu);
+    job_.units_done += 1;
+  }
+
+ private:
+  JobScheduler::Job& job_;
+};
+
+}  // namespace
+
+const char* job_state_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "queued";
+}
+
+JobScheduler::JobScheduler(const SchedulerConfig& config)
+    : config_(config),
+      executor_(config.threads),
+      cache_(config.cache_bytes) {
+  if (!config_.spool_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.spool_dir, ec);
+    if (ec) {
+      throw IoError(ErrorCode::kIoFailure, "scheduler: cannot create spool '" +
+                                               config_.spool_dir +
+                                               "': " + ec.message());
+    }
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+JobScheduler::~JobScheduler() { shutdown(); }
+
+std::uint64_t JobScheduler::submit(const RequestEnvelope& env) {
+  require(env.verb == RequestEnvelope::Verb::kSubmit,
+          ErrorCode::kServeBadRequest, "scheduler: not a submit envelope");
+
+  // Validate at the door, before a job exists: a malformed netlist throws
+  // the parser's own coded error back to the client.
+  auto job = std::make_unique<Job>();
+  job->input = parse_simulation_input(env.netlist);
+  if (env.repeats > 0) job->input.repeats = env.repeats;
+  job->priority = env.priority;
+  job->seed = env.seed;
+  job->adaptive = env.adaptive;
+  job->fast_rates = env.fast_rates;
+  job->stop = env.stop;
+  job->retry = env.retry;
+  job->fault = env.fault;
+
+  RunRequest req;
+  req.input = job->input;
+  req.seed = job->seed;
+  req.adaptive = job->adaptive;
+  req.fast_rates = job->fast_rates;
+  req.stop = job->stop;
+  job->fingerprint = req.fingerprint();
+  if (!config_.spool_dir.empty()) {
+    job->checkpoint_path = config_.spool_dir + "/job-" +
+                           fingerprint_hex(job->fingerprint) + ".ckpt";
+  }
+
+  // One cache probe per submit: a hit makes the job terminal immediately —
+  // no queue, no engine, byte-identical document.
+  const std::optional<std::string> hit = cache_.lookup(job->fingerprint);
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    throw Error(ErrorCode::kServeShuttingDown,
+                "scheduler: shutting down, submit refused");
+  }
+  const std::uint64_t id = next_id_++;
+  job->id = id;
+  totals_.submitted += 1;
+  if (hit.has_value()) {
+    job->state = JobState::kDone;
+    job->cached = true;
+    job->document = *hit;
+    totals_.completed += 1;
+    totals_.cache_hits += 1;
+  } else {
+    queue_.push_back(id);
+  }
+  jobs_.emplace(id, std::move(job));
+  cv_.notify_one();
+  return id;
+}
+
+JobScheduler::Job* JobScheduler::find_locked(std::uint64_t id) const {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+std::optional<JobStatus> JobScheduler::status(std::uint64_t id) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Job* job = find_locked(id);
+  if (job == nullptr) return std::nullopt;
+  JobStatus s;
+  s.id = job->id;
+  s.state = job->state;
+  s.priority = job->priority;
+  s.fingerprint = job->fingerprint;
+  s.cached = job->cached;
+  s.error = job->error;
+  s.error_code = job->error_code;
+  if ((job->state == JobState::kCancelled ||
+       job->state == JobState::kFailed) &&
+      !job->checkpoint_path.empty() &&
+      std::filesystem::exists(job->checkpoint_path)) {
+    s.checkpoint_path = job->checkpoint_path;
+  }
+  {
+    const std::lock_guard<std::mutex> plock(job->progress_mu);
+    s.units_total = job->units_total;
+    s.units_done = job->units_done;
+    s.points_total = job->points_total;
+    s.points_done = job->points_done;
+    s.degraded_points = job->degraded_points;
+    s.partial = job->partial;
+  }
+  std::sort(s.partial.begin(), s.partial.end(),
+            [](const PartialPoint& a, const PartialPoint& b) {
+              return a.index < b.index;
+            });
+  return s;
+}
+
+std::string JobScheduler::result(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const Job* job = find_locked(id);
+  if (job == nullptr) {
+    throw Error(ErrorCode::kServeUnknownJob,
+                "scheduler: unknown job " + std::to_string(id));
+  }
+  if (job->state != JobState::kDone) {
+    throw Error(ErrorCode::kServeJobNotReady,
+                "scheduler: job " + std::to_string(id) + " is " +
+                    job_state_name(job->state) + ", not done");
+  }
+  return job->document;
+}
+
+bool JobScheduler::cancel(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Job* job = find_locked(id);
+  if (job == nullptr) {
+    throw Error(ErrorCode::kServeUnknownJob,
+                "scheduler: unknown job " + std::to_string(id));
+  }
+  if (job_state_terminal(job->state)) return false;
+  if (job->state == JobState::kQueued) {
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
+    job->state = JobState::kCancelled;
+    job->error = "cancelled while queued";
+    job->error_code = ErrorCode::kCancelled;
+    totals_.cancelled += 1;
+    return true;
+  }
+  // Running: raise the token; the dispatcher records the terminal state
+  // when the driver throws kCancelled at the next work-unit boundary.
+  job->cancel.request_stop();
+  return true;
+}
+
+JobScheduler::Stats JobScheduler::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Stats s = totals_;
+  s.queued = queue_.size();
+  s.running = running_id_ != 0 ? 1 : 0;
+  s.threads = executor_.threads();
+  return s;
+}
+
+void JobScheduler::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Idempotent, but still wake the dispatcher in case the first call
+      // raced it.
+      cv_.notify_all();
+    } else {
+      stopping_ = true;
+      // The running job checkpoints its finished units and stops at the
+      // next boundary; queued jobs never start.
+      if (running_id_ != 0) {
+        if (Job* job = find_locked(running_id_)) job->cancel.request_stop();
+      }
+      for (const std::uint64_t id : queue_) {
+        if (Job* job = find_locked(id)) {
+          job->state = JobState::kCancelled;
+          job->error = "daemon shutdown";
+          job->error_code = ErrorCode::kCancelled;
+          totals_.cancelled += 1;
+        }
+      }
+      queue_.clear();
+      cv_.notify_all();
+    }
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void JobScheduler::dispatcher_loop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with nothing left to run
+      // Highest priority first; the queue itself is submission-ordered, so
+      // the first maximum is also the oldest — FIFO within a priority.
+      auto best = queue_.begin();
+      for (auto it = std::next(best); it != queue_.end(); ++it) {
+        if (jobs_.at(*it)->priority > jobs_.at(*best)->priority) best = it;
+      }
+      job = jobs_.at(*best).get();
+      queue_.erase(best);
+      job->state = JobState::kRunning;
+      running_id_ = job->id;
+    }
+    execute(*job);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      running_id_ = 0;
+    }
+  }
+}
+
+void JobScheduler::execute(Job& job) {
+  JobProgressSink sink(job);
+  RunRequest req;
+  req.input = job.input;
+  req.seed = job.seed;
+  req.adaptive = job.adaptive;
+  req.fast_rates = job.fast_rates;
+  req.threads = executor_.threads();
+  req.stop = job.stop;
+  req.retry = job.retry;
+  req.checkpoint_path = job.checkpoint_path;
+  if (!job.fault.empty()) req.fault_plan = &job.fault;
+  req.executor = &executor_;
+  req.cancel = &job.cancel;
+  req.progress = &sink;
+
+  std::string document;
+  ErrorCode code = ErrorCode::kNone;
+  std::string error;
+  try {
+    const RunResult res = run(req);
+    document = res.to_json(/*canonical=*/true);
+  } catch (const Error& e) {
+    code = e.code() == ErrorCode::kNone ? ErrorCode::kUnknown : e.code();
+    error = e.what();
+  } catch (const std::exception& e) {
+    code = ErrorCode::kUnknown;
+    error = e.what();
+  }
+
+  if (code == ErrorCode::kNone) {
+    cache_.insert(job.fingerprint, document);
+    if (!job.checkpoint_path.empty()) {
+      // The run is reproducible from the cache (and from scratch); the
+      // spool file has served its purpose.
+      std::error_code ec;
+      std::filesystem::remove(job.checkpoint_path, ec);
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (code == ErrorCode::kNone) {
+    job.state = JobState::kDone;
+    job.document = std::move(document);
+    totals_.completed += 1;
+  } else if (code == ErrorCode::kCancelled) {
+    // Not a defect: the controller asked. The spool checkpoint stays on
+    // disk, so resubmitting the identical request resumes from it.
+    job.state = JobState::kCancelled;
+    job.error = std::move(error);
+    job.error_code = code;
+    totals_.cancelled += 1;
+  } else {
+    job.state = JobState::kFailed;
+    job.error = std::move(error);
+    job.error_code = code;
+    totals_.failed += 1;
+  }
+}
+
+}  // namespace semsim

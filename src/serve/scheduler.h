@@ -1,0 +1,130 @@
+// Priority job scheduler of the simulation service.
+//
+// One dispatcher thread drains a priority queue (higher priority first,
+// submission order within a priority) and runs each job through the SAME
+// analysis::run() path the CLI uses — the daemon never re-implements
+// execution, it only supplies the three service hooks DriverOptions grew
+// for it:
+//   * a shared ParallelExecutor, so every job shards its work units across
+//     one long-lived pool instead of spawning threads per job;
+//   * a per-job CancelToken, so cancel/shutdown interrupt the run at the
+//     next work-unit boundary with Error(kCancelled);
+//   * a per-job ProgressSink, so the status verb streams completed sweep
+//     points while the job runs.
+// None of the hooks affects results (they are not fingerprinted), so a
+// served run is bitwise identical to `semsim_cli` on the same input —
+// tests/test_serve.cpp enforces it byte-for-byte at 1 and 8 worker
+// threads, including a fault-injected degraded case.
+//
+// Jobs run one at a time: work units within a job are the parallelism
+// (sweep chunks, repeats), which keeps the executor fully busy without
+// oversubscribing cores, and makes job wall-time predictable.
+//
+// Completed documents go into a fingerprint-keyed ResultCache; a submit
+// whose fingerprint hits the cache is born `done` with cached=true and
+// never touches the engine. When a spool directory is configured, every
+// job checkpoints to spool/job-<fingerprint>.ckpt; the file is deleted on
+// success and KEPT on cancellation or failure, so resubmitting the
+// identical request resumes from the finished prefix.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "base/cancel.h"
+#include "base/thread_pool.h"
+#include "io/envelope.h"
+#include "serve/cache.h"
+#include "serve/job.h"
+
+namespace semsim {
+
+struct SchedulerConfig {
+  /// Worker threads of the shared executor (0 = all hardware threads).
+  unsigned threads = 1;
+  /// Result-cache byte budget (0 disables caching).
+  std::size_t cache_bytes = 64ull << 20;
+  /// Directory for per-job spool checkpoints; "" disables checkpointing
+  /// (cancelled jobs are then not resumable). Created on demand.
+  std::string spool_dir;
+};
+
+class JobScheduler {
+ public:
+  /// Full job record; defined in scheduler.cpp (the per-job ProgressSink
+  /// needs to see it).
+  struct Job;
+
+  explicit JobScheduler(const SchedulerConfig& config);
+  ~JobScheduler();  // shutdown()
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Validates and enqueues a submit envelope (netlist parsed here, at the
+  /// door — a malformed netlist throws ParseError/CircuitError and no job
+  /// is created). Returns the new job id; ids start at 1 and are never
+  /// reused. Throws Error(kServeShuttingDown) after shutdown began.
+  std::uint64_t submit(const RequestEnvelope& env);
+
+  /// Snapshot of one job, or nullopt for an unknown id.
+  std::optional<JobStatus> status(std::uint64_t id) const;
+
+  /// The completed job's canonical RunResult document. Throws
+  /// Error(kServeUnknownJob) / Error(kServeJobNotReady) otherwise.
+  std::string result(std::uint64_t id) const;
+
+  /// Requests cancellation: a queued job transitions to `cancelled`
+  /// immediately, a running job at its next work-unit boundary (poll
+  /// status to observe it). Returns false when the job is already
+  /// terminal. Throws Error(kServeUnknownJob) for an unknown id.
+  bool cancel(std::uint64_t id);
+
+  /// Aggregate counters for the stats verb.
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t cache_hits = 0;  ///< submits answered from the cache
+    std::uint64_t queued = 0;      ///< currently waiting
+    std::uint64_t running = 0;     ///< 0 or 1
+    unsigned threads = 0;
+  };
+  Stats stats() const;
+  ResultCache::Stats cache_stats() const { return cache_.stats(); }
+
+  /// Stops the dispatcher: the running job (if any) is cancelled — its
+  /// spool checkpoint survives — queued jobs transition to `cancelled`,
+  /// and further submits are refused. Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  void dispatcher_loop();
+  void execute(Job& job);
+  Job* find_locked(std::uint64_t id) const;
+
+  const SchedulerConfig config_;
+  const ParallelExecutor executor_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< wakes the dispatcher
+  bool stopping_ = false;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::deque<std::uint64_t> queue_;  ///< submission order; priority at pop
+  std::uint64_t running_id_ = 0;     ///< 0 = idle
+  Stats totals_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace semsim

@@ -1,0 +1,687 @@
+// Service layer (src/serve/) end to end: hardened JSON limits, the
+// request-envelope codec, the fingerprint-keyed result cache, the job
+// scheduler (bitwise served-vs-direct equivalence at 1 and 8 worker
+// threads, including a fault-injected degraded case), cancellation and
+// shutdown leaving resumable spool checkpoints, and the socket server's
+// wire protocol.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/api.h"
+#include "base/error.h"
+#include "io/envelope.h"
+#include "io/json.h"
+#include "netlist/parser.h"
+#include "serve/cache.h"
+#include "serve/client.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+
+namespace semsim {
+namespace {
+
+// Small set-style sweep: 6 bias points, a couple thousand events each —
+// fast enough to run many times per suite, structured enough to exercise
+// the full sweep path (symm mirror, gate capacitor).
+constexpr char kSweepInput[] = R"(
+num ext 3
+num nodes 4
+junc 1 1 4 1meg 1a
+junc 2 4 2 1meg 1a
+cap 3 4 3a
+vdc 3 0.0
+symm 2
+temp 5
+record 1 2
+jumps 2000
+sweep 1 0.01 0.002
+)";
+
+ErrorCode code_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.code();
+  }
+  return ErrorCode::kNone;
+}
+
+// ---- hardened JSON parsing (network input) -------------------------------
+
+TEST(JsonLimits, DeepNestingIsRejectedNotCrashed) {
+  std::string deep;
+  for (int i = 0; i < 64; ++i) deep += "[";
+  for (int i = 0; i < 64; ++i) deep += "]";
+  JsonParseLimits limits;
+  limits.max_depth = 16;
+  EXPECT_EQ(code_of([&] { JsonValue::parse(deep, limits); }),
+            ErrorCode::kParseJsonTooDeep);
+  // Within the cap the same shape parses fine.
+  limits.max_depth = 64;
+  EXPECT_NO_THROW(JsonValue::parse(deep, limits));
+}
+
+TEST(JsonLimits, DefaultParseStillCapsPathologicalDepth) {
+  // The no-limits overload keeps a generous default depth cap, so even
+  // internal callers cannot be blown off the parser stack.
+  std::string deep;
+  for (int i = 0; i < 5000; ++i) deep += "[";
+  for (int i = 0; i < 5000; ++i) deep += "]";
+  EXPECT_EQ(code_of([&] { JsonValue::parse(deep); }),
+            ErrorCode::kParseJsonTooDeep);
+}
+
+TEST(JsonLimits, OversizeDocumentIsRejected) {
+  JsonParseLimits limits;
+  limits.max_bytes = 32;
+  const std::string big =
+      "{\"key\":\"" + std::string(100, 'x') + "\"}";
+  EXPECT_EQ(code_of([&] { JsonValue::parse(big, limits); }),
+            ErrorCode::kParseJsonTooLarge);
+  EXPECT_NO_THROW(JsonValue::parse("{\"k\":1}", limits));
+}
+
+// ---- request envelope codec ----------------------------------------------
+
+TEST(Envelope, SubmitRoundTripsEveryField) {
+  RequestEnvelope env;
+  env.verb = RequestEnvelope::Verb::kSubmit;
+  env.priority = -3;
+  env.netlist = kSweepInput;
+  env.seed = 42;
+  env.adaptive = false;
+  env.fast_rates = true;
+  env.repeats = 5;
+  env.stop.max_events = 9999;
+  env.stop.target_rel_error = 0.125;
+  env.stop.check_interval = 64;
+  env.retry.strict = true;
+  env.retry.max_attempts = 7;
+  FaultSpec f;
+  f.kind = FaultKind::kNanRate;
+  f.unit = 2;
+  f.at_event = 100;
+  f.sticky = true;
+  env.fault.faults.push_back(f);
+
+  const RequestEnvelope back =
+      parse_request_envelope(encode_request_envelope(env));
+  EXPECT_EQ(back.verb, RequestEnvelope::Verb::kSubmit);
+  EXPECT_EQ(back.priority, -3);
+  EXPECT_EQ(back.netlist, kSweepInput);
+  EXPECT_EQ(back.seed, 42u);
+  EXPECT_FALSE(back.adaptive);
+  EXPECT_TRUE(back.fast_rates);
+  EXPECT_EQ(back.repeats, 5u);
+  EXPECT_EQ(back.stop.max_events, 9999u);
+  EXPECT_EQ(back.stop.target_rel_error, 0.125);
+  EXPECT_EQ(back.stop.check_interval, 64u);
+  EXPECT_TRUE(back.retry.strict);
+  EXPECT_EQ(back.retry.max_attempts, 7u);
+  ASSERT_EQ(back.fault.faults.size(), 1u);
+  EXPECT_EQ(back.fault.faults[0].kind, FaultKind::kNanRate);
+  EXPECT_EQ(back.fault.faults[0].unit, 2u);
+  EXPECT_EQ(back.fault.faults[0].at_event, 100u);
+  EXPECT_TRUE(back.fault.faults[0].sticky);
+}
+
+TEST(Envelope, JobVerbsRoundTrip) {
+  for (const auto verb :
+       {RequestEnvelope::Verb::kStatus, RequestEnvelope::Verb::kResult,
+        RequestEnvelope::Verb::kCancel}) {
+    RequestEnvelope env;
+    env.verb = verb;
+    env.job_id = 17;
+    const RequestEnvelope back =
+        parse_request_envelope(encode_request_envelope(env));
+    EXPECT_EQ(back.verb, verb);
+    EXPECT_EQ(back.job_id, 17u);
+  }
+}
+
+TEST(Envelope, MalformedRequestsAreCodedRejections) {
+  // Wrong schema tag.
+  EXPECT_THROW(
+      parse_request_envelope(R"({"schema":"bogus/v9","verb":"ping"})"),
+      ParseError);
+  // Unknown verb.
+  EXPECT_THROW(parse_request_envelope(
+                   R"({"schema":"semsim.request/v1","verb":"explode"})"),
+               ParseError);
+  // submit without a netlist.
+  EXPECT_THROW(parse_request_envelope(
+                   R"({"schema":"semsim.request/v1","verb":"submit"})"),
+               ParseError);
+  // Fractional job id.
+  EXPECT_THROW(
+      parse_request_envelope(
+          R"({"schema":"semsim.request/v1","verb":"status","job":1.5})"),
+      ParseError);
+  // Out-of-range priority.
+  EXPECT_THROW(parse_request_envelope(
+                   R"({"schema":"semsim.request/v1","verb":"submit",)"
+                   R"("netlist":"x","priority":1e9})"),
+               ParseError);
+  // Not JSON at all.
+  EXPECT_THROW(parse_request_envelope("hello"), Error);
+}
+
+// ---- result cache ---------------------------------------------------------
+
+TEST(ResultCacheTest, CountsHitsAndMissesAndServesBytes) {
+  ResultCache cache(1024);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  cache.insert(1, "document-one");
+  const auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "document-one");
+  const ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, std::string("document-one").size());
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  ResultCache cache(20);
+  cache.insert(1, std::string(8, 'a'));
+  cache.insert(2, std::string(8, 'b'));
+  // Touch 1 so 2 is the LRU victim.
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  cache.insert(3, std::string(8, 'c'));  // 24 bytes > 20: evict 2
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().bytes, 20u);
+}
+
+TEST(ResultCacheTest, OversizedAndDisabledInsertsAreDropped) {
+  ResultCache off(0);
+  off.insert(1, "x");
+  EXPECT_FALSE(off.lookup(1).has_value());
+  ResultCache tiny(4);
+  tiny.insert(2, "longer-than-budget");
+  EXPECT_FALSE(tiny.lookup(2).has_value());
+}
+
+// ---- run fingerprint ------------------------------------------------------
+
+RunRequest sweep_request(unsigned threads = 1, std::uint64_t seed = 7) {
+  RunRequest req;
+  req.input = parse_simulation_input(kSweepInput);
+  req.seed = seed;
+  req.threads = threads;
+  return req;
+}
+
+TEST(Fingerprint, StableAcrossThreadCountsAndExposedInJson) {
+  const std::uint64_t fp1 = sweep_request(1).fingerprint();
+  const std::uint64_t fp8 = sweep_request(8).fingerprint();
+  EXPECT_EQ(fp1, fp8);
+
+  const RunResult res = run(sweep_request(2));
+  EXPECT_EQ(res.fingerprint, fp1);
+  const std::string doc = res.to_json();
+  EXPECT_NE(doc.find("\"fingerprint\":\"" + fingerprint_hex(fp1) + "\""),
+            std::string::npos);
+}
+
+TEST(Fingerprint, ChangesWithAnyResultAffectingOption) {
+  const std::uint64_t base = sweep_request().fingerprint();
+
+  EXPECT_NE(sweep_request(1, 8).fingerprint(), base);  // seed
+
+  RunRequest req = sweep_request();
+  req.adaptive = false;
+  EXPECT_NE(req.fingerprint(), base);
+
+  req = sweep_request();
+  req.fast_rates = true;  // approximate kernel => different trajectories
+  EXPECT_NE(req.fingerprint(), base);
+
+  req = sweep_request();
+  req.stop.target_rel_error = 0.05;
+  req.stop.check_interval = 32;
+  EXPECT_NE(req.fingerprint(), base);
+
+  req = sweep_request();
+  req.input.repeats = 9;
+  EXPECT_NE(req.fingerprint(), base);
+
+  // Not fingerprinted: execution environment and observers.
+  req = sweep_request();
+  req.threads = 64;
+  req.checkpoint_path = "/tmp/elsewhere.ckpt";
+  EXPECT_EQ(req.fingerprint(), base);
+}
+
+TEST(CanonicalJson, PureFunctionOfRunIdentity) {
+  const RunResult r1 = run(sweep_request(1));
+  const RunResult r8 = run(sweep_request(8));
+  // The default document differs (threads field); the canonical form is
+  // byte-identical at any thread count.
+  EXPECT_EQ(r1.to_json(true), r8.to_json(true));
+  EXPECT_NE(r1.to_json(false), r8.to_json(false));
+  EXPECT_EQ(r1.to_json(true).find("\"threads\""), std::string::npos);
+  EXPECT_EQ(r1.to_json(true).find("\"wall_seconds\""), std::string::npos);
+  EXPECT_NE(r1.to_json(false).find("\"threads\""), std::string::npos);
+}
+
+// ---- scheduler: served == direct, bitwise ---------------------------------
+
+RequestEnvelope sweep_envelope(std::uint64_t seed = 7) {
+  RequestEnvelope env;
+  env.verb = RequestEnvelope::Verb::kSubmit;
+  env.netlist = kSweepInput;
+  env.seed = seed;
+  return env;
+}
+
+JobStatus wait_terminal(const JobScheduler& sched, std::uint64_t id) {
+  for (;;) {
+    const std::optional<JobStatus> s = sched.status(id);
+    EXPECT_TRUE(s.has_value());
+    if (!s.has_value() || job_state_terminal(s->state)) return *s;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+TEST(Scheduler, ServedResultBitwiseIdenticalToDirectRunAt1And8Threads) {
+  const std::string want = run(sweep_request()).to_json(/*canonical=*/true);
+  for (const unsigned threads : {1u, 8u}) {
+    SchedulerConfig cfg;
+    cfg.threads = threads;
+    JobScheduler sched(cfg);
+    const std::uint64_t id = sched.submit(sweep_envelope());
+    const JobStatus s = wait_terminal(sched, id);
+    ASSERT_EQ(s.state, JobState::kDone) << s.error;
+    EXPECT_FALSE(s.cached);
+    EXPECT_EQ(sched.result(id), want) << "threads=" << threads;
+    // Streaming progress observed the whole sweep.
+    EXPECT_GT(s.units_total, 0u);
+    EXPECT_EQ(s.units_done, s.units_total);
+    EXPECT_EQ(s.points_done, s.points_total);
+    EXPECT_EQ(s.partial.size(), s.points_total);
+    sched.shutdown();
+  }
+}
+
+TEST(Scheduler, DegradedFaultInjectedRunServedBitwiseIdentical) {
+  // The same deterministic fault plan through both paths: unit 2 throws
+  // kNonFiniteRate on every attempt, exhausts its retries, and degrades to
+  // a failed:invariant.non_finite_rate row.
+  FaultSpec f;
+  f.kind = FaultKind::kNanRate;
+  f.unit = 2;
+  f.at_event = 100;
+  FaultPlan plan;
+  plan.faults.push_back(f);
+
+  RunRequest direct = sweep_request();
+  direct.fault_plan = &plan;
+  const RunResult ref = run(direct);
+  ASSERT_TRUE(ref.driver.degraded());
+  const std::string want = ref.to_json(/*canonical=*/true);
+
+  RequestEnvelope env = sweep_envelope();
+  env.fault.faults.push_back(f);
+  SchedulerConfig cfg;
+  cfg.threads = 4;
+  JobScheduler sched(cfg);
+  const std::uint64_t id = sched.submit(env);
+  const JobStatus s = wait_terminal(sched, id);
+  ASSERT_EQ(s.state, JobState::kDone) << s.error;
+  EXPECT_GE(s.degraded_points, 1u);
+  EXPECT_EQ(sched.result(id), want);
+  sched.shutdown();
+}
+
+TEST(Scheduler, ResubmitHitsCacheWithoutRunning) {
+  SchedulerConfig cfg;
+  cfg.threads = 2;
+  JobScheduler sched(cfg);
+  const std::uint64_t first = sched.submit(sweep_envelope());
+  const JobStatus s1 = wait_terminal(sched, first);
+  ASSERT_EQ(s1.state, JobState::kDone) << s1.error;
+  const ResultCache::Stats before = sched.cache_stats();
+  EXPECT_EQ(before.hits, 0u);
+  EXPECT_EQ(before.insertions, 1u);
+
+  const std::uint64_t second = sched.submit(sweep_envelope());
+  // Born done: no queue wait, no engine work, not even a progress report.
+  const std::optional<JobStatus> s2 = sched.status(second);
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(s2->state, JobState::kDone);
+  EXPECT_TRUE(s2->cached);
+  EXPECT_EQ(s2->units_total, 0u);
+  EXPECT_EQ(sched.result(second), sched.result(first));
+
+  const ResultCache::Stats after = sched.cache_stats();
+  EXPECT_EQ(after.hits, 1u);
+  EXPECT_EQ(sched.stats().cache_hits, 1u);
+
+  // A different seed is a different fingerprint: misses, runs for real.
+  const std::uint64_t third = sched.submit(sweep_envelope(/*seed=*/8));
+  const JobStatus s3 = wait_terminal(sched, third);
+  EXPECT_EQ(s3.state, JobState::kDone);
+  EXPECT_FALSE(s3.cached);
+  EXPECT_NE(sched.result(third), sched.result(first));
+  sched.shutdown();
+}
+
+TEST(Scheduler, UnknownAndNotReadyJobsAreCodedErrors) {
+  SchedulerConfig cfg;
+  JobScheduler sched(cfg);
+  EXPECT_EQ(code_of([&] { sched.result(99); }), ErrorCode::kServeUnknownJob);
+  EXPECT_EQ(code_of([&] { sched.cancel(99); }), ErrorCode::kServeUnknownJob);
+  EXPECT_FALSE(sched.status(99).has_value());
+
+  // A malformed netlist is rejected at submit; no job is created.
+  RequestEnvelope bad = sweep_envelope();
+  bad.netlist = "junc 1 1 2 bogus";
+  EXPECT_THROW(sched.submit(bad), Error);
+  EXPECT_EQ(sched.stats().submitted, 0u);
+  sched.shutdown();
+}
+
+// ---- cancellation and shutdown checkpoints --------------------------------
+
+/// Slows every work unit down deterministically (sleep fault, no effect on
+/// results) so cancel/shutdown reliably land mid-run.
+RequestEnvelope slow_sweep_envelope(std::uint32_t millis = 300) {
+  RequestEnvelope env = sweep_envelope();
+  FaultSpec f;
+  f.kind = FaultKind::kSleep;
+  f.at_event = 50;
+  f.millis = millis;
+  env.fault.faults.push_back(f);
+  return env;
+}
+
+JobStatus wait_running_unit(const JobScheduler& sched, std::uint64_t id) {
+  for (;;) {
+    const std::optional<JobStatus> s = sched.status(id);
+    EXPECT_TRUE(s.has_value());
+    if (s->units_done >= 1 || job_state_terminal(s->state)) return *s;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& stem)
+      : path("/tmp/" + stem + "." + std::to_string(::getpid())) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+void expect_same_sweep(const std::string& got_doc,
+                       const std::string& want_doc) {
+  const JsonValue got = JsonValue::parse(got_doc);
+  const JsonValue want = JsonValue::parse(want_doc);
+  const auto& grows = got.at("sweep").items();
+  const auto& wrows = want.at("sweep").items();
+  ASSERT_EQ(grows.size(), wrows.size());
+  for (std::size_t i = 0; i < grows.size(); ++i) {
+    // %.17g serialization round-trips doubles exactly, so == is bitwise.
+    EXPECT_EQ(grows[i].at("bias_V").as_number(),
+              wrows[i].at("bias_V").as_number());
+    EXPECT_EQ(grows[i].at("current_A").as_number(),
+              wrows[i].at("current_A").as_number())
+        << "row " << i;
+    EXPECT_EQ(grows[i].at("stderr_A").as_number(),
+              wrows[i].at("stderr_A").as_number())
+        << "row " << i;
+    EXPECT_EQ(grows[i].at("status").as_string(),
+              wrows[i].at("status").as_string());
+  }
+}
+
+TEST(Scheduler, CancelLeavesResumableCheckpointAndResubmitResumes) {
+  const std::string want = run(sweep_request()).to_json(/*canonical=*/true);
+  TempDir spool("semsim_serve_cancel_spool");
+  SchedulerConfig cfg;
+  cfg.threads = 1;
+  cfg.spool_dir = spool.path;
+  JobScheduler sched(cfg);
+
+  const std::uint64_t id = sched.submit(slow_sweep_envelope());
+  const JobStatus mid = wait_running_unit(sched, id);
+  ASSERT_FALSE(job_state_terminal(mid.state))
+      << "job finished before cancel could land; raise the sleep fault";
+  EXPECT_TRUE(sched.cancel(id));
+  const JobStatus s = wait_terminal(sched, id);
+  ASSERT_EQ(s.state, JobState::kCancelled);
+  ASSERT_FALSE(s.checkpoint_path.empty());
+  EXPECT_TRUE(std::filesystem::exists(s.checkpoint_path));
+  EXPECT_EQ(code_of([&] { sched.result(id); }), ErrorCode::kServeJobNotReady);
+
+  // Identical request (sans the sleep, which is not part of the
+  // fingerprint): resumes from the checkpointed prefix and completes.
+  const std::uint64_t again = sched.submit(sweep_envelope());
+  const JobStatus s2 = wait_terminal(sched, again);
+  ASSERT_EQ(s2.state, JobState::kDone) << s2.error;
+  EXPECT_FALSE(s2.cached);
+  // Fewer fresh units than the whole sweep: some were restored.
+  expect_same_sweep(sched.result(again), want);
+  // Success clears the spool file.
+  EXPECT_FALSE(std::filesystem::exists(s.checkpoint_path));
+  sched.shutdown();
+}
+
+TEST(Scheduler, ShutdownCancelsAndCheckpointsTheRunningJob) {
+  const std::string want = run(sweep_request()).to_json(/*canonical=*/true);
+  TempDir spool("semsim_serve_shutdown_spool");
+  SchedulerConfig cfg;
+  cfg.threads = 1;
+  cfg.spool_dir = spool.path;
+
+  std::string ckpt;
+  {
+    JobScheduler sched(cfg);
+    const std::uint64_t id = sched.submit(slow_sweep_envelope());
+    const JobStatus mid = wait_running_unit(sched, id);
+    ASSERT_FALSE(job_state_terminal(mid.state));
+    sched.shutdown();
+    const std::optional<JobStatus> s = sched.status(id);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->state, JobState::kCancelled);
+    ASSERT_FALSE(s->checkpoint_path.empty());
+    ckpt = s->checkpoint_path;
+    EXPECT_TRUE(std::filesystem::exists(ckpt));
+    // Submits are refused once shutdown began.
+    EXPECT_EQ(code_of([&] { sched.submit(sweep_envelope()); }),
+              ErrorCode::kServeShuttingDown);
+  }
+
+  // A fresh daemon resumes the interrupted job from the same spool.
+  JobScheduler sched2(cfg);
+  const std::uint64_t id = sched2.submit(sweep_envelope());
+  const JobStatus s = wait_terminal(sched2, id);
+  ASSERT_EQ(s.state, JobState::kDone) << s.error;
+  expect_same_sweep(sched2.result(id), want);
+  EXPECT_FALSE(std::filesystem::exists(ckpt));
+  sched2.shutdown();
+}
+
+TEST(Scheduler, QueuedJobCancelIsImmediate) {
+  SchedulerConfig cfg;
+  cfg.threads = 1;
+  JobScheduler sched(cfg);
+  // Occupy the dispatcher, then cancel a job that is still queued.
+  const std::uint64_t busy = sched.submit(slow_sweep_envelope());
+  const std::uint64_t queued = sched.submit(sweep_envelope(/*seed=*/9));
+  EXPECT_TRUE(sched.cancel(queued));
+  const std::optional<JobStatus> s = sched.status(queued);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->state, JobState::kCancelled);
+  EXPECT_FALSE(sched.cancel(queued));  // already terminal
+  sched.cancel(busy);
+  wait_terminal(sched, busy);
+  sched.shutdown();
+}
+
+// ---- socket server --------------------------------------------------------
+
+struct ServerFixture {
+  TempDir dir;
+  SchedulerConfig sched_cfg;
+  JobScheduler scheduler;
+  ServerConfig server_cfg;
+  Server server;
+  std::thread accept_thread;
+
+  explicit ServerFixture(std::size_t max_request_bytes = 4u << 20)
+      : dir("semsim_serve_sock"),
+        sched_cfg{/*threads=*/2, /*cache_bytes=*/64u << 20,
+                  /*spool_dir=*/""},
+        scheduler(sched_cfg),
+        server_cfg{make_server_config(max_request_bytes)},
+        server(server_cfg, scheduler),
+        accept_thread([this] { server.run(); }) {}
+
+  ServerConfig make_server_config(std::size_t max_request_bytes) {
+    std::filesystem::create_directories(dir.path);
+    ServerConfig cfg;
+    cfg.unix_path = dir.path + "/d.sock";
+    cfg.max_request_bytes = max_request_bytes;
+    cfg.max_json_depth = 16;
+    return cfg;
+  }
+
+  ServeClient client() const {
+    return ServeClient::unix_socket(server_cfg.unix_path);
+  }
+
+  ~ServerFixture() {
+    server.stop();
+    if (accept_thread.joinable()) accept_thread.join();
+    scheduler.shutdown();
+  }
+};
+
+TEST(SocketServer, FullProtocolRoundTripOverUnixSocket) {
+  ServerFixture fx;
+  const ServeClient client = fx.client();
+
+  // ping
+  RequestEnvelope ping;
+  const JsonValue pong = JsonValue::parse(client.call(ping));
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  EXPECT_EQ(pong.at("result_schema").as_string(), RunResult::kJsonSchema);
+
+  // submit
+  const JsonValue sub = JsonValue::parse(client.call(sweep_envelope()));
+  ASSERT_TRUE(sub.at("ok").as_bool());
+  const std::uint64_t job =
+      static_cast<std::uint64_t>(sub.at("job").as_number());
+  EXPECT_FALSE(sub.at("cached").as_bool());
+
+  // poll status to completion
+  RequestEnvelope status;
+  status.verb = RequestEnvelope::Verb::kStatus;
+  status.job_id = job;
+  std::string state;
+  for (;;) {
+    const JsonValue s = JsonValue::parse(client.call(status));
+    ASSERT_TRUE(s.at("ok").as_bool());
+    state = s.at("state").as_string();
+    if (state != "queued" && state != "running") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(state, "done");
+
+  // result: the stored canonical document VERBATIM, byte-identical to a
+  // direct in-process run.
+  RequestEnvelope result;
+  result.verb = RequestEnvelope::Verb::kResult;
+  result.job_id = job;
+  const std::string served = client.call(result);
+  EXPECT_EQ(served, run(sweep_request()).to_json(/*canonical=*/true));
+
+  // resubmit: cache hit over the wire.
+  const JsonValue sub2 = JsonValue::parse(client.call(sweep_envelope()));
+  EXPECT_TRUE(sub2.at("cached").as_bool());
+  EXPECT_EQ(sub2.at("state").as_string(), "done");
+
+  // stats reflect the hit.
+  RequestEnvelope stats;
+  stats.verb = RequestEnvelope::Verb::kStats;
+  const JsonValue st = JsonValue::parse(client.call(stats));
+  EXPECT_EQ(st.at("cache").at("hits").as_number(), 1.0);
+  EXPECT_EQ(st.at("scheduler").at("submitted").as_number(), 2.0);
+
+  // unknown job is a coded error response, connection stays usable.
+  RequestEnvelope nosuch;
+  nosuch.verb = RequestEnvelope::Verb::kResult;
+  nosuch.job_id = 999;
+  const JsonValue err = JsonValue::parse(client.call(nosuch));
+  EXPECT_FALSE(err.at("ok").as_bool());
+  EXPECT_EQ(err.at("error").at("name").as_string(), "serve.unknown_job");
+
+  // shutdown verb stops the accept loop.
+  RequestEnvelope bye;
+  bye.verb = RequestEnvelope::Verb::kShutdown;
+  const JsonValue ack = JsonValue::parse(client.call(bye));
+  EXPECT_TRUE(ack.at("ok").as_bool());
+  for (int i = 0; i < 100 && !fx.server.shutdown_requested(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(fx.server.shutdown_requested());
+}
+
+TEST(SocketServer, MalformedAndOversizedRequestsGetCodedResponses) {
+  ServerFixture fx(/*max_request_bytes=*/512);
+  const ServeClient client = fx.client();
+
+  const JsonValue bad = JsonValue::parse(client.call_raw("this is not json"));
+  EXPECT_FALSE(bad.at("ok").as_bool());
+
+  std::string deep = R"({"schema":"semsim.request/v1","verb":"ping","x":)";
+  for (int i = 0; i < 40; ++i) deep += "[";
+  for (int i = 0; i < 40; ++i) deep += "]";
+  deep += "}";
+  const JsonValue toodeep = JsonValue::parse(client.call_raw(deep));
+  EXPECT_FALSE(toodeep.at("ok").as_bool());
+  EXPECT_EQ(toodeep.at("error").at("name").as_string(),
+            "parse.json_too_deep");
+
+  const std::string huge =
+      R"({"schema":"semsim.request/v1","verb":"ping","pad":")" +
+      std::string(2048, 'x') + "\"}";
+  const JsonValue toobig = JsonValue::parse(client.call_raw(huge));
+  EXPECT_FALSE(toobig.at("ok").as_bool());
+  EXPECT_EQ(toobig.at("error").at("name").as_string(),
+            "parse.json_too_large");
+}
+
+TEST(SocketServer, TcpLoopbackTransportWorks) {
+  SchedulerConfig sched_cfg;
+  JobScheduler scheduler(sched_cfg);
+  ServerConfig cfg;
+  cfg.tcp_port = 0;  // ephemeral
+  Server server(cfg, scheduler);
+  ASSERT_GT(server.port(), 0);
+  std::thread accept([&server] { server.run(); });
+  const ServeClient client = ServeClient::tcp(server.port());
+  RequestEnvelope ping;
+  const JsonValue pong = JsonValue::parse(client.call(ping));
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  server.stop();
+  accept.join();
+  scheduler.shutdown();
+}
+
+}  // namespace
+}  // namespace semsim

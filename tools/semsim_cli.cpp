@@ -43,6 +43,12 @@ void usage(const char* argv0) {
       "          [--watchdog-seconds X] [--fast-rates]\n"
       "  --json FILE.json     write the versioned machine-readable result\n"
       "                       document (schema %s)\n"
+      "  --canonical-json FILE  like --json, but omit the execution-\n"
+      "                       environment fields (threads, wall time): the\n"
+      "                       document is then a pure function of the run\n"
+      "                       fingerprint — byte-identical at any thread\n"
+      "                       count, and byte-identical to what the service\n"
+      "                       daemon (semsim_serve) stores and serves\n"
       "  --threads N          worker threads for sweeps / repeated runs\n"
       "                       (0 = all cores); results are identical for\n"
       "                       every N\n"
@@ -119,6 +125,7 @@ int main(int argc, char** argv) {
   std::string input_path;
   std::string out_path;
   std::string json_path;
+  std::string canonical_json_path;
   RunRequest req;
   std::optional<std::uint32_t> repeats_override;
   bool master_check = false;
@@ -178,6 +185,8 @@ int main(int argc, char** argv) {
       req.fast_rates = true;
     } else if (flag_value(a, "--out", argc, argv, i, &v)) {
       out_path = v;
+    } else if (flag_value(a, "--canonical-json", argc, argv, i, &v)) {
+      canonical_json_path = v;
     } else if (flag_value(a, "--json", argc, argv, i, &v)) {
       json_path = v;
     } else if (a == "--master-check") {
@@ -210,6 +219,7 @@ int main(int argc, char** argv) {
 
     const RunResult res = run(req);
     const DriverResult& r = res.driver;
+    std::printf("# fingerprint: %s\n", fingerprint_hex(res.fingerprint).c_str());
 
     if (!r.sweep.empty()) {
       TableWriter table({"v_swept_V", "current_A", "stderr_A", "rel_err",
@@ -271,6 +281,17 @@ int main(int argc, char** argv) {
       f << res.to_json() << '\n';
       std::printf("# wrote %s result to %s\n", RunResult::kJsonSchema,
                   json_path.c_str());
+    }
+    if (!canonical_json_path.empty()) {
+      std::ofstream f(canonical_json_path, std::ios::binary);
+      if (!f) {
+        std::fprintf(stderr, "semsim: cannot write %s\n",
+                     canonical_json_path.c_str());
+        return 1;
+      }
+      f << res.to_json(/*canonical=*/true) << '\n';
+      std::printf("# wrote canonical %s result to %s\n", RunResult::kJsonSchema,
+                  canonical_json_path.c_str());
     }
 
     if (master_check) {

@@ -1,0 +1,166 @@
+// semsim_serve — simulation-as-a-service daemon.
+//
+//   semsim_serve --socket /tmp/semsim.sock [--threads N]
+//                [--cache-mb N] [--spool DIR] [--max-request-mb N]
+//   semsim_serve --tcp PORT ...      # loopback only; PORT 0 = ephemeral
+//
+// Accepts newline-delimited JSON requests (schema semsim.request/v1, see
+// src/io/envelope.h) and runs submitted jobs through the same
+// RunRequest -> run() path as the semsim CLI, sharded across one shared
+// thread pool — served results are bitwise identical to local runs
+// (tests/test_serve.cpp). Completed canonical documents are cached by run
+// fingerprint; identical resubmits are answered instantly. With --spool,
+// jobs checkpoint per work unit: cancellation and daemon shutdown leave
+// resumable spool files behind.
+//
+// SIGINT/SIGTERM and the `shutdown` verb stop the daemon gracefully: the
+// running job is cancelled at its next work-unit boundary (checkpointing
+// what finished), then the process exits 0.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "guard/exit_codes.h"
+#include "serve/server.h"
+
+using namespace semsim;
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+void on_signal(int) { g_signal = 1; }
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s (--socket PATH | --tcp PORT) [--threads N] [--cache-mb N]\n"
+      "          [--spool DIR] [--max-request-mb N]\n"
+      "  --socket PATH      listen on a Unix-domain socket at PATH\n"
+      "  --tcp PORT         listen on 127.0.0.1:PORT (0 = pick a free port,\n"
+      "                     printed on startup)\n"
+      "  --threads N        worker threads shared by all jobs (default 1,\n"
+      "                     0 = all cores); never affects results\n"
+      "  --cache-mb N       result-cache budget in MiB (default 64, 0 off)\n"
+      "  --spool DIR        checkpoint jobs to DIR/job-<fingerprint>.ckpt;\n"
+      "                     cancelled/interrupted jobs resume on resubmit\n"
+      "  --max-request-mb N request size cap in MiB (default 4)\n",
+      argv0);
+}
+
+bool flag_value(const std::string& a, const char* name, int argc, char** argv,
+                int& i, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (a.compare(0, len, name) == 0 && a.size() > len && a[len] == '=') {
+    *value = a.substr(len + 1);
+    return true;
+  }
+  if (a == name && i + 1 < argc) {
+    *value = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t parse_u64(const char* flag, const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      text.find('-') != std::string::npos) {
+    std::fprintf(stderr, "%s: not a non-negative integer: %s\n", flag,
+                 text.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerConfig server_cfg;
+  SchedulerConfig sched_cfg;
+  bool have_endpoint = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    std::string v;
+    if (flag_value(a, "--socket", argc, argv, i, &v)) {
+      server_cfg.unix_path = v;
+      have_endpoint = true;
+    } else if (flag_value(a, "--tcp", argc, argv, i, &v)) {
+      const std::uint64_t port = parse_u64("--tcp", v);
+      if (port > 65535) {
+        std::fprintf(stderr, "--tcp: port out of range: %s\n", v.c_str());
+        return kExitUsage;
+      }
+      server_cfg.tcp_port = static_cast<std::uint16_t>(port);
+      have_endpoint = true;
+    } else if (flag_value(a, "--threads", argc, argv, i, &v)) {
+      sched_cfg.threads = static_cast<unsigned>(parse_u64("--threads", v));
+    } else if (flag_value(a, "--cache-mb", argc, argv, i, &v)) {
+      sched_cfg.cache_bytes = parse_u64("--cache-mb", v) << 20;
+    } else if (flag_value(a, "--spool", argc, argv, i, &v)) {
+      sched_cfg.spool_dir = v;
+    } else if (flag_value(a, "--max-request-mb", argc, argv, i, &v)) {
+      const std::uint64_t mb = parse_u64("--max-request-mb", v);
+      if (mb == 0) {
+        std::fprintf(stderr, "--max-request-mb: must be > 0\n");
+        return kExitUsage;
+      }
+      server_cfg.max_request_bytes = mb << 20;
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      usage(argv[0]);
+      return kExitUsage;
+    }
+  }
+  if (!have_endpoint) {
+    usage(argv[0]);
+    return kExitUsage;
+  }
+
+  try {
+    JobScheduler scheduler(sched_cfg);
+    Server server(server_cfg, scheduler);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    // A client that hangs up mid-response must not kill the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (!server_cfg.unix_path.empty()) {
+      std::printf("semsim_serve: listening on %s (%u threads)\n",
+                  server_cfg.unix_path.c_str(), sched_cfg.threads);
+    } else {
+      std::printf("semsim_serve: listening on 127.0.0.1:%u (%u threads)\n",
+                  server.port(), sched_cfg.threads);
+    }
+    std::fflush(stdout);
+
+    // The accept loop polls with a short timeout, so a signal raised
+    // between polls is noticed promptly through this watcher thread.
+    std::thread watcher([&server] {
+      while (!server.shutdown_requested() && g_signal == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      server.stop();
+    });
+
+    server.run();  // returns on signal or `shutdown` verb
+    watcher.join();
+
+    // Cancels + checkpoints the running job, marks queued jobs cancelled.
+    scheduler.shutdown();
+    std::printf("semsim_serve: stopped\n");
+  } catch (const Error& e) {
+    std::fprintf(stderr, "semsim_serve: %s\n", e.what());
+    return exit_code_for(e);
+  }
+  return kExitOk;
+}

@@ -1,0 +1,254 @@
+// semsim_submit — client for the semsim_serve daemon.
+//
+//   semsim_submit --socket /tmp/semsim.sock submit input.sem [--seed N]
+//                 [--priority N] [--fast-rates] [--non-adaptive]
+//                 [--repeats N] [--target-rel-error X] [--max-events N]
+//                 [--wait] [--json FILE]
+//   semsim_submit --socket PATH status JOB
+//   semsim_submit --socket PATH result JOB [--json FILE]
+//   semsim_submit --socket PATH cancel JOB
+//   semsim_submit --socket PATH ping | stats | shutdown
+//   semsim_submit --tcp PORT ...
+//
+// submit reads the input FILE and ships its TEXT to the daemon (the daemon
+// parses it with the same strict parser the CLI uses). With --wait, polls
+// status until the job is terminal and then fetches the result; the fetched
+// document is the daemon's stored canonical RunResult, byte-identical to
+// `semsim input.sem --canonical-json`. Responses print to stdout verbatim
+// (one JSON line); --json additionally writes the result document to FILE.
+//
+// Exit codes: 0 ok; 1 transport/protocol error; 2 usage; 3 the daemon
+// answered with an error response; 4 --wait saw the job end failed; 5
+// --wait saw the job end cancelled.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "io/json.h"
+#include "serve/client.h"
+
+using namespace semsim;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s (--socket PATH | --tcp PORT) VERB [ARGS] [FLAGS]\n"
+      "verbs:\n"
+      "  submit FILE [--seed N] [--priority N] [--repeats N] [--fast-rates]\n"
+      "              [--non-adaptive] [--target-rel-error X] [--max-events N]\n"
+      "              [--strict] [--retries N] [--wait] [--json FILE]\n"
+      "  status JOB     job state + streamed partial results\n"
+      "  result JOB     completed job's canonical result document [--json F]\n"
+      "  cancel JOB     stop a queued/running job (checkpointed if spooled)\n"
+      "  ping | stats | shutdown\n",
+      argv0);
+}
+
+bool flag_value(const std::string& a, const char* name, int argc, char** argv,
+                int& i, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (a.compare(0, len, name) == 0 && a.size() > len && a[len] == '=') {
+    *value = a.substr(len + 1);
+    return true;
+  }
+  if (a == name && i + 1 < argc) {
+    *value = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t parse_u64(const char* flag, const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      text.find('-') != std::string::npos) {
+    std::fprintf(stderr, "%s: not a non-negative integer: %s\n", flag,
+                 text.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+/// True when the response line is an ok "semsim.response/v1" object (the
+/// result verb's verbatim document also counts as success).
+bool response_ok(const std::string& line) {
+  try {
+    const JsonValue doc = JsonValue::parse(line);
+    const JsonValue* ok = doc.find("ok");
+    return ok == nullptr || ok->as_bool();
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+int write_file(const std::string& path, const std::string& text) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "semsim_submit: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  f << text << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  std::uint16_t tcp_port = 0;
+  bool have_endpoint = false;
+  std::string verb;
+  std::string verb_arg;  // input file (submit) or job id
+  std::string json_path;
+  bool wait = false;
+  RequestEnvelope env;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    std::string v;
+    if (flag_value(a, "--socket", argc, argv, i, &v)) {
+      unix_path = v;
+      have_endpoint = true;
+    } else if (flag_value(a, "--tcp", argc, argv, i, &v)) {
+      const std::uint64_t port = parse_u64("--tcp", v);
+      if (port > 65535) {
+        std::fprintf(stderr, "--tcp: port out of range: %s\n", v.c_str());
+        return 2;
+      }
+      tcp_port = static_cast<std::uint16_t>(port);
+      have_endpoint = true;
+    } else if (flag_value(a, "--seed", argc, argv, i, &v)) {
+      env.seed = parse_u64("--seed", v);
+    } else if (flag_value(a, "--priority", argc, argv, i, &v)) {
+      env.priority = std::atoi(v.c_str());
+    } else if (flag_value(a, "--repeats", argc, argv, i, &v)) {
+      env.repeats = static_cast<std::uint32_t>(parse_u64("--repeats", v));
+    } else if (flag_value(a, "--target-rel-error", argc, argv, i, &v)) {
+      env.stop.target_rel_error = std::atof(v.c_str());
+    } else if (flag_value(a, "--max-events", argc, argv, i, &v)) {
+      env.stop.max_events = parse_u64("--max-events", v);
+    } else if (flag_value(a, "--retries", argc, argv, i, &v)) {
+      env.retry.max_attempts =
+          static_cast<std::uint32_t>(parse_u64("--retries", v));
+    } else if (a == "--strict") {
+      env.retry.strict = true;
+    } else if (a == "--fast-rates") {
+      env.fast_rates = true;
+    } else if (a == "--non-adaptive") {
+      env.adaptive = false;
+    } else if (a == "--wait") {
+      wait = true;
+    } else if (flag_value(a, "--json", argc, argv, i, &v)) {
+      json_path = v;
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!a.empty() && a[0] != '-' && verb.empty()) {
+      verb = a;
+    } else if (!a.empty() && a[0] != '-' && verb_arg.empty()) {
+      verb_arg = a;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (!have_endpoint || verb.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  if (verb == "ping") {
+    env.verb = RequestEnvelope::Verb::kPing;
+  } else if (verb == "submit") {
+    env.verb = RequestEnvelope::Verb::kSubmit;
+  } else if (verb == "status") {
+    env.verb = RequestEnvelope::Verb::kStatus;
+  } else if (verb == "result") {
+    env.verb = RequestEnvelope::Verb::kResult;
+  } else if (verb == "cancel") {
+    env.verb = RequestEnvelope::Verb::kCancel;
+  } else if (verb == "stats") {
+    env.verb = RequestEnvelope::Verb::kStats;
+  } else if (verb == "shutdown") {
+    env.verb = RequestEnvelope::Verb::kShutdown;
+  } else {
+    std::fprintf(stderr, "unknown verb: %s\n", verb.c_str());
+    return 2;
+  }
+
+  if (env.verb == RequestEnvelope::Verb::kSubmit) {
+    if (verb_arg.empty()) {
+      std::fprintf(stderr, "submit: missing input file\n");
+      return 2;
+    }
+    std::ifstream f(verb_arg, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "submit: cannot read %s\n", verb_arg.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << f.rdbuf();
+    env.netlist = text.str();
+  } else if (env.verb == RequestEnvelope::Verb::kStatus ||
+             env.verb == RequestEnvelope::Verb::kResult ||
+             env.verb == RequestEnvelope::Verb::kCancel) {
+    if (verb_arg.empty()) {
+      std::fprintf(stderr, "%s: missing job id\n", verb.c_str());
+      return 2;
+    }
+    env.job_id = parse_u64(verb.c_str(), verb_arg);
+  }
+
+  try {
+    const ServeClient client = unix_path.empty()
+                                   ? ServeClient::tcp(tcp_port)
+                                   : ServeClient::unix_socket(unix_path);
+    std::string line = client.call(env);
+    std::printf("%s\n", line.c_str());
+    if (!response_ok(line)) return 3;
+
+    if (env.verb == RequestEnvelope::Verb::kSubmit && wait) {
+      const JsonValue doc = JsonValue::parse(line);
+      const std::uint64_t job =
+          static_cast<std::uint64_t>(doc.at("job").as_number());
+      RequestEnvelope poll;
+      poll.verb = RequestEnvelope::Verb::kStatus;
+      poll.job_id = job;
+      std::string state;
+      for (;;) {
+        const std::string status_line = client.call(poll);
+        const JsonValue status = JsonValue::parse(status_line);
+        state = status.at("state").as_string();
+        if (state != "queued" && state != "running") break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      if (state == "failed") return 4;
+      if (state == "cancelled") return 5;
+      RequestEnvelope fetch;
+      fetch.verb = RequestEnvelope::Verb::kResult;
+      fetch.job_id = job;
+      line = client.call(fetch);
+      std::printf("%s\n", line.c_str());
+      if (!response_ok(line)) return 3;
+    }
+    if (!json_path.empty() &&
+        (env.verb == RequestEnvelope::Verb::kResult ||
+         (env.verb == RequestEnvelope::Verb::kSubmit && wait))) {
+      const int rc = write_file(json_path, line);
+      if (rc != 0) return rc;
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "semsim_submit: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
