@@ -1,5 +1,6 @@
 #include "analysis/api.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "base/random.h"
@@ -43,24 +44,96 @@ void write_run_counters(JsonWriter& w, const RunCounters& c, bool canonical) {
   w.end_object();
 }
 
+void write_band_stats(JsonWriter& w, const EnsembleBandStats& b) {
+  w.begin_object();
+  w.field("mean_A", b.mean);
+  w.field("spread_A", b.spread);
+  w.field("min_A", b.min);
+  w.field("max_A", b.max);
+  w.field("n_ok", unsigned{b.n_ok});
+  w.field("yield", b.yield);
+  w.end_object();
+}
+
+void write_iv_point(JsonWriter& w, const IvPoint& p) {
+  w.begin_object();
+  w.field("bias_V", p.bias);
+  w.field("current_A", p.current);
+  w.field("stderr_A", p.stderr_mean);
+  w.field("rel_error", p.rel_error);
+  w.field("tau_int", p.tau_int);
+  w.field("events", p.events);
+  w.field("status", point_status_label(p));
+  w.field("attempts", p.attempts);
+  w.end_object();
+}
+
+/// v3 "ensemble" object: the spec echo (table-driven from
+/// analysis/run_fields.inc — the same table the codec and fingerprint
+/// expand), per-replica rows, and cross-replica bands.
+void write_ensemble(JsonWriter& w, const EnsembleSpec& spec,
+                    const EnsembleResult& e) {
+  w.key("ensemble").begin_object();
+  w.field("replicas", unsigned{e.replicas});
+  w.field("seed", e.seed);  // effective (spec.seed or the run seed)
+
+  w.key("spec").begin_object();
+#define SEMSIM_FIELD_JSON_U64(name, v) w.field(name, std::uint64_t{v});
+#define SEMSIM_FIELD_JSON_U32(name, v) w.field(name, unsigned{v});
+#define SEMSIM_FIELD_JSON_F64(name, v) \
+  if (std::isfinite(v)) w.field(name, double{v});
+#define SEMSIM_FIELD_JSON_DIST(name, v) \
+  w.field(name, perturbation_dist_name(v));
+#define SEMSIM_ENSEMBLE_FIELD(ident, member, KIND, json_name, cli_flag) \
+  SEMSIM_FIELD_JSON_##KIND(json_name, spec.member)
+#include "analysis/run_fields.inc"
+#undef SEMSIM_FIELD_JSON_U64
+#undef SEMSIM_FIELD_JSON_U32
+#undef SEMSIM_FIELD_JSON_F64
+#undef SEMSIM_FIELD_JSON_DIST
+  w.end_object();
+
+  w.key("replica_rows").begin_array();
+  for (const ReplicaRow& r : e.rows) {
+    w.begin_object();
+    w.field("replica", unsigned{r.replica});
+    w.field("status", replica_status_label(r));
+    w.field("attempts", unsigned{r.attempts});
+    w.field("current_A", r.current.mean);
+    w.field("stderr_A", r.current.stderr_mean);
+    w.field("observable_A", r.observable);
+    w.field("events", r.events);
+    w.field("sim_time_s", r.sim_time);
+    if (!r.sweep.empty()) {
+      w.key("sweep").begin_array();
+      for (const IvPoint& p : r.sweep) write_iv_point(w, p);
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("stats");
+  write_band_stats(w, e.observable_stats);
+  if (!e.sweep_stats.empty()) {
+    w.key("sweep_stats").begin_array();
+    for (const EnsemblePointStats& p : e.sweep_stats) {
+      w.begin_object();
+      w.field("bias_V", p.bias);
+      w.key("stats");
+      write_band_stats(w, p.stats);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+}
+
 }  // namespace
 
 DriverOptions RunRequest::driver_options() const {
   DriverOptions o;
-  o.seed = seed;
-  o.adaptive = adaptive;
-  o.fast_rates = fast_rates;
-  o.threads = threads;
-  o.stop = stop;
-  o.checkpoint_path = checkpoint_path;
-  o.resume_path = resume_path;
-  o.salvage_checkpoint = salvage_checkpoint;
-  o.audit = audit;
-  o.retry = retry;
-  o.fault_plan = fault_plan;
-  o.executor = executor;
-  o.cancel = cancel;
-  o.progress = progress;
+  static_cast<RunOptionsCore&>(o) = static_cast<const RunOptionsCore&>(*this);
   return o;
 }
 
@@ -80,6 +153,7 @@ RunResult run(const RunRequest& request) {
   r.adaptive = request.adaptive;
   r.fast_rates = request.fast_rates;
   r.threads = request.threads;
+  r.ensemble = request.ensemble;
   return r;
 }
 
@@ -113,18 +187,7 @@ std::string RunResult::to_json(bool canonical) const {
   }
   if (!driver.sweep.empty()) {
     w.key("sweep").begin_array();
-    for (const IvPoint& p : driver.sweep) {
-      w.begin_object();
-      w.field("bias_V", p.bias);
-      w.field("current_A", p.current);
-      w.field("stderr_A", p.stderr_mean);
-      w.field("rel_error", p.rel_error);
-      w.field("tau_int", p.tau_int);
-      w.field("events", p.events);
-      w.field("status", point_status_label(p));
-      w.field("attempts", p.attempts);
-      w.end_object();
-    }
+    for (const IvPoint& p : driver.sweep) write_iv_point(w, p);
     w.end_array();
   }
 
@@ -154,6 +217,9 @@ std::string RunResult::to_json(bool canonical) const {
   }
   w.end_array();
   w.field("degraded", driver.degraded());
+
+  // v3: present only on ensemble runs; absent == exactly the v2 shape.
+  if (driver.ensemble) write_ensemble(w, ensemble, *driver.ensemble);
 
   w.key("stats");
   write_solver_stats(w, driver.stats);

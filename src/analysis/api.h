@@ -28,40 +28,14 @@
 namespace semsim {
 
 /// Everything that defines a run: the parsed input (circuit + directives)
-/// and the solver/stop/parallelism knobs the CLI exposes.
-struct RunRequest {
+/// plus every run option. The options are RunOptionsCore (driver.h) by
+/// inheritance — RunRequest and DriverOptions are the SAME option surface
+/// by construction, so a field added to the core exists on both with no
+/// mirroring code (the old drift hazard across api.h/driver.h/semsim_cli).
+struct RunRequest : RunOptionsCore {
   SimulationInput input;
 
-  std::uint64_t seed = 1;
-  bool adaptive = true;   ///< false = conventional non-adaptive solver
-  /// Opt-in fast thermal rate kernel; see DriverOptions::fast_rates.
-  bool fast_rates = false;
-  /// Worker threads (0 = all hardware threads); results are bitwise
-  /// identical for every value.
-  unsigned threads = 1;
-  /// Convergence-based stopping; see DriverOptions::stop.
-  StopCriterion stop;
-  /// Crash-safe checkpointing; see DriverOptions.
-  std::string checkpoint_path;
-  std::string resume_path;
-  /// Salvage a damaged checkpoint file; see DriverOptions.
-  bool salvage_checkpoint = false;
-  /// Invariant auditing cadence/tolerances; see DriverOptions::audit.
-  AuditOptions audit;
-  /// Fault isolation and retry; see DriverOptions::retry.
-  RetryPolicy retry;
-  /// Deterministic fault schedule (tests/benches); see DriverOptions.
-  const FaultPlan* fault_plan = nullptr;
-
-  // ---- service hooks (DriverOptions mirrors; none affect fingerprint) --
-  /// External worker pool; see DriverOptions::executor.
-  const ParallelExecutor* executor = nullptr;
-  /// Cooperative cancellation; see DriverOptions::cancel.
-  const CancelToken* cancel = nullptr;
-  /// Streaming partial-result consumer; see DriverOptions::progress.
-  ProgressSink* progress = nullptr;
-
-  /// The equivalent DriverOptions (exact field-for-field mapping).
+  /// The equivalent DriverOptions (the shared RunOptionsCore slice).
   DriverOptions driver_options() const;
   /// The EngineOptions every engine of this run starts from.
   EngineOptions engine_options() const;
@@ -80,7 +54,11 @@ struct RunResult {
   /// document gains "integrity" (audit trail) and "failures" (degraded
   /// work units). Every v1 field is still present with the same meaning,
   /// so v1 readers that ignore unknown fields keep working.
-  static constexpr const char* kJsonSchema = "semsim.run_result/v2";
+  /// v3 (ensemble engine): the document MAY carry an "ensemble" object —
+  /// the spec echo, per-replica rows, and cross-replica band statistics.
+  /// Absent "ensemble" == a single-device run == exactly the v2 shape, so
+  /// v2 readers keep working and v2 documents remain parseable.
+  static constexpr const char* kJsonSchema = "semsim.run_result/v3";
 
   DriverResult driver;
   std::uint64_t fingerprint = 0;  ///< RunRequest::fingerprint() of the run
@@ -88,6 +66,8 @@ struct RunResult {
   bool adaptive = true;
   bool fast_rates = false;
   unsigned threads = 1;
+  /// Spec echo for the v3 "ensemble" object (disabled on non-ensemble runs).
+  EnsembleSpec ensemble;
 
   /// Versioned machine-readable document: schema tag, run identity
   /// (fingerprint as a hex string — JSON numbers cannot carry 64 bits),

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "analysis/api.h"
+#include "analysis/ensemble_driver.h"
 #include "base/constants.h"
 #include "base/error.h"
 #include "base/math_util.h"
@@ -86,19 +87,40 @@ std::uint64_t run_fingerprint(const SimulationInput& input,
     w.f64(input.sweep->max);
     w.f64(input.sweep->step);
   }
-  w.u64(options.seed);
-  w.u8(options.adaptive ? 1 : 0);
-  // fast_rates selects a different (approximate) rate kernel, so runs are
-  // not resumable across the flag: it must change the fingerprint.
-  w.u8(options.fast_rates ? 1 : 0);
-  w.u64(options.stop.max_events);
-  w.f64(options.stop.target_rel_error);
-  w.u64(options.stop.check_interval);
+  // Options tail, expanded from the frozen-order field table. fast_rates
+  // selects a different (approximate) rate kernel, so runs are not
+  // resumable across the flag: it must change the fingerprint.
+#define SEMSIM_FIELD_FP_U64(v) w.u64(v);
+#define SEMSIM_FIELD_FP_U32(v) w.u32(v);
+#define SEMSIM_FIELD_FP_F64(v) w.f64(v);
+#define SEMSIM_FIELD_FP_BOOL(v) w.u8((v) ? 1 : 0);
+#define SEMSIM_FIELD_FP_DIST(v) w.u8(static_cast<std::uint8_t>(v));
+#define SEMSIM_RUN_FIELD(ident, member, KIND, json_name, cli_flag) \
+  SEMSIM_FIELD_FP_##KIND(options.member)
+#include "analysis/run_fields.inc"
+  // Ensemble appendix: ONLY when enabled, so every pre-ensemble fingerprint
+  // (and with it every existing checkpoint and cached result) is unchanged.
+  if (options.ensemble.enabled) {
+    w.u8(1);
+#define SEMSIM_ENSEMBLE_FIELD(ident, member, KIND, json_name, cli_flag) \
+  SEMSIM_FIELD_FP_##KIND(options.ensemble.member)
+#include "analysis/run_fields.inc"
+  }
+#undef SEMSIM_FIELD_FP_U64
+#undef SEMSIM_FIELD_FP_U32
+#undef SEMSIM_FIELD_FP_F64
+#undef SEMSIM_FIELD_FP_BOOL
+#undef SEMSIM_FIELD_FP_DIST
   return fnv1a64(w.bytes().data(), w.bytes().size());
 }
 
 DriverResult run_simulation(const SimulationInput& input,
                             const DriverOptions& options) {
+  // Ensemble runs replicate the whole input N times with perturbed element
+  // values; everything below this dispatch is the single-device path the
+  // ensemble driver builds on (and recurses into, with ensemble disabled).
+  if (options.ensemble.enabled) return run_ensemble(input, options);
+
   const EngineOptions eo = engine_options_for(input, options);
 
   std::vector<CurrentProbe> probes;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analysis/current.h"
+#include "analysis/ensemble.h"
 #include "analysis/sweep.h"
 #include "base/cancel.h"
 #include "netlist/parser.h"
@@ -18,7 +19,14 @@
 
 namespace semsim {
 
-struct DriverOptions {
+/// The ONE declaration of every run option. DriverOptions and RunRequest
+/// (analysis/api.h) used to carry hand-mirrored copies of these fields —
+/// every addition risked drifting across api.h/driver.h/semsim_cli — so
+/// both are now this struct (RunRequest adds the parsed input on top). The
+/// fingerprinted scalar subset is additionally tabulated in
+/// analysis/run_fields.inc, which the fingerprint writer, the envelope
+/// codec and the CLI parsers expand mechanically.
+struct RunOptionsCore {
   std::uint64_t seed = 1;
   bool adaptive = true;   ///< false = conventional non-adaptive solver
   /// Opt-in fast thermal rate kernel (EngineOptions::fast_rates): replaces
@@ -63,6 +71,13 @@ struct DriverOptions {
   /// the plan, which must outlive the run. nullptr = no injection.
   const FaultPlan* fault_plan = nullptr;
 
+  /// Statistical device-variability ensemble (analysis/ensemble.h): when
+  /// enabled, the run simulates ensemble.replicas perturbed copies of the
+  /// input device and reports per-replica rows plus cross-replica bands.
+  /// Fingerprinted (appended fields) only when enabled, so non-ensemble
+  /// fingerprints are byte-identical to pre-ensemble builds.
+  EnsembleSpec ensemble;
+
   // ---- service hooks (analysis/api.h RunRequest mirrors these) --------
   // None of the three participates in run_fingerprint(): they observe or
   // interrupt a run but never change what it computes.
@@ -79,6 +94,11 @@ struct DriverOptions {
   /// Streaming partial-result consumer; must be thread-safe. nullptr = off.
   ProgressSink* progress = nullptr;
 };
+
+/// Options for run_simulation. Exactly RunOptionsCore — the name survives
+/// for the call sites; C++17 aggregate rules keep `DriverOptions{}` and
+/// member-by-member initialization working unchanged.
+struct DriverOptions : RunOptionsCore {};
 
 /// One work unit (sweep point index, repeat index) that exhausted its
 /// attempts and was excluded from the results.
@@ -110,6 +130,12 @@ struct DriverResult {
   std::vector<UnitFailure> failures;
   /// Merged audit trail of every engine the run created (index order).
   IntegrityReport integrity;
+
+  /// Filled when options.ensemble.enabled: per-replica rows and the
+  /// cross-replica bands. The top-level current/sweep/stats above then hold
+  /// the ensemble MEANS (sweep rows per bias point, current across
+  /// replicas) so non-ensemble readers keep working.
+  std::optional<EnsembleResult> ensemble;
 
   /// True when some unit failed and its result was degraded (NaN sweep row,
   /// excluded repeat); CLI maps this to a distinct nonzero exit code.

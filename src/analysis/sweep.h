@@ -73,6 +73,13 @@ class ProgressSink {
                                std::size_t /*count*/) {}
   /// A non-sweep work unit (repeat run, transient slice) finished.
   virtual void on_unit_done(std::size_t /*unit*/) {}
+  /// Ensemble runs only: reported once before execution with the replica
+  /// population size (alongside on_run_started, whose units_total counts
+  /// the same replicas as generic work units).
+  virtual void on_ensemble_started(std::uint64_t /*replicas_total*/) {}
+  /// Ensemble runs only: replica `replica` finished (ok == false: degraded
+  /// to a failed:<code> row). Fires in completion order from workers.
+  virtual void on_replica_done(std::uint32_t /*replica*/, bool /*ok*/) {}
 };
 
 struct IvSweepConfig {

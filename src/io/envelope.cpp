@@ -101,6 +101,91 @@ FaultKind fault_kind_from(const std::string& name) {
   bad("unknown fault kind '" + name + "'");
 }
 
+// ---- ensemble section (field set generated from analysis/run_fields.inc) --
+
+void write_ensemble_object(JsonWriter& w, const EnsembleSpec& s) {
+  w.key("ensemble").begin_object();
+#define SEMSIM_FIELD_WRITE_U64(member, json_name) w.field(json_name, s.member);
+#define SEMSIM_FIELD_WRITE_U32(member, json_name) \
+  w.field(json_name, unsigned{s.member});
+#define SEMSIM_FIELD_WRITE_BOOL(member, json_name) w.field(json_name, s.member);
+// Non-finite doubles have no JSON spelling; the parser's fallback restores
+// the default (yield_max -> +inf).
+#define SEMSIM_FIELD_WRITE_F64(member, json_name) \
+  if (std::isfinite(s.member)) w.field(json_name, s.member);
+#define SEMSIM_FIELD_WRITE_DIST(member, json_name) \
+  w.field(json_name, perturbation_dist_name(s.member));
+#define SEMSIM_ENSEMBLE_FIELD(ident, member, KIND, json_name, cli_flag) \
+  SEMSIM_FIELD_WRITE_##KIND(member, json_name)
+#include "analysis/run_fields.inc"
+#undef SEMSIM_FIELD_WRITE_U64
+#undef SEMSIM_FIELD_WRITE_U32
+#undef SEMSIM_FIELD_WRITE_BOOL
+#undef SEMSIM_FIELD_WRITE_F64
+#undef SEMSIM_FIELD_WRITE_DIST
+  w.end_object();
+}
+
+void check_ensemble_spread(double v, const char* what) {
+  if (!std::isfinite(v) || v < 0.0) {
+    bad(std::string("ensemble.") + what + " must be finite and >= 0");
+  }
+}
+
+EnsembleSpec parse_ensemble_object(const JsonValue& obj) {
+  EnsembleSpec s;
+  s.enabled = true;  // presence on the wire == enabled
+#define SEMSIM_FIELD_PARSE_U64(member, json_name) \
+  s.member = u64_field(obj, json_name, s.member);
+#define SEMSIM_FIELD_PARSE_U32(member, json_name)                  \
+  {                                                                \
+    const std::uint64_t v = u64_field(obj, json_name, s.member);   \
+    if (v > 0xFFFFFFFFULL) bad("ensemble." json_name " out of range"); \
+    s.member = static_cast<std::uint32_t>(v);                      \
+  }
+#define SEMSIM_FIELD_PARSE_BOOL(member, json_name) \
+  s.member = bool_field(obj, json_name, s.member);
+#define SEMSIM_FIELD_PARSE_F64(member, json_name) \
+  s.member = f64_field(obj, json_name, s.member);
+#define SEMSIM_FIELD_PARSE_DIST(member, json_name)                        \
+  if (const JsonValue* v = obj.find(json_name)) {                         \
+    std::string name;                                                     \
+    try {                                                                 \
+      name = v->as_string();                                              \
+    } catch (const Error&) {                                              \
+      bad("ensemble." json_name " must be a string");                     \
+    }                                                                     \
+    if (!perturbation_dist_from(name, &s.member)) {                       \
+      bad("ensemble." json_name ": unknown distribution '" + name + "'"); \
+    }                                                                     \
+  }
+#define SEMSIM_ENSEMBLE_FIELD(ident, member, KIND, json_name, cli_flag) \
+  SEMSIM_FIELD_PARSE_##KIND(member, json_name)
+#include "analysis/run_fields.inc"
+#undef SEMSIM_FIELD_PARSE_U64
+#undef SEMSIM_FIELD_PARSE_U32
+#undef SEMSIM_FIELD_PARSE_BOOL
+#undef SEMSIM_FIELD_PARSE_F64
+#undef SEMSIM_FIELD_PARSE_DIST
+  // Structural checks mirroring EnsembleSpec::validate, as coded
+  // ParseErrors so the daemon rejects the line instead of failing the job.
+  if (s.replicas == 0) bad("ensemble.replicas must be >= 1");
+  check_ensemble_spread(s.bg_charge.spread, "bg_spread");
+  check_ensemble_spread(s.resistance.spread, "resistance_spread");
+  check_ensemble_spread(s.capacitance.spread, "capacitance_spread");
+  check_ensemble_spread(s.temperature.spread, "temperature_spread");
+  if (!std::isfinite(s.yield_min) || s.yield_min < 0.0) {
+    bad("ensemble.yield_min must be finite and >= 0");
+  }
+  if (std::isnan(s.yield_max) || s.yield_max <= 0.0) {
+    bad("ensemble.yield_max must be > 0");
+  }
+  if (s.yield_min > s.yield_max) {
+    bad("ensemble.yield_min must be <= ensemble.yield_max");
+  }
+  return s;
+}
+
 }  // namespace
 
 const char* verb_name(RequestEnvelope::Verb verb) noexcept {
@@ -137,6 +222,7 @@ std::string encode_request_envelope(const RequestEnvelope& env) {
       w.field("strict", env.retry.strict);
       w.field("max_attempts", unsigned{env.retry.max_attempts});
       w.end_object();
+      if (env.ensemble.enabled) write_ensemble_object(w, env.ensemble);
       if (!env.fault.empty()) {
         w.key("fault").begin_array();
         for (const FaultSpec& f : env.fault.faults) {
@@ -248,6 +334,10 @@ RequestEnvelope parse_request_envelope(std::string_view line,
           bad("retry.max_attempts must be in [1, 2^32)");
         }
         env.retry.max_attempts = static_cast<std::uint32_t>(attempts);
+      }
+      if (const JsonValue* ensemble = doc.find("ensemble")) {
+        if (!ensemble->is_object()) bad("'ensemble' must be an object");
+        env.ensemble = parse_ensemble_object(*ensemble);
       }
       if (const JsonValue* fault = doc.find("fault")) {
         if (!fault->is_array()) bad("'fault' must be an array");

@@ -17,6 +17,7 @@
 //    "fast_rates":false,"repeats":0,
 //    "stop":{"max_events":0,"target_rel_error":0.0,"check_interval":0},
 //    "retry":{"strict":false,"max_attempts":3},
+//    "ensemble":{"replicas":64,"bg_spread":0.05,...},            // optional
 //    "fault":[{"kind":"nan_rate","unit":0,"at_event":50,...}]}   // tests
 //   {"schema":"semsim.request/v1","verb":"status","job":3}
 //   ... and likewise result / cancel / stats / ping / shutdown.
@@ -31,6 +32,7 @@
 #include <string>
 #include <string_view>
 
+#include "analysis/ensemble_spec.h"
 #include "core/options.h"
 #include "guard/fault.h"
 #include "guard/retry.h"
@@ -72,6 +74,11 @@ struct RequestEnvelope {
   /// the equivalence suite use it to drive the degraded-unit paths through
   /// the full wire protocol. Empty for production requests.
   FaultPlan fault;
+  /// Replica-population spec (analysis/ensemble_spec.h). Travels as an
+  /// optional "ensemble" object whose scalar fields come from the
+  /// SEMSIM_ENSEMBLE_FIELD table (analysis/run_fields.inc); absent on the
+  /// wire == disabled, so pre-ensemble (v2-era) requests parse unchanged.
+  EnsembleSpec ensemble;
 };
 
 /// Stable verb spelling used on the wire ("submit", "status", ...).

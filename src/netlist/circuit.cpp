@@ -93,6 +93,26 @@ void Circuit::set_background_charge(NodeId n, double charge_in_e) {
   background_charge_e_[static_cast<std::size_t>(n)] = charge_in_e;
 }
 
+void Circuit::set_junction_parameters(std::size_t j, double resistance,
+                                      double capacitance) {
+  require(j < junctions_.size(), "set_junction_parameters: index out of range");
+  if (!(resistance > 0.0) || !(capacitance > 0.0)) {
+    throw CircuitError(ErrorCode::kCircuitBadElementValue,
+                       "set_junction_parameters: R and C must be positive");
+  }
+  junctions_[j].resistance = resistance;
+  junctions_[j].capacitance = capacitance;
+}
+
+void Circuit::set_capacitor_value(std::size_t c, double capacitance) {
+  require(c < capacitors_.size(), "set_capacitor_value: index out of range");
+  if (!(capacitance > 0.0)) {
+    throw CircuitError(ErrorCode::kCircuitBadElementValue,
+                       "set_capacitor_value: capacitance must be positive");
+  }
+  capacitors_[c].capacitance = capacitance;
+}
+
 void Circuit::set_superconducting(SuperconductingParams p) {
   if (!(p.delta0 > 0.0) || !(p.tc > 0.0)) {
     throw CircuitError("set_superconducting: delta0 and tc must be positive");

@@ -87,6 +87,17 @@ class Circuit {
   /// Marks the whole circuit superconducting with the given material.
   void set_superconducting(SuperconductingParams p);
 
+  /// Overwrites junction `j`'s element values (R > 0, C > 0) without
+  /// touching the topology, so the lazy adjacency caches stay valid. This
+  /// is how the ensemble layer materializes perturbed device replicas from
+  /// one parsed netlist (analysis/ensemble.h).
+  void set_junction_parameters(std::size_t j, double resistance,
+                               double capacitance);
+
+  /// Overwrites capacitor `c`'s value (C > 0); same contract as
+  /// set_junction_parameters.
+  void set_capacitor_value(std::size_t c, double capacitance);
+
   // ---- queries -------------------------------------------------------------
 
   std::size_t node_count() const noexcept { return nodes_.size(); }

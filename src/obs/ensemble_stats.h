@@ -1,0 +1,73 @@
+// Cross-replica accumulator for ensemble observables.
+//
+// Streams one scalar observable per replica (mean current, peak |I|, a
+// per-bias-point current) and produces the population band the v3 result
+// document reports: mean, sample spread, envelope, ok count and the yield
+// fraction against a |value| window. Deterministic merge discipline is the
+// caller's job (the ensemble driver feeds replicas in INDEX order, so the
+// running-mean recurrence — Welford, the same numerically stable update
+// RunningStats uses — gives thread-count independent, bitwise reproducible
+// bands).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace semsim {
+
+class EnsembleAccumulator {
+ public:
+  /// `yield_min`/`yield_max` bound the |value| yield window; the defaults
+  /// (0, +inf) accept every ok replica, making yield == ok fraction.
+  EnsembleAccumulator(double yield_min = 0.0,
+                      double yield_max = std::numeric_limits<double>::infinity())
+      : yield_min_(yield_min), yield_max_(yield_max) {}
+
+  /// One replica that completed ok, with its observable.
+  void add_ok(double value) {
+    ++n_ok_;
+    ++n_total_;
+    const double d = value - mean_;
+    mean_ += d / static_cast<double>(n_ok_);
+    m2_ += d * (value - mean_);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    const double a = std::abs(value);
+    if (a >= yield_min_ && a <= yield_max_) ++n_yield_;
+  }
+
+  /// One replica that failed (degraded row): a yield loss, no observable.
+  void add_failed() { ++n_total_; }
+
+  std::uint32_t n_ok() const noexcept { return n_ok_; }
+  std::uint32_t n_total() const noexcept { return n_total_; }
+  double mean() const noexcept { return n_ok_ > 0 ? mean_ : 0.0; }
+  /// Sample standard deviation over the ok replicas (0 for n_ok < 2).
+  double spread() const noexcept {
+    return n_ok_ > 1 ? std::sqrt(m2_ / static_cast<double>(n_ok_ - 1)) : 0.0;
+  }
+  double min() const noexcept { return n_ok_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return n_ok_ > 0 ? max_ : 0.0; }
+  /// In-window ok replicas over ALL replicas seen (failed ones count
+  /// against the yield).
+  double yield() const noexcept {
+    return n_total_ > 0
+               ? static_cast<double>(n_yield_) / static_cast<double>(n_total_)
+               : 0.0;
+  }
+
+ private:
+  double yield_min_ = 0.0;
+  double yield_max_ = std::numeric_limits<double>::infinity();
+  std::uint32_t n_ok_ = 0;
+  std::uint32_t n_total_ = 0;
+  std::uint32_t n_yield_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace semsim

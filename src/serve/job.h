@@ -70,6 +70,9 @@ struct JobStatus {
   std::uint64_t points_total = 0;  ///< 0 for non-sweep runs
   std::uint64_t points_done = 0;
   std::uint64_t degraded_points = 0;  ///< failed rows streamed so far
+  // Ensemble jobs only (both 0 otherwise): replica population progress.
+  std::uint64_t replicas_total = 0;
+  std::uint64_t replicas_done = 0;
   /// Completed sweep rows in bias order (may be sparse while running).
   std::vector<PartialPoint> partial;
 

@@ -26,6 +26,7 @@ struct JobScheduler::Job {
   StopCriterion stop;
   RetryPolicy retry;
   FaultPlan fault;  ///< owned copy; empty = no injection
+  EnsembleSpec ensemble;  ///< disabled = single-device job
   std::uint64_t fingerprint = 0;
   std::string checkpoint_path;  ///< spool file; "" = checkpointing off
 
@@ -43,6 +44,8 @@ struct JobScheduler::Job {
   std::uint64_t points_total = 0;
   std::uint64_t points_done = 0;
   std::uint64_t degraded_points = 0;
+  std::uint64_t replicas_total = 0;
+  std::uint64_t replicas_done = 0;
   std::vector<PartialPoint> partial;
 };
 
@@ -85,6 +88,16 @@ class JobProgressSink final : public ProgressSink {
   void on_unit_done(std::size_t /*unit*/) override {
     const std::lock_guard<std::mutex> lock(job_.progress_mu);
     job_.units_done += 1;
+  }
+
+  void on_ensemble_started(std::uint64_t replicas_total) override {
+    const std::lock_guard<std::mutex> lock(job_.progress_mu);
+    job_.replicas_total = replicas_total;
+  }
+
+  void on_replica_done(std::uint32_t /*replica*/, bool /*ok*/) override {
+    const std::lock_guard<std::mutex> lock(job_.progress_mu);
+    job_.replicas_done += 1;
   }
 
  private:
@@ -138,6 +151,7 @@ std::uint64_t JobScheduler::submit(const RequestEnvelope& env) {
   job->stop = env.stop;
   job->retry = env.retry;
   job->fault = env.fault;
+  job->ensemble = env.ensemble;
 
   RunRequest req;
   req.input = job->input;
@@ -145,6 +159,7 @@ std::uint64_t JobScheduler::submit(const RequestEnvelope& env) {
   req.adaptive = job->adaptive;
   req.fast_rates = job->fast_rates;
   req.stop = job->stop;
+  req.ensemble = job->ensemble;
   job->fingerprint = req.fingerprint();
   if (!config_.spool_dir.empty()) {
     job->checkpoint_path = config_.spool_dir + "/job-" +
@@ -207,6 +222,8 @@ std::optional<JobStatus> JobScheduler::status(std::uint64_t id) const {
     s.points_total = job->points_total;
     s.points_done = job->points_done;
     s.degraded_points = job->degraded_points;
+    s.replicas_total = job->replicas_total;
+    s.replicas_done = job->replicas_done;
     s.partial = job->partial;
   }
   std::sort(s.partial.begin(), s.partial.end(),
@@ -327,6 +344,7 @@ void JobScheduler::execute(Job& job) {
   req.threads = executor_.threads();
   req.stop = job.stop;
   req.retry = job.retry;
+  req.ensemble = job.ensemble;
   req.checkpoint_path = job.checkpoint_path;
   if (!job.fault.empty()) req.fault_plan = &job.fault;
   req.executor = &executor_;

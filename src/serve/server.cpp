@@ -56,6 +56,12 @@ void write_status(JsonWriter& w, const JobStatus& s) {
   w.field("points_total", s.points_total);
   w.field("points_done", s.points_done);
   w.field("degraded_points", s.degraded_points);
+  if (s.replicas_total > 0) {
+    // Ensemble jobs only; absent for single-device jobs so the status
+    // payload stays byte-identical to pre-ensemble daemons.
+    w.field("replicas_total", s.replicas_total);
+    w.field("replicas_done", s.replicas_done);
+  }
   if (!s.partial.empty()) {
     w.key("partial").begin_array();
     for (const PartialPoint& p : s.partial) {
@@ -290,7 +296,7 @@ std::string Server::handle_line(const std::string& line) {
         return w.take();
       }
       case RequestEnvelope::Verb::kResult:
-        // VERBATIM stored document (schema semsim.run_result/v2), so the
+        // VERBATIM stored document (schema semsim.run_result/v3), so the
         // client's byte comparison sees exactly what a CLI
         // --canonical-json run writes.
         return scheduler_.result(env.job_id);

@@ -17,7 +17,7 @@
 //    "error":{"code":801,"name":"serve.unknown_job","message":"..."}}
 //
 // EXCEPTION: the `result` verb answers with the job's stored canonical
-// RunResult document VERBATIM (schema "semsim.run_result/v2") — not
+// RunResult document VERBATIM (schema "semsim.run_result/v3") — not
 // wrapped in a response envelope — so a client comparing served bytes
 // against a CLI --canonical-json file compares exactly the same document.
 //

@@ -868,7 +868,7 @@ TEST(RunResultJson, CarriesStatusIntegrityAndFailures) {
   const RunResult res = run(req);
   const JsonValue doc = JsonValue::parse(res.to_json());
 
-  EXPECT_EQ(doc.at("schema").as_string(), "semsim.run_result/v2");
+  EXPECT_EQ(doc.at("schema").as_string(), "semsim.run_result/v3");
   EXPECT_TRUE(doc.at("degraded").as_bool());
   const JsonValue& failures = doc.at("failures");
   ASSERT_EQ(failures.items().size(), 1u);

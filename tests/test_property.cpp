@@ -359,6 +359,36 @@ TEST(RateKernelProperty, FastBatchOutputIsChunkPositionIndependent) {
   }
 }
 
+TEST(RateKernelProperty, FastBatchDispatchMatchesPortableBitwise) {
+  // tunnel_rates_batch_fast runtime-dispatches to a packed AVX2 path on
+  // hosts that have it (every vector instruction the packed twin of the
+  // portable scalar operation — same association, round-to-nearest, no
+  // FMA). Machines with and without AVX2 must produce the same trajectory
+  // bits, so the dispatched output is pinned element-wise against the
+  // portable implementation: on AVX2 hardware this compares the two code
+  // paths; elsewhere it degenerates to self-comparison and still guards the
+  // dispatcher.
+  Xoshiro256 rng(0xA5E2);
+  for (double temperature : {0.05, 1.0, 4.2, 300.0}) {
+    const double kt = kBoltzmann * temperature;
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::size_t n = 1 + rng.uniform_below(97);
+      std::vector<double> dw, res, g;
+      fill_rate_inputs(rng, kt, n, dw, res, g);
+      std::vector<double> dispatched(n), portable(n);
+      tunnel_rates_batch_fast(dw.data(), g.data(), kt, dispatched.data(), n);
+      tunnel_rates_batch_fast_portable(dw.data(), g.data(), kt,
+                                       portable.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(dispatched[i]),
+                  std::bit_cast<std::uint64_t>(portable[i]))
+            << "T = " << temperature << " dW = " << dw[i]
+            << " x = " << dw[i] / kt;
+      }
+    }
+  }
+}
+
 // ---- Fenwick rebuild --------------------------------------------------------
 
 /// The original delta-scatter O(n log n) build, kept as the bitwise oracle

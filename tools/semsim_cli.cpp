@@ -41,6 +41,12 @@ void usage(const char* argv0) {
       "          [--checkpoint FILE] [--resume FILE] [--salvage-checkpoint]\n"
       "          [--strict] [--retries N] [--audit-interval N] [--no-audit]\n"
       "          [--watchdog-seconds X] [--fast-rates]\n"
+      "          [--ensemble N] [--ensemble-seed N]\n"
+      "          [--ensemble-bg-spread X] [--ensemble-bg-dist D]\n"
+      "          [--ensemble-r-spread X] [--ensemble-r-dist D]\n"
+      "          [--ensemble-c-spread X] [--ensemble-c-dist D]\n"
+      "          [--ensemble-t-spread X] [--ensemble-t-dist D]\n"
+      "          [--ensemble-yield-min X] [--ensemble-yield-max X]\n"
       "  --json FILE.json     write the versioned machine-readable result\n"
       "                       document (schema %s)\n"
       "  --canonical-json FILE  like --json, but omit the execution-\n"
@@ -74,6 +80,17 @@ void usage(const char* argv0) {
       "  --fast-rates         polynomial thermal rate kernel (~1e-12 relative\n"
       "                       of exact); faster at T > 0, but trajectories\n"
       "                       are not bitwise comparable with exact runs\n"
+      "  --ensemble N         run N device replicas with perturbed parameters\n"
+      "                       (statistical variability study); any --ensemble-*\n"
+      "                       flag also enables the ensemble\n"
+      "  --ensemble-seed N    dedicated ensemble seed (0 = derive from --seed)\n"
+      "  --ensemble-bg-spread X   background-charge offset spread [e]\n"
+      "  --ensemble-r-spread  X   relative junction-R spread\n"
+      "  --ensemble-c-spread  X   relative junction/capacitor-C spread\n"
+      "  --ensemble-t-spread  X   relative temperature spread\n"
+      "  --ensemble-*-dist D  draw distribution: gaussian (default) | uniform\n"
+      "  --ensemble-yield-min/max X   |I| window a replica must land in to\n"
+      "                       count toward the yield fraction\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 parse/circuit, 4 numeric or\n"
       "invariant violation, 5 I/O or checkpoint mismatch, 6 watchdog\n"
       "timeout, 8 completed degraded (some work units failed)\n",
@@ -117,6 +134,57 @@ double parse_f64(const char* flag, const std::string& text) {
     std::exit(2);
   }
   return v;
+}
+
+/// Ensemble flags, generated from the SEMSIM_ENSEMBLE_FIELD table
+/// (analysis/run_fields.inc). Passing any of them enables the ensemble.
+/// Returns true when `a` was one of them (and consumed its value).
+bool parse_ensemble_flag(const std::string& a, int argc, char** argv, int& i,
+                         EnsembleSpec* spec) {
+  std::string v;
+#define SEMSIM_FIELD_CLI_U64(member, flag)        \
+  if (flag_value(a, flag, argc, argv, i, &v)) {   \
+    spec->member = parse_u64(flag, v);            \
+    spec->enabled = true;                         \
+    return true;                                  \
+  }
+#define SEMSIM_FIELD_CLI_U32(member, flag)                          \
+  if (flag_value(a, flag, argc, argv, i, &v)) {                     \
+    const std::uint64_t n = parse_u64(flag, v);                     \
+    if (n == 0 || n > 0xFFFFFFFFULL) {                              \
+      std::fprintf(stderr, "%s: out of range: %s\n", flag, v.c_str()); \
+      std::exit(2);                                                 \
+    }                                                               \
+    spec->member = static_cast<std::uint32_t>(n);                   \
+    spec->enabled = true;                                           \
+    return true;                                                    \
+  }
+#define SEMSIM_FIELD_CLI_F64(member, flag)        \
+  if (flag_value(a, flag, argc, argv, i, &v)) {   \
+    spec->member = parse_f64(flag, v);            \
+    spec->enabled = true;                         \
+    return true;                                  \
+  }
+#define SEMSIM_FIELD_CLI_BOOL(member, flag)  // no boolean ensemble fields
+#define SEMSIM_FIELD_CLI_DIST(member, flag)                            \
+  if (flag_value(a, flag, argc, argv, i, &v)) {                        \
+    if (!perturbation_dist_from(v, &spec->member)) {                   \
+      std::fprintf(stderr, "%s: unknown distribution '%s' (gaussian|uniform)\n", \
+                   flag, v.c_str());                                   \
+      std::exit(2);                                                    \
+    }                                                                  \
+    spec->enabled = true;                                              \
+    return true;                                                       \
+  }
+#define SEMSIM_ENSEMBLE_FIELD(ident, member, KIND, json_name, cli_flag) \
+  SEMSIM_FIELD_CLI_##KIND(member, cli_flag)
+#include "analysis/run_fields.inc"
+#undef SEMSIM_FIELD_CLI_U64
+#undef SEMSIM_FIELD_CLI_U32
+#undef SEMSIM_FIELD_CLI_F64
+#undef SEMSIM_FIELD_CLI_BOOL
+#undef SEMSIM_FIELD_CLI_DIST
+  return false;
 }
 
 }  // namespace
@@ -191,6 +259,8 @@ int main(int argc, char** argv) {
       json_path = v;
     } else if (a == "--master-check") {
       master_check = true;
+    } else if (parse_ensemble_flag(a, argc, argv, i, &req.ensemble)) {
+      // handled (any ensemble flag enables the ensemble)
     } else if (a == "--help" || a == "-h") {
       usage(argv[0]);
       return 0;
@@ -258,6 +328,28 @@ int main(int argc, char** argv) {
                        static_cast<double>(r.events), r.simulated_time});
         table.write_file(out_path);
       }
+    }
+
+    if (r.ensemble) {
+      const EnsembleResult& ens = *r.ensemble;
+      const EnsembleBandStats& band = ens.observable_stats;
+      std::printf("# ensemble: %u replicas (seed %llu), %u ok, yield %.3f\n",
+                  ens.replicas, static_cast<unsigned long long>(ens.seed),
+                  band.n_ok, band.yield);
+      std::printf(
+          "# band: mean %.6e A, spread %.3e A, min %.6e A, max %.6e A\n",
+          band.mean, band.spread, band.min, band.max);
+      TableWriter table({"replica", "observable_A", "stderr_A", "events",
+                         "sim_time_s", "attempts", "status"});
+      table.add_comment("semsim ensemble replica rows");
+      for (const ReplicaRow& row : ens.rows) {
+        table.add_row({static_cast<double>(row.replica), row.observable,
+                       row.current.stderr_mean,
+                       static_cast<double>(row.events), row.sim_time,
+                       static_cast<double>(row.attempts),
+                       replica_status_label(row)});
+      }
+      table.write(std::cout);
     }
     std::printf("# work: %llu rate evaluations over %llu events\n",
                 static_cast<unsigned long long>(r.stats.rate_evaluations),

@@ -20,6 +20,7 @@
 // Exit codes: 0 ok; 1 transport/protocol error; 2 usage; 3 the daemon
 // answered with an error response; 4 --wait saw the job end failed; 5
 // --wait saw the job end cancelled.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +44,10 @@ void usage(const char* argv0) {
       "  submit FILE [--seed N] [--priority N] [--repeats N] [--fast-rates]\n"
       "              [--non-adaptive] [--target-rel-error X] [--max-events N]\n"
       "              [--strict] [--retries N] [--wait] [--json FILE]\n"
+      "              [--ensemble N] [--ensemble-seed N]\n"
+      "              [--ensemble-{bg,r,c,t}-spread X]\n"
+      "              [--ensemble-{bg,r,c,t}-dist gaussian|uniform]\n"
+      "              [--ensemble-yield-min X] [--ensemble-yield-max X]\n"
       "  status JOB     job state + streamed partial results\n"
       "  result JOB     completed job's canonical result document [--json F]\n"
       "  cancel JOB     stop a queued/running job (checkpointed if spooled)\n"
@@ -75,6 +80,67 @@ std::uint64_t parse_u64(const char* flag, const std::string& text) {
     std::exit(2);
   }
   return v;
+}
+
+double parse_f64(const char* flag, const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    std::fprintf(stderr, "%s: not a number: %s\n", flag, text.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Ensemble submit flags, generated from the same SEMSIM_ENSEMBLE_FIELD
+/// table semsim_cli uses (analysis/run_fields.inc); any of them enables the
+/// ensemble section of the envelope.
+bool parse_ensemble_flag(const std::string& a, int argc, char** argv, int& i,
+                         EnsembleSpec* spec) {
+  std::string v;
+#define SEMSIM_FIELD_CLI_U64(member, flag)        \
+  if (flag_value(a, flag, argc, argv, i, &v)) {   \
+    spec->member = parse_u64(flag, v);            \
+    spec->enabled = true;                         \
+    return true;                                  \
+  }
+#define SEMSIM_FIELD_CLI_U32(member, flag)                          \
+  if (flag_value(a, flag, argc, argv, i, &v)) {                     \
+    const std::uint64_t n = parse_u64(flag, v);                     \
+    if (n == 0 || n > 0xFFFFFFFFULL) {                              \
+      std::fprintf(stderr, "%s: out of range: %s\n", flag, v.c_str()); \
+      std::exit(2);                                                 \
+    }                                                               \
+    spec->member = static_cast<std::uint32_t>(n);                   \
+    spec->enabled = true;                                           \
+    return true;                                                    \
+  }
+#define SEMSIM_FIELD_CLI_F64(member, flag)        \
+  if (flag_value(a, flag, argc, argv, i, &v)) {   \
+    spec->member = parse_f64(flag, v);            \
+    spec->enabled = true;                         \
+    return true;                                  \
+  }
+#define SEMSIM_FIELD_CLI_BOOL(member, flag)  // no boolean ensemble fields
+#define SEMSIM_FIELD_CLI_DIST(member, flag)                            \
+  if (flag_value(a, flag, argc, argv, i, &v)) {                        \
+    if (!perturbation_dist_from(v, &spec->member)) {                   \
+      std::fprintf(stderr, "%s: unknown distribution '%s' (gaussian|uniform)\n", \
+                   flag, v.c_str());                                   \
+      std::exit(2);                                                    \
+    }                                                                  \
+    spec->enabled = true;                                              \
+    return true;                                                       \
+  }
+#define SEMSIM_ENSEMBLE_FIELD(ident, member, KIND, json_name, cli_flag) \
+  SEMSIM_FIELD_CLI_##KIND(member, cli_flag)
+#include "analysis/run_fields.inc"
+#undef SEMSIM_FIELD_CLI_U64
+#undef SEMSIM_FIELD_CLI_U32
+#undef SEMSIM_FIELD_CLI_F64
+#undef SEMSIM_FIELD_CLI_BOOL
+#undef SEMSIM_FIELD_CLI_DIST
+  return false;
 }
 
 /// True when the response line is an ok "semsim.response/v1" object (the
@@ -146,6 +212,8 @@ int main(int argc, char** argv) {
       env.adaptive = false;
     } else if (a == "--wait") {
       wait = true;
+    } else if (parse_ensemble_flag(a, argc, argv, i, &env.ensemble)) {
+      // handled (any ensemble flag enables the envelope's ensemble section)
     } else if (flag_value(a, "--json", argc, argv, i, &v)) {
       json_path = v;
     } else if (a == "--help" || a == "-h") {
@@ -224,12 +292,34 @@ int main(int argc, char** argv) {
       poll.verb = RequestEnvelope::Verb::kStatus;
       poll.job_id = job;
       std::string state;
+      // Exponential backoff: a short job is picked up within a few quick
+      // polls, a long ensemble run settles to one status call per second
+      // instead of hammering the daemon at a fixed 100 ms.
+      std::chrono::milliseconds backoff(25);
+      constexpr std::chrono::milliseconds kBackoffCap(1000);
+      std::uint64_t replicas_seen = 0;
       for (;;) {
         const std::string status_line = client.call(poll);
         const JsonValue status = JsonValue::parse(status_line);
         state = status.at("state").as_string();
+        // Ensemble jobs stream per-replica progress (JobProgressSink on the
+        // daemon side); narrate it so a long wait is not silent.
+        if (const JsonValue* total = status.find("replicas_total")) {
+          const JsonValue* done = status.find("replicas_done");
+          const std::uint64_t n_done =
+              done == nullptr ? 0
+                              : static_cast<std::uint64_t>(done->as_number());
+          if (n_done != replicas_seen) {
+            replicas_seen = n_done;
+            std::fprintf(stderr, "# replicas %llu/%llu\n",
+                         static_cast<unsigned long long>(n_done),
+                         static_cast<unsigned long long>(
+                             static_cast<std::uint64_t>(total->as_number())));
+          }
+        }
         if (state != "queued" && state != "running") break;
-        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        std::this_thread::sleep_for(backoff);
+        backoff = std::min(backoff * 2, kBackoffCap);
       }
       if (state == "failed") return 4;
       if (state == "cancelled") return 5;
