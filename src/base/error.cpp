@@ -66,6 +66,9 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kServeJobNotReady: return "serve.job_not_ready";
     case ErrorCode::kServeShuttingDown: return "serve.shutting_down";
     case ErrorCode::kServeIo: return "serve.io";
+    case ErrorCode::kDeadlineExceeded: return "serve.deadline_exceeded";
+    case ErrorCode::kServerOverloaded: return "serve.overloaded";
+    case ErrorCode::kServeJournalCorrupt: return "serve.journal_corrupt";
   }
   return "internal.unknown";
 }

@@ -87,6 +87,10 @@ enum class ErrorCode : std::uint16_t {
   kServeJobNotReady = 802,   ///< `result` before the job reached `done`
   kServeShuttingDown = 803,  ///< submit refused during shutdown
   kServeIo = 804,            ///< socket transport failure (client side)
+  kDeadlineExceeded = 805,   ///< job missed its deadline_ms wall budget
+  kServerOverloaded = 806,   ///< admission control rejected the submit
+  kServeJournalCorrupt = 807,  ///< job journal header/record damage beyond
+                               ///< the recoverable torn tail
 };
 
 enum class ErrorCategory : std::uint8_t {

@@ -208,6 +208,8 @@ std::string encode_request_envelope(const RequestEnvelope& env) {
       break;
     case RequestEnvelope::Verb::kSubmit: {
       w.field("priority", std::int64_t{env.priority});
+      if (env.deadline_ms > 0) w.field("deadline_ms", env.deadline_ms);
+      if (!env.client.empty()) w.field("client", env.client);
       w.field("netlist", env.netlist);
       w.field("seed", env.seed);
       w.field("adaptive", env.adaptive);
@@ -308,6 +310,15 @@ RequestEnvelope parse_request_envelope(std::string_view line,
           bad("priority must be an integer in [-1e6, 1e6]");
         }
         env.priority = static_cast<int>(d);
+      }
+      env.deadline_ms = u64_field(doc, "deadline_ms", 0);
+      if (const JsonValue* client = doc.find("client")) {
+        try {
+          env.client = client->as_string();
+        } catch (const Error&) {
+          bad("client must be a string");
+        }
+        if (env.client.size() > 256) bad("client id longer than 256 bytes");
       }
       env.seed = u64_field(doc, "seed", 1);
       env.adaptive = bool_field(doc, "adaptive", true);

@@ -13,6 +13,7 @@
 // Schema `semsim.request/v1`:
 //
 //   {"schema":"semsim.request/v1","verb":"submit","priority":0,
+//    "deadline_ms":60000,"client":"sweep-farm-3",          // both optional
 //    "netlist":"num ext 2\n...","seed":1,"adaptive":true,
 //    "fast_rates":false,"repeats":0,
 //    "stop":{"max_events":0,"target_rel_error":0.0,"check_interval":0},
@@ -60,6 +61,12 @@ struct RequestEnvelope {
   // ---- submit payload -------------------------------------------------
   /// Higher runs first; ties run in submission order.
   int priority = 0;
+  /// Wall-clock budget from submit (queue wait included) in milliseconds;
+  /// 0 = none. An expired job fails with the coded
+  /// `serve.deadline_exceeded` — never a hang, never misfiled as a crash.
+  std::uint64_t deadline_ms = 0;
+  /// Client identity for per-client in-flight caps ("" = anonymous).
+  std::string client;
   /// SEMSIM input text (netlist/parser.h grammar), parsed server-side.
   std::string netlist;
   std::uint64_t seed = 1;

@@ -63,6 +63,11 @@ struct JobStatus {
   /// True when the result came from the fingerprint cache and the job never
   /// touched the engine.
   bool cached = false;
+  /// Absolute wall-clock deadline (Unix epoch ms); 0 = no deadline. A job
+  /// past it ends `failed` with error_code serve.deadline_exceeded.
+  std::uint64_t deadline_unix_ms = 0;
+  /// Client identity from the submit envelope ("" = anonymous).
+  std::string client;
 
   // ---- streaming progress --------------------------------------------
   std::uint64_t units_total = 0;

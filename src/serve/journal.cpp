@@ -1,0 +1,215 @@
+#include "serve/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "base/error.h"
+#include "obs/checkpoint.h"
+
+namespace semsim {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5345'4D53'494D'4A4CULL;  // "SEMSIMJL"
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4;
+/// Record body cap: the biggest legitimate body is a done record carrying a
+/// canonical result document; a corrupt length field must not drive a
+/// multi-gigabyte allocation before the checksum can reject it.
+constexpr std::uint64_t kMaxBody = 1ULL << 30;
+
+[[noreturn]] void io_fail(const std::string& what) {
+  throw IoError(ErrorCode::kIoFailure,
+                "journal: " + what + ": " + std::strerror(errno));
+}
+
+std::vector<std::uint8_t> encode_body(const JournalRecord& rec) {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(rec.type));
+  w.u64(rec.job_id);
+  switch (rec.type) {
+    case JournalRecord::Type::kSubmit:
+      w.str(rec.envelope_json);
+      w.u64(rec.deadline_unix_ms);
+      w.str(rec.client);
+      break;
+    case JournalRecord::Type::kStart:
+    case JournalRecord::Type::kCancel:
+      break;
+    case JournalRecord::Type::kDone:
+      w.u8(static_cast<std::uint8_t>(rec.final_state));
+      w.u32(static_cast<std::uint16_t>(rec.error_code));
+      w.str(rec.error);
+      w.str(rec.document);
+      break;
+  }
+  return w.take();
+}
+
+JournalRecord decode_body(const std::vector<std::uint8_t>& body) {
+  BinaryReader r(body);
+  JournalRecord rec;
+  const std::uint8_t type = r.u8();
+  if (type < 1 || type > 4) {
+    throw Error(ErrorCode::kServeJournalCorrupt,
+                "journal: unknown record type " + std::to_string(type));
+  }
+  rec.type = static_cast<JournalRecord::Type>(type);
+  rec.job_id = r.u64();
+  switch (rec.type) {
+    case JournalRecord::Type::kSubmit:
+      rec.envelope_json = r.str();
+      rec.deadline_unix_ms = r.u64();
+      rec.client = r.str();
+      break;
+    case JournalRecord::Type::kStart:
+    case JournalRecord::Type::kCancel:
+      break;
+    case JournalRecord::Type::kDone: {
+      const std::uint8_t state = r.u8();
+      if (state > static_cast<std::uint8_t>(JobState::kCancelled)) {
+        throw Error(ErrorCode::kServeJournalCorrupt,
+                    "journal: bad terminal state " + std::to_string(state));
+      }
+      rec.final_state = static_cast<JobState>(state);
+      rec.error_code = static_cast<ErrorCode>(r.u32());
+      rec.error = r.str();
+      rec.document = r.str();
+      break;
+    }
+  }
+  r.require_done();
+  return rec;
+}
+
+}  // namespace
+
+JobJournal::JobJournal(std::string path) : path_(std::move(path)) {
+  require(!path_.empty(), ErrorCode::kIoFailure, "journal: empty path");
+  open_and_replay();
+}
+
+JobJournal::~JobJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JobJournal::open_and_replay() {
+  // Read whatever is on disk first (there may be nothing).
+  std::vector<std::uint8_t> bytes;
+  {
+    std::ifstream f(path_, std::ios::binary);
+    if (f) {
+      bytes.assign(std::istreambuf_iterator<char>(f),
+                   std::istreambuf_iterator<char>());
+      if (!f && !f.eof()) {
+        throw IoError(ErrorCode::kIoFailure,
+                      "journal: read failed for " + path_);
+      }
+    }
+  }
+
+  // valid_end tracks the longest prefix that parses cleanly; everything
+  // after it is a torn append and is truncated off below.
+  std::size_t valid_end = 0;
+  bool write_header = false;
+  if (bytes.size() < kHeaderBytes) {
+    // Empty file, or a crash landed inside the very first header write:
+    // either way there is no record to lose — start fresh.
+    write_header = true;
+  } else {
+    BinaryReader header(bytes.data(), kHeaderBytes);
+    if (header.u64() != kMagic) {
+      throw Error(ErrorCode::kServeJournalCorrupt,
+                  "journal: " + path_ + " is not a SEMSIM job journal");
+    }
+    const std::uint32_t version = header.u32();
+    if (version != kFormatVersion) {
+      throw Error(ErrorCode::kServeJournalCorrupt,
+                  "journal: " + path_ + " has format version " +
+                      std::to_string(version) +
+                      ", this build reads version " +
+                      std::to_string(kFormatVersion));
+    }
+    valid_end = kHeaderBytes;
+
+    std::size_t pos = kHeaderBytes;
+    while (pos < bytes.size()) {
+      try {
+        BinaryReader r(bytes.data() + pos, bytes.size() - pos);
+        const std::uint64_t body_len = r.u64();
+        if (body_len > kMaxBody) {
+          // Unreadable length: indistinguishable from a torn append that
+          // never finished its length field — drop the tail.
+          break;
+        }
+        std::vector<std::uint8_t> body(static_cast<std::size_t>(body_len));
+        for (auto& b : body) b = r.u8();
+        const std::uint64_t checksum = r.u64();
+        if (checksum != fnv1a64(body.data(), body.size())) break;
+        // decode_body throws kServeJournalCorrupt on structural damage
+        // INSIDE a checksummed body — that cannot be a torn append, so it
+        // is unrecoverable and propagates.
+        records_.push_back(decode_body(body));
+        pos += 8 + static_cast<std::size_t>(body_len) + 8;
+        valid_end = pos;
+      } catch (const Error& e) {
+        if (e.code() == ErrorCode::kServeJournalCorrupt) throw;
+        // Reader overrun: the record frame itself is truncated mid-append.
+        break;
+      }
+    }
+  }
+
+  if (!write_header && valid_end < bytes.size()) {
+    truncated_bytes_ = bytes.size() - valid_end;
+    if (::truncate(path_.c_str(), static_cast<off_t>(valid_end)) != 0) {
+      io_fail("truncate(" + path_ + ")");
+    }
+  }
+
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) io_fail("open(" + path_ + ")");
+  if (write_header) {
+    if (bytes.size() > 0) {
+      // Partial header from a crash during creation; rewrite from scratch.
+      truncated_bytes_ = bytes.size();
+      if (::ftruncate(fd_, 0) != 0) io_fail("ftruncate(" + path_ + ")");
+    }
+    BinaryWriter w;
+    w.u64(kMagic);
+    w.u32(kFormatVersion);
+    w.u32(0);
+    const auto& buf = w.bytes();
+    if (::write(fd_, buf.data(), buf.size()) !=
+        static_cast<ssize_t>(buf.size())) {
+      io_fail("write header(" + path_ + ")");
+    }
+    if (::fsync(fd_) != 0) io_fail("fsync(" + path_ + ")");
+  }
+}
+
+void JobJournal::append(const JournalRecord& record) {
+  require(fd_ >= 0, ErrorCode::kIoFailure, "journal: not open");
+  const std::vector<std::uint8_t> body = encode_body(record);
+  BinaryWriter frame;
+  frame.u64(body.size());
+  for (const std::uint8_t b : body) frame.u8(b);
+  frame.u64(fnv1a64(body.data(), body.size()));
+  const auto& buf = frame.bytes();
+  // One write() so a crash tears at most this record, never an earlier one.
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("append(" + path_ + ")");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) io_fail("fsync(" + path_ + ")");
+}
+
+}  // namespace semsim

@@ -1,12 +1,21 @@
 #include "serve/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <unordered_set>
 
 #include "analysis/api.h"
 #include "analysis/sweep.h"
 
 namespace semsim {
+
+std::uint64_t unix_now_ms() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Full job record. Request fields are immutable after submit(); `state`
 /// and terminal detail are guarded by the scheduler mutex; the streaming
@@ -29,11 +38,19 @@ struct JobScheduler::Job {
   EnsembleSpec ensemble;  ///< disabled = single-device job
   std::uint64_t fingerprint = 0;
   std::string checkpoint_path;  ///< spool file; "" = checkpointing off
+  /// Absolute wall deadline (Unix epoch ms, 0 = none). Absolute so the
+  /// budget keeps counting across a crash + journal replay.
+  std::uint64_t deadline_unix_ms = 0;
+  std::string client;  ///< admission-control identity ("" = anonymous)
 
   // ---- terminal detail (scheduler mutex) ------------------------------
   std::string document;  ///< canonical RunResult JSON once done
   std::string error;
   ErrorCode error_code = ErrorCode::kNone;
+  /// Set by the deadline monitor while the job runs; tells execute() to
+  /// file the resulting kCancelled stop as failed:kDeadlineExceeded, never
+  /// as a user cancel. Guarded by the scheduler mutex.
+  bool deadline_expired = false;
 
   CancelToken cancel;
 
@@ -130,15 +147,17 @@ JobScheduler::JobScheduler(const SchedulerConfig& config)
                                                "': " + ec.message());
     }
   }
+  // Replay before either thread exists: the job table is rebuilt
+  // single-threaded, then the dispatcher picks up the re-enqueued work.
+  replay_journal();
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  deadline_monitor_ = std::thread([this] { deadline_loop(); });
 }
 
 JobScheduler::~JobScheduler() { shutdown(); }
 
-std::uint64_t JobScheduler::submit(const RequestEnvelope& env) {
-  require(env.verb == RequestEnvelope::Verb::kSubmit,
-          ErrorCode::kServeBadRequest, "scheduler: not a submit envelope");
-
+std::unique_ptr<JobScheduler::Job> JobScheduler::make_job(
+    const RequestEnvelope& env) const {
   // Validate at the door, before a job exists: a malformed netlist throws
   // the parser's own coded error back to the client.
   auto job = std::make_unique<Job>();
@@ -152,6 +171,7 @@ std::uint64_t JobScheduler::submit(const RequestEnvelope& env) {
   job->retry = env.retry;
   job->fault = env.fault;
   job->ensemble = env.ensemble;
+  job->client = env.client;
 
   RunRequest req;
   req.input = job->input;
@@ -165,6 +185,14 @@ std::uint64_t JobScheduler::submit(const RequestEnvelope& env) {
     job->checkpoint_path = config_.spool_dir + "/job-" +
                            fingerprint_hex(job->fingerprint) + ".ckpt";
   }
+  return job;
+}
+
+std::uint64_t JobScheduler::submit(const RequestEnvelope& env) {
+  require(env.verb == RequestEnvelope::Verb::kSubmit,
+          ErrorCode::kServeBadRequest, "scheduler: not a submit envelope");
+
+  auto job = make_job(env);
 
   // One cache probe per submit: a hit makes the job terminal immediately —
   // no queue, no engine, byte-identical document.
@@ -175,8 +203,57 @@ std::uint64_t JobScheduler::submit(const RequestEnvelope& env) {
     throw Error(ErrorCode::kServeShuttingDown,
                 "scheduler: shutting down, submit refused");
   }
+
+  // Admission control guards the queue and the engine; a cache hit uses
+  // neither, so it is always admitted.
+  if (!hit.has_value()) {
+    if (config_.max_queue_depth > 0 &&
+        queue_.size() >= config_.max_queue_depth) {
+      totals_.overload_rejected += 1;
+      throw OverloadError("scheduler: queue full (" +
+                              std::to_string(queue_.size()) +
+                              " jobs queued, cap " +
+                              std::to_string(config_.max_queue_depth) + ")",
+                          config_.retry_after_ms);
+    }
+    if (config_.max_inflight_per_client > 0) {
+      std::size_t inflight = 0;
+      for (const auto& [id, other] : jobs_) {
+        if (other->client == job->client &&
+            !job_state_terminal(other->state)) {
+          inflight += 1;
+        }
+      }
+      if (inflight >= config_.max_inflight_per_client) {
+        totals_.overload_rejected += 1;
+        throw OverloadError(
+            "scheduler: client '" + job->client + "' has " +
+                std::to_string(inflight) + " jobs in flight, cap " +
+                std::to_string(config_.max_inflight_per_client),
+            config_.retry_after_ms);
+      }
+    }
+  }
+
   const std::uint64_t id = next_id_++;
   job->id = id;
+  if (env.deadline_ms > 0) {
+    job->deadline_unix_ms = unix_now_ms() + env.deadline_ms;
+  }
+  const bool has_deadline = job->deadline_unix_ms != 0;
+
+  // WAL: log the submit (durably) before the job becomes visible, so an
+  // acknowledged id always survives a crash.
+  if (journal_) {
+    JournalRecord rec;
+    rec.type = JournalRecord::Type::kSubmit;
+    rec.job_id = id;
+    rec.envelope_json = encode_request_envelope(env);
+    rec.deadline_unix_ms = job->deadline_unix_ms;
+    rec.client = job->client;
+    journal_->append(rec);
+  }
+
   totals_.submitted += 1;
   if (hit.has_value()) {
     job->state = JobState::kDone;
@@ -184,17 +261,152 @@ std::uint64_t JobScheduler::submit(const RequestEnvelope& env) {
     job->document = *hit;
     totals_.completed += 1;
     totals_.cache_hits += 1;
+    journal_done_locked(*job);
   } else {
     queue_.push_back(id);
   }
   jobs_.emplace(id, std::move(job));
   cv_.notify_one();
+  if (has_deadline) deadline_cv_.notify_all();
   return id;
 }
 
 JobScheduler::Job* JobScheduler::find_locked(std::uint64_t id) const {
   const auto it = jobs_.find(id);
   return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+void JobScheduler::journal_done_locked(const Job& job) {
+  if (!journal_) return;
+  JournalRecord rec;
+  rec.type = JournalRecord::Type::kDone;
+  rec.job_id = job.id;
+  rec.final_state = job.state;
+  rec.error_code = job.error_code;
+  rec.error = job.error;
+  rec.document = job.document;
+  journal_->append(rec);
+}
+
+void JobScheduler::finish_queued_locked(Job& job, JobState state,
+                                        ErrorCode code,
+                                        const std::string& message) {
+  job.state = state;
+  job.error = message;
+  job.error_code = code;
+  if (state == JobState::kCancelled) {
+    totals_.cancelled += 1;
+  } else {
+    totals_.failed += 1;
+    if (code == ErrorCode::kDeadlineExceeded) totals_.deadline_expired += 1;
+  }
+  journal_done_locked(job);
+}
+
+void JobScheduler::replay_journal() {
+  if (config_.journal_path.empty()) return;
+  journal_ = std::make_unique<JobJournal>(config_.journal_path);
+  totals_.journal_truncated_bytes = journal_->truncated_bytes();
+
+  // First pass, append order: rebuild the job table.
+  std::vector<std::uint64_t> order;  // submit order
+  std::unordered_set<std::uint64_t> cancel_seen;
+  for (const JournalRecord& rec : journal_->records()) {
+    switch (rec.type) {
+      case JournalRecord::Type::kSubmit: {
+        if (jobs_.count(rec.job_id) != 0) {
+          throw Error(ErrorCode::kServeJournalCorrupt,
+                      "journal: duplicate submit for job " +
+                          std::to_string(rec.job_id));
+        }
+        std::unique_ptr<Job> job;
+        try {
+          job = make_job(parse_request_envelope(rec.envelope_json));
+        } catch (const Error& e) {
+          // The envelope parsed when it was logged; if it no longer does,
+          // the journal was edited or belongs to an incompatible build —
+          // guessing at job identity would be worse than refusing.
+          throw Error(ErrorCode::kServeJournalCorrupt,
+                      "journal: submit record for job " +
+                          std::to_string(rec.job_id) +
+                          " no longer parses: " + e.what());
+        }
+        job->id = rec.job_id;
+        job->deadline_unix_ms = rec.deadline_unix_ms;
+        job->client = rec.client;
+        order.push_back(rec.job_id);
+        jobs_.emplace(rec.job_id, std::move(job));
+        next_id_ = std::max(next_id_, rec.job_id + 1);
+        totals_.submitted += 1;
+        break;
+      }
+      case JournalRecord::Type::kStart:
+        // The re-enqueued job restarts from its spool checkpoint; the
+        // start record only matters for forensics.
+        break;
+      case JournalRecord::Type::kCancel:
+        if (jobs_.count(rec.job_id) == 0) {
+          throw Error(ErrorCode::kServeJournalCorrupt,
+                      "journal: cancel for unknown job " +
+                          std::to_string(rec.job_id));
+        }
+        cancel_seen.insert(rec.job_id);
+        break;
+      case JournalRecord::Type::kDone: {
+        Job* job = find_locked(rec.job_id);
+        if (job == nullptr) {
+          throw Error(ErrorCode::kServeJournalCorrupt,
+                      "journal: done for unknown job " +
+                          std::to_string(rec.job_id));
+        }
+        if (!job_state_terminal(rec.final_state)) {
+          throw Error(ErrorCode::kServeJournalCorrupt,
+                      "journal: done record with non-terminal state for job " +
+                          std::to_string(rec.job_id));
+        }
+        // A duplicate done (e.g. appended twice around a crash) must not
+        // double-count: the first record wins, replay stays idempotent.
+        if (job_state_terminal(job->state)) break;
+        job->state = rec.final_state;
+        job->error = rec.error;
+        job->error_code = rec.error_code;
+        job->document = rec.document;
+        if (rec.final_state == JobState::kDone) {
+          totals_.completed += 1;
+          if (!rec.document.empty()) {
+            cache_.insert(job->fingerprint, rec.document);
+          }
+        } else if (rec.final_state == JobState::kFailed) {
+          totals_.failed += 1;
+          if (rec.error_code == ErrorCode::kDeadlineExceeded) {
+            totals_.deadline_expired += 1;
+          }
+        } else {
+          totals_.cancelled += 1;
+        }
+        break;
+      }
+    }
+  }
+
+  // Second pass, submission order: settle every non-terminal job. A job
+  // whose cancel was logged but never processed lands `cancelled` (and the
+  // transition is journaled now, so a SECOND restart replays it as plain
+  // terminal state and appends nothing — the journal converges bitwise).
+  // Everything else re-enqueues; jobs with a spool checkpoint resume from
+  // their finished prefix when the dispatcher reaches them.
+  for (const std::uint64_t id : order) {
+    Job* job = find_locked(id);
+    if (!job_state_terminal(job->state)) {
+      if (cancel_seen.count(id) != 0) {
+        finish_queued_locked(*job, JobState::kCancelled, ErrorCode::kCancelled,
+                             "cancelled (cancel replayed from journal)");
+      } else {
+        queue_.push_back(id);
+      }
+    }
+  }
+  totals_.replayed = order.size();
 }
 
 std::optional<JobStatus> JobScheduler::status(std::uint64_t id) const {
@@ -207,6 +419,8 @@ std::optional<JobStatus> JobScheduler::status(std::uint64_t id) const {
   s.priority = job->priority;
   s.fingerprint = job->fingerprint;
   s.cached = job->cached;
+  s.deadline_unix_ms = job->deadline_unix_ms;
+  s.client = job->client;
   s.error = job->error;
   s.error_code = job->error_code;
   if ((job->state == JobState::kCancelled ||
@@ -256,12 +470,18 @@ bool JobScheduler::cancel(std::uint64_t id) {
                 "scheduler: unknown job " + std::to_string(id));
   }
   if (job_state_terminal(job->state)) return false;
+  // WAL: the cancel intent is durable before anything acts on it, so a
+  // crash right here replays the job as cancelled, not as runnable.
+  if (journal_) {
+    JournalRecord rec;
+    rec.type = JournalRecord::Type::kCancel;
+    rec.job_id = id;
+    journal_->append(rec);
+  }
   if (job->state == JobState::kQueued) {
     queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
-    job->state = JobState::kCancelled;
-    job->error = "cancelled while queued";
-    job->error_code = ErrorCode::kCancelled;
-    totals_.cancelled += 1;
+    finish_queued_locked(*job, JobState::kCancelled, ErrorCode::kCancelled,
+                         "cancelled while queued");
     return true;
   }
   // Running: raise the token; the dispatcher records the terminal state
@@ -286,6 +506,7 @@ void JobScheduler::shutdown() {
       // Idempotent, but still wake the dispatcher in case the first call
       // raced it.
       cv_.notify_all();
+      deadline_cv_.notify_all();
     } else {
       stopping_ = true;
       // The running job checkpoints its finished units and stops at the
@@ -295,17 +516,17 @@ void JobScheduler::shutdown() {
       }
       for (const std::uint64_t id : queue_) {
         if (Job* job = find_locked(id)) {
-          job->state = JobState::kCancelled;
-          job->error = "daemon shutdown";
-          job->error_code = ErrorCode::kCancelled;
-          totals_.cancelled += 1;
+          finish_queued_locked(*job, JobState::kCancelled,
+                               ErrorCode::kCancelled, "daemon shutdown");
         }
       }
       queue_.clear();
       cv_.notify_all();
+      deadline_cv_.notify_all();
     }
   }
   if (dispatcher_.joinable()) dispatcher_.join();
+  if (deadline_monitor_.joinable()) deadline_monitor_.join();
 }
 
 void JobScheduler::dispatcher_loop() {
@@ -323,13 +544,77 @@ void JobScheduler::dispatcher_loop() {
       }
       job = jobs_.at(*best).get();
       queue_.erase(best);
+      // A deadline that lapsed while the job waited: never start the
+      // engine, fail it with the deadline code right here.
+      if (job->deadline_unix_ms != 0 &&
+          unix_now_ms() >= job->deadline_unix_ms) {
+        finish_queued_locked(*job, JobState::kFailed,
+                             ErrorCode::kDeadlineExceeded,
+                             "job " + std::to_string(job->id) +
+                                 " missed its deadline while queued");
+        continue;
+      }
       job->state = JobState::kRunning;
       running_id_ = job->id;
+      if (journal_) {
+        JournalRecord rec;
+        rec.type = JournalRecord::Type::kStart;
+        rec.job_id = job->id;
+        journal_->append(rec);
+      }
     }
     execute(*job);
     {
       const std::lock_guard<std::mutex> lock(mu_);
       running_id_ = 0;
+    }
+  }
+}
+
+void JobScheduler::deadline_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stopping_) return;
+    // Earliest live deadline still worth watching. The scan is O(all jobs
+    // ever), like the rest of the job table — fine at service scale.
+    std::uint64_t earliest = 0;
+    for (const auto& [id, job] : jobs_) {
+      if (job_state_terminal(job->state) || job->deadline_unix_ms == 0) {
+        continue;
+      }
+      if (job->state == JobState::kRunning && job->deadline_expired) {
+        continue;  // already told to stop; execute() files the result
+      }
+      if (earliest == 0 || job->deadline_unix_ms < earliest) {
+        earliest = job->deadline_unix_ms;
+      }
+    }
+    if (earliest == 0) {
+      deadline_cv_.wait(lock);
+      continue;
+    }
+    const std::uint64_t now = unix_now_ms();
+    if (now < earliest) {
+      deadline_cv_.wait_for(lock, std::chrono::milliseconds(earliest - now));
+      continue;
+    }
+    for (auto& [id, jptr] : jobs_) {
+      Job& job = *jptr;
+      if (job_state_terminal(job.state) || job.deadline_unix_ms == 0 ||
+          job.deadline_unix_ms > now) {
+        continue;
+      }
+      if (job.state == JobState::kQueued) {
+        queue_.erase(std::remove(queue_.begin(), queue_.end(), id),
+                     queue_.end());
+        finish_queued_locked(job, JobState::kFailed,
+                             ErrorCode::kDeadlineExceeded,
+                             "job " + std::to_string(id) +
+                                 " missed its deadline while queued");
+      } else if (job.state == JobState::kRunning && !job.deadline_expired) {
+        job.deadline_expired = true;
+        job.cancel.request_stop();
+      }
     }
   }
 }
@@ -376,6 +661,14 @@ void JobScheduler::execute(Job& job) {
   }
 
   const std::lock_guard<std::mutex> lock(mu_);
+  if (code == ErrorCode::kCancelled && job.deadline_expired) {
+    // The stop token was raised by the deadline monitor, not a client:
+    // this is a budget failure, filed under its own code so it can never
+    // be mistaken for a cancel or a crash.
+    code = ErrorCode::kDeadlineExceeded;
+    error = "job " + std::to_string(job.id) +
+            " missed its deadline while running";
+  }
   if (code == ErrorCode::kNone) {
     job.state = JobState::kDone;
     job.document = std::move(document);
@@ -392,7 +685,9 @@ void JobScheduler::execute(Job& job) {
     job.error = std::move(error);
     job.error_code = code;
     totals_.failed += 1;
+    if (code == ErrorCode::kDeadlineExceeded) totals_.deadline_expired += 1;
   }
+  journal_done_locked(job);
 }
 
 }  // namespace semsim

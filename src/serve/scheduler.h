@@ -7,8 +7,8 @@
 // for it:
 //   * a shared ParallelExecutor, so every job shards its work units across
 //     one long-lived pool instead of spawning threads per job;
-//   * a per-job CancelToken, so cancel/shutdown interrupt the run at the
-//     next work-unit boundary with Error(kCancelled);
+//   * a per-job CancelToken, so cancel/shutdown/deadline-expiry interrupt
+//     the run at the next work-unit boundary;
 //   * a per-job ProgressSink, so the status verb streams completed sweep
 //     points while the job runs.
 // None of the hooks affects results (they are not fingerprinted), so a
@@ -19,6 +19,25 @@
 // Jobs run one at a time: work units within a job are the parallelism
 // (sweep chunks, repeats), which keeps the executor fully busy without
 // oversubscribing cores, and makes job wall-time predictable.
+//
+// Durability (serve/journal.h): with a journal configured, every job
+// transition is appended + fsynced BEFORE the scheduler acts on it, so an
+// acknowledged submit is never lost to a SIGKILL. On construction the
+// scheduler replays the journal: terminal jobs come back verbatim (their
+// canonical documents re-seed the result cache), pending jobs re-enqueue
+// in submission order and resume from their spool checkpoints, and a
+// logged-but-unprocessed cancel lands as `cancelled`.
+//
+// Overload (admission control): a full queue or a client over its
+// in-flight cap gets a coded OverloadError (serve.overloaded) carrying a
+// retry_after_ms hint — deterministic, never a hang or a silent drop.
+//
+// Deadlines: a submit may carry deadline_ms, a wall budget counted from
+// submission (queue wait included, surviving restarts via the journal's
+// absolute timestamp). A monitor thread expires queued jobs directly and
+// stops running ones through their CancelToken; either way the job ends
+// `failed` with the coded serve.deadline_exceeded — never misfiled as a
+// cancel or a crash.
 //
 // Completed documents go into a fingerprint-keyed ResultCache; a submit
 // whose fingerprint hits the cache is born `done` with cached=true and
@@ -43,6 +62,7 @@
 #include "io/envelope.h"
 #include "serve/cache.h"
 #include "serve/job.h"
+#include "serve/journal.h"
 
 namespace semsim {
 
@@ -54,6 +74,30 @@ struct SchedulerConfig {
   /// Directory for per-job spool checkpoints; "" disables checkpointing
   /// (cancelled jobs are then not resumable). Created on demand.
   std::string spool_dir;
+  /// Write-ahead job journal file; "" disables durability (a crash then
+  /// drops the in-memory queue, exactly the pre-journal behavior).
+  std::string journal_path;
+  /// Queued-job cap; a submit that would exceed it is rejected with
+  /// OverloadError (serve.overloaded + retry_after_ms). 0 = unbounded.
+  std::size_t max_queue_depth = 256;
+  /// Per-client non-terminal job cap (client id from the envelope; "" is
+  /// one anonymous bucket). 0 = unbounded.
+  std::size_t max_inflight_per_client = 64;
+  /// The deterministic retry hint carried by every overload rejection.
+  std::uint64_t retry_after_ms = 250;
+};
+
+/// Admission-control rejection: coded kServerOverloaded plus the hint the
+/// server surfaces as "retry_after_ms" in the error response.
+class OverloadError : public Error {
+ public:
+  OverloadError(const std::string& message, std::uint64_t retry_after_ms)
+      : Error(ErrorCode::kServerOverloaded, message),
+        retry_after_ms_(retry_after_ms) {}
+  std::uint64_t retry_after_ms() const noexcept { return retry_after_ms_; }
+
+ private:
+  std::uint64_t retry_after_ms_;
 };
 
 class JobScheduler {
@@ -62,6 +106,9 @@ class JobScheduler {
   /// needs to see it).
   struct Job;
 
+  /// Opens the journal (replaying any prior daemon's state) before the
+  /// dispatcher starts; throws Error(kServeJournalCorrupt) on
+  /// unrecoverable journal damage.
   explicit JobScheduler(const SchedulerConfig& config);
   ~JobScheduler();  // shutdown()
 
@@ -71,7 +118,9 @@ class JobScheduler {
   /// Validates and enqueues a submit envelope (netlist parsed here, at the
   /// door — a malformed netlist throws ParseError/CircuitError and no job
   /// is created). Returns the new job id; ids start at 1 and are never
-  /// reused. Throws Error(kServeShuttingDown) after shutdown began.
+  /// reused (journal replay advances the counter past every replayed id).
+  /// Throws Error(kServeShuttingDown) after shutdown began and
+  /// OverloadError when admission control rejects the job.
   std::uint64_t submit(const RequestEnvelope& env);
 
   /// Snapshot of one job, or nullopt for an unknown id.
@@ -97,6 +146,11 @@ class JobScheduler {
     std::uint64_t queued = 0;      ///< currently waiting
     std::uint64_t running = 0;     ///< 0 or 1
     unsigned threads = 0;
+    // ---- robustness counters -----------------------------------------
+    std::uint64_t overload_rejected = 0;  ///< admission-control rejects
+    std::uint64_t deadline_expired = 0;   ///< failed:serve.deadline_exceeded
+    std::uint64_t replayed = 0;           ///< jobs restored from the journal
+    std::uint64_t journal_truncated_bytes = 0;  ///< torn tail dropped on open
   };
   Stats stats() const;
   ResultCache::Stats cache_stats() const { return cache_.stats(); }
@@ -104,19 +158,31 @@ class JobScheduler {
   /// Stops the dispatcher: the running job (if any) is cancelled — its
   /// spool checkpoint survives — queued jobs transition to `cancelled`,
   /// and further submits are refused. Idempotent; the destructor calls it.
+  /// With a journal, a later daemon replays the cancelled jobs as
+  /// cancelled (their checkpoints still resume on resubmit).
   void shutdown();
 
  private:
   void dispatcher_loop();
+  void deadline_loop();
   void execute(Job& job);
   Job* find_locked(std::uint64_t id) const;
+  std::unique_ptr<Job> make_job(const RequestEnvelope& env) const;
+  void replay_journal();
+  /// Terminal bookkeeping for a job that never ran (queued cancel/expiry):
+  /// sets the state, counts it, and journals the transition.
+  void finish_queued_locked(Job& job, JobState state, ErrorCode code,
+                            const std::string& message);
+  void journal_done_locked(const Job& job);
 
   const SchedulerConfig config_;
   const ParallelExecutor executor_;
   ResultCache cache_;
+  std::unique_ptr<JobJournal> journal_;  ///< null when durability is off
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;  ///< wakes the dispatcher
+  std::condition_variable cv_;           ///< wakes the dispatcher
+  std::condition_variable deadline_cv_;  ///< wakes the deadline monitor
   bool stopping_ = false;
   std::uint64_t next_id_ = 1;
   std::unordered_map<std::uint64_t, std::unique_ptr<Job>> jobs_;
@@ -125,6 +191,11 @@ class JobScheduler {
   Stats totals_;
 
   std::thread dispatcher_;
+  std::thread deadline_monitor_;
 };
+
+/// Wall clock as Unix epoch milliseconds (journal deadlines are absolute
+/// so budgets keep counting across restarts).
+std::uint64_t unix_now_ms() noexcept;
 
 }  // namespace semsim

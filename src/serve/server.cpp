@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -21,8 +22,11 @@ namespace {
                 "server: " + what + ": " + std::strerror(errno));
 }
 
-/// {"schema":"semsim.response/v1","ok":false,"error":{...}}
-std::string error_response(ErrorCode code, const std::string& message) {
+/// {"schema":"semsim.response/v1","ok":false,"error":{...}}. An overload
+/// rejection additionally carries "retry_after_ms" (when non-zero) so
+/// clients can back off deterministically instead of hammering.
+std::string error_response(ErrorCode code, const std::string& message,
+                           std::uint64_t retry_after_ms = 0) {
   JsonWriter w;
   w.begin_object();
   w.field("schema", "semsim.response/v1");
@@ -31,6 +35,7 @@ std::string error_response(ErrorCode code, const std::string& message) {
   w.field("code", std::uint64_t{static_cast<std::uint16_t>(code)});
   w.field("name", error_code_name(code));
   w.field("message", message);
+  if (retry_after_ms > 0) w.field("retry_after_ms", retry_after_ms);
   w.end_object();
   w.end_object();
   return w.take();
@@ -51,6 +56,11 @@ void write_status(JsonWriter& w, const JobStatus& s) {
   w.field("priority", std::int64_t{s.priority});
   w.field("fingerprint", fingerprint_hex(s.fingerprint));
   w.field("cached", s.cached);
+  if (s.deadline_unix_ms != 0) {
+    // Deadline jobs only; absent otherwise so the status payload stays
+    // byte-identical to pre-deadline daemons.
+    w.field("deadline_unix_ms", s.deadline_unix_ms);
+  }
   w.field("units_total", s.units_total);
   w.field("units_done", s.units_done);
   w.field("points_total", s.points_total);
@@ -133,28 +143,66 @@ int make_listener_tcp(std::uint16_t port, std::uint16_t* bound) {
   return fd;
 }
 
-/// Blocking full write (the peer is local; partial writes still happen).
-bool write_all(int fd, const std::string& data) {
+/// Full write to a non-blocking fd with a wall budget: each time the
+/// socket buffer fills, wait up to `timeout_ms` (0 = forever) for POLLOUT,
+/// also waking on `wake_fd` (the stop self-pipe). Returns false — and the
+/// caller hangs up — when the budget is spent on a slow-reading client,
+/// the server is stopping, or the peer errors out.
+bool write_all(int fd, const std::string& data, int timeout_ms, int wake_fd) {
   std::size_t off = 0;
   while (off < data.size()) {
     const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n < 0) {
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) return false;
+    pollfd p[2] = {};
+    p[0].fd = fd;
+    p[0].events = POLLOUT;
+    p[1].fd = wake_fd;
+    p[1].events = POLLIN;
+    const int rc = ::poll(p, 2, timeout_ms <= 0 ? -1 : timeout_ms);
+    if (rc < 0) {
       if (errno == EINTR) continue;
       return false;
     }
-    off += static_cast<std::size_t>(n);
+    if (rc == 0) return false;          // slow client: write budget spent
+    if (p[1].revents != 0) return false;  // stop() — abandon the drain
   }
   return true;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
 }  // namespace
 
 Server::Server(const ServerConfig& config, JobScheduler& scheduler)
     : config_(config), scheduler_(scheduler) {
-  if (!config_.unix_path.empty()) {
-    listen_fd_ = make_listener_unix(config_.unix_path);
-  } else {
-    listen_fd_ = make_listener_tcp(config_.tcp_port, &port_);
+  // Self-pipe first: every poll set built below watches its read end.
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) io_fail("pipe");
+  pipe_rd_ = fds[0];
+  pipe_wr_ = fds[1];
+  // stop() may run in a signal handler: the write must never block, and
+  // the fds must not leak into exec'd children.
+  set_nonblocking(pipe_wr_);
+  ::fcntl(pipe_rd_, F_SETFD, FD_CLOEXEC);
+  ::fcntl(pipe_wr_, F_SETFD, FD_CLOEXEC);
+  try {
+    if (!config_.unix_path.empty()) {
+      listen_fd_ = make_listener_unix(config_.unix_path);
+    } else {
+      listen_fd_ = make_listener_tcp(config_.tcp_port, &port_);
+    }
+  } catch (...) {
+    ::close(pipe_rd_);
+    ::close(pipe_wr_);
+    throw;
   }
 }
 
@@ -169,22 +217,36 @@ Server::~Server() {
     workers_.clear();
   }
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::close(pipe_rd_);
+  ::close(pipe_wr_);
   if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
 }
 
-void Server::stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+void Server::stop() noexcept {
+  stop_.store(true, std::memory_order_relaxed);
+  // The byte is never drained, so the read end stays readable and EVERY
+  // poller — accept loop and each connection — wakes at once, forever.
+  // Both store and write are async-signal-safe.
+  const char byte = 0;
+  [[maybe_unused]] const ssize_t n = ::write(pipe_wr_, &byte, 1);
+}
 
 void Server::run() {
   while (!stop_.load(std::memory_order_relaxed)) {
-    pollfd p{};
-    p.fd = listen_fd_;
-    p.events = POLLIN;
-    const int rc = ::poll(&p, 1, /*timeout_ms=*/100);
+    pollfd p[2] = {};
+    p[0].fd = listen_fd_;
+    p[0].events = POLLIN;
+    p[1].fd = pipe_rd_;
+    p[1].events = POLLIN;
+    // No timeout: the self-pipe wakes us on stop(), a connection wakes us
+    // on arrival — nothing to tick for in between.
+    const int rc = ::poll(p, 2, -1);
     if (rc < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    if (rc == 0) continue;
+    if (p[1].revents != 0) break;  // stop()
+    if ((p[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     const std::lock_guard<std::mutex> lock(workers_mu_);
@@ -198,21 +260,34 @@ void Server::run() {
 }
 
 void Server::handle_connection(int fd) {
+  // Non-blocking plus poll-with-budget everywhere: a wedged peer can stall
+  // neither read() nor write(), so this worker always notices stop() and
+  // always frees itself from a dead client.
+  set_nonblocking(fd);
   std::string buffer;
   char chunk[4096];
+  const auto send = [&](const std::string& line) {
+    return write_all(fd, line + "\n", config_.write_timeout_ms, pipe_rd_);
+  };
   for (;;) {
     if (stop_.load(std::memory_order_relaxed)) break;
-    // Poll so an idle connection notices stop() instead of pinning the
-    // accept thread's join on a blocked read.
-    pollfd p{};
-    p.fd = fd;
-    p.events = POLLIN;
-    const int rc = ::poll(&p, 1, /*timeout_ms=*/100);
-    if (rc < 0 && errno != EINTR) break;
-    if (rc <= 0) continue;
+    pollfd p[2] = {};
+    p[0].fd = fd;
+    p[0].events = POLLIN;
+    p[1].fd = pipe_rd_;
+    p[1].events = POLLIN;
+    const int rc = ::poll(
+        p, 2, config_.idle_timeout_ms <= 0 ? -1 : config_.idle_timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) break;            // idle timeout: hang up on the silent peer
+    if (p[1].revents != 0) break;  // stop()
+    if ((p[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       break;
     }
     if (n == 0) break;  // EOF
@@ -221,12 +296,10 @@ void Server::handle_connection(int fd) {
     // before buffering more of it.
     std::size_t nl = buffer.find('\n');
     if (nl == std::string::npos && buffer.size() > config_.max_request_bytes) {
-      write_all(fd, error_response(ErrorCode::kParseJsonTooLarge,
-                                   "request line exceeds " +
-                                       std::to_string(
-                                           config_.max_request_bytes) +
-                                       " bytes") +
-                        "\n");
+      send(error_response(ErrorCode::kParseJsonTooLarge,
+                          "request line exceeds " +
+                              std::to_string(config_.max_request_bytes) +
+                              " bytes"));
       break;
     }
     bool closing = false;
@@ -234,7 +307,7 @@ void Server::handle_connection(int fd) {
       const std::string line = buffer.substr(0, nl);
       buffer.erase(0, nl + 1);
       if (!line.empty()) {
-        if (!write_all(fd, handle_line(line) + "\n")) {
+        if (!send(handle_line(line))) {
           closing = true;
           break;
         }
@@ -323,6 +396,10 @@ std::string Server::handle_line(const std::string& line) {
         w.field("queued", js.queued);
         w.field("running", js.running);
         w.field("threads", js.threads);
+        w.field("overload_rejected", js.overload_rejected);
+        w.field("deadline_expired", js.deadline_expired);
+        w.field("replayed", js.replayed);
+        w.field("journal_truncated_bytes", js.journal_truncated_bytes);
         w.end_object();
         w.key("cache").begin_object();
         w.field("hits", cs.hits);
@@ -345,6 +422,9 @@ std::string Server::handle_line(const std::string& line) {
       }
     }
     return error_response(ErrorCode::kServeBadRequest, "unhandled verb");
+  } catch (const OverloadError& e) {
+    // Admission-control reject: same error shape plus the back-off hint.
+    return error_response(e.code(), e.what(), e.retry_after_ms());
   } catch (const Error& e) {
     return error_response(e.code(), e.what());
   } catch (const std::exception& e) {

@@ -49,6 +49,12 @@ struct ServerConfig {
   std::size_t max_request_bytes = 4ull << 20;
   /// Nesting-depth cap for request documents.
   std::size_t max_json_depth = 64;
+  /// Hang up on a connection that sends nothing for this long (ms); a
+  /// wedged client must not pin a worker thread forever. 0 = never.
+  int idle_timeout_ms = 60'000;
+  /// Budget for draining one response to a slow-reading client (ms);
+  /// exceeding it closes the connection. 0 = unbounded.
+  int write_timeout_ms = 10'000;
 };
 
 class Server {
@@ -68,9 +74,10 @@ class Server {
   /// the daemon's main thread (tests run it in a std::thread).
   void run();
 
-  /// Makes run() return; safe from any thread and from signal context is
-  /// NOT guaranteed — daemons should flag from the handler and call this
-  /// from the main loop (tools/semsim_serve.cpp self-pipes instead).
+  /// Makes run() return. Async-signal-safe (an atomic store plus one
+  /// write() to the internal self-pipe), so a daemon's SIGINT/SIGTERM
+  /// handler may call it directly; every poll set in the server watches
+  /// the pipe's read end and wakes immediately — no timeout ticks.
   void stop() noexcept;
 
   /// True once a client sent the `shutdown` verb.
@@ -86,6 +93,10 @@ class Server {
   const ServerConfig config_;
   JobScheduler& scheduler_;
   int listen_fd_ = -1;
+  /// Self-pipe: stop() writes one byte that is NEVER drained, so the read
+  /// end stays level-triggered readable for every poller at once.
+  int pipe_rd_ = -1;
+  int pipe_wr_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
   std::atomic<bool> shutdown_requested_{false};

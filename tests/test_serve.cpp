@@ -11,6 +11,8 @@
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +24,7 @@
 #include "netlist/parser.h"
 #include "serve/cache.h"
 #include "serve/client.h"
+#include "serve/journal.h"
 #include "serve/scheduler.h"
 #include "serve/server.h"
 
@@ -664,6 +667,375 @@ TEST(SocketServer, MalformedAndOversizedRequestsGetCodedResponses) {
   EXPECT_FALSE(toobig.at("ok").as_bool());
   EXPECT_EQ(toobig.at("error").at("name").as_string(),
             "parse.json_too_large");
+}
+
+// ---- durability: WAL journal, replay, deadlines, admission control --------
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(Envelope, DeadlineAndClientRoundTrip) {
+  RequestEnvelope env = sweep_envelope();
+  env.deadline_ms = 60000;
+  env.client = "sweep-farm-3";
+  const RequestEnvelope back =
+      parse_request_envelope(encode_request_envelope(env));
+  EXPECT_EQ(back.deadline_ms, 60000u);
+  EXPECT_EQ(back.client, "sweep-farm-3");
+  // Absent on the wire == defaults, so pre-deadline clients parse
+  // unchanged.
+  const RequestEnvelope plain =
+      parse_request_envelope(encode_request_envelope(sweep_envelope()));
+  EXPECT_EQ(plain.deadline_ms, 0u);
+  EXPECT_TRUE(plain.client.empty());
+}
+
+TEST(Journal, EmptyFileStartsFreshAndRecordsReplay) {
+  TempDir dir("semsim_journal_fresh");
+  std::filesystem::create_directories(dir.path);
+  const std::string path = dir.path + "/j.wal";
+  {
+    JobJournal j(path);
+    EXPECT_TRUE(j.records().empty());
+    EXPECT_EQ(j.truncated_bytes(), 0u);
+    JournalRecord rec;
+    rec.type = JournalRecord::Type::kSubmit;
+    rec.job_id = 1;
+    rec.envelope_json = encode_request_envelope(sweep_envelope());
+    rec.deadline_unix_ms = 12345;
+    rec.client = "c";
+    j.append(rec);
+  }
+  JobJournal j2(path);
+  ASSERT_EQ(j2.records().size(), 1u);
+  EXPECT_EQ(j2.records()[0].type, JournalRecord::Type::kSubmit);
+  EXPECT_EQ(j2.records()[0].job_id, 1u);
+  EXPECT_EQ(j2.records()[0].deadline_unix_ms, 12345u);
+  EXPECT_EQ(j2.records()[0].client, "c");
+  EXPECT_EQ(j2.truncated_bytes(), 0u);
+}
+
+TEST(Journal, TornFinalRecordIsTruncatedToLastValidPrefix) {
+  TempDir dir("semsim_journal_torn");
+  std::filesystem::create_directories(dir.path);
+  const std::string path = dir.path + "/j.wal";
+  {
+    JobJournal j(path);
+    JournalRecord rec;
+    rec.type = JournalRecord::Type::kStart;
+    rec.job_id = 1;
+    j.append(rec);
+    rec.job_id = 2;
+    j.append(rec);
+  }
+  const std::uint64_t clean_size = std::filesystem::file_size(path);
+  {
+    // A crash mid-append: garbage bytes that are not a complete record.
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f << "\x07torn-append";
+  }
+  {
+    JobJournal j(path);
+    ASSERT_EQ(j.records().size(), 2u);
+    EXPECT_GT(j.truncated_bytes(), 0u);
+  }
+  // The tail was truncated OFF THE FILE, so a second restart sees a clean
+  // journal — replay is idempotent.
+  EXPECT_EQ(std::filesystem::file_size(path), clean_size);
+  JobJournal again(path);
+  EXPECT_EQ(again.records().size(), 2u);
+  EXPECT_EQ(again.truncated_bytes(), 0u);
+}
+
+TEST(Journal, HeaderDamageIsUnrecoverableCorruption) {
+  TempDir dir("semsim_journal_bad");
+  std::filesystem::create_directories(dir.path);
+  const std::string path = dir.path + "/j.wal";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << std::string(32, '\xFF');
+  }
+  EXPECT_EQ(code_of([&] { JobJournal j(path); }),
+            ErrorCode::kServeJournalCorrupt);
+}
+
+/// Builds a journal file by hand — the crash-survivor's view of the world
+/// — so replay can be tested without actually SIGKILLing the process
+/// (tools/semsim_chaos.cpp covers the real-kill path).
+void craft_journal(const std::string& path,
+                   const std::vector<JournalRecord>& records) {
+  JobJournal j(path);
+  for (const JournalRecord& rec : records) j.append(rec);
+}
+
+JournalRecord submit_record(std::uint64_t id, const RequestEnvelope& env) {
+  JournalRecord rec;
+  rec.type = JournalRecord::Type::kSubmit;
+  rec.job_id = id;
+  rec.envelope_json = encode_request_envelope(env);
+  return rec;
+}
+
+TEST(Replay, InterruptedJobReenqueuesAndConvergesToDirectBytes) {
+  TempDir dir("semsim_replay_pending");
+  std::filesystem::create_directories(dir.path);
+  SchedulerConfig cfg;
+  cfg.threads = 2;
+  cfg.journal_path = dir.path + "/j.wal";
+  // submit + start and then nothing: the daemon died mid-run.
+  JournalRecord start;
+  start.type = JournalRecord::Type::kStart;
+  start.job_id = 1;
+  craft_journal(cfg.journal_path, {submit_record(1, sweep_envelope()), start});
+
+  JobScheduler sched(cfg);
+  EXPECT_EQ(sched.stats().replayed, 1u);
+  EXPECT_EQ(sched.stats().submitted, 1u);
+  const JobStatus s = wait_terminal(sched, 1);
+  ASSERT_EQ(s.state, JobState::kDone) << s.error;
+  EXPECT_EQ(sched.result(1), run(sweep_request()).to_json(/*canonical=*/true));
+  // Ids are never reused: the next submit lands past every replayed id.
+  EXPECT_EQ(sched.submit(sweep_envelope(/*seed=*/8)), 2u);
+  sched.shutdown();
+}
+
+TEST(Replay, DoneDocumentComesBackVerbatimAndReseedsTheCache) {
+  TempDir dir("semsim_replay_done");
+  std::filesystem::create_directories(dir.path);
+  SchedulerConfig cfg;
+  cfg.journal_path = dir.path + "/j.wal";
+  JournalRecord done;
+  done.type = JournalRecord::Type::kDone;
+  done.job_id = 1;
+  done.final_state = JobState::kDone;
+  done.document = "FAKEDOC";
+  craft_journal(cfg.journal_path, {submit_record(1, sweep_envelope()), done});
+
+  JobScheduler sched(cfg);
+  // The terminal job is back verbatim, engine untouched.
+  EXPECT_EQ(sched.result(1), "FAKEDOC");
+  EXPECT_EQ(sched.stats().completed, 1u);
+  // And its document re-seeded the fingerprint cache: an identical submit
+  // is born done.
+  const std::uint64_t id2 = sched.submit(sweep_envelope());
+  const JobStatus s2 = *sched.status(id2);
+  EXPECT_EQ(s2.state, JobState::kDone);
+  EXPECT_TRUE(s2.cached);
+  EXPECT_EQ(sched.result(id2), "FAKEDOC");
+  sched.shutdown();
+}
+
+TEST(Replay, UnprocessedCancelLandsCancelledNotRunnable) {
+  TempDir dir("semsim_replay_cancel");
+  std::filesystem::create_directories(dir.path);
+  SchedulerConfig cfg;
+  cfg.journal_path = dir.path + "/j.wal";
+  JournalRecord cancel;
+  cancel.type = JournalRecord::Type::kCancel;
+  cancel.job_id = 1;
+  craft_journal(cfg.journal_path,
+                {submit_record(1, sweep_envelope()), cancel});
+
+  JobScheduler sched(cfg);
+  const std::optional<JobStatus> s = sched.status(1);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->state, JobState::kCancelled);
+  EXPECT_EQ(sched.stats().cancelled, 1u);
+  EXPECT_EQ(sched.stats().queued, 0u);
+  sched.shutdown();
+}
+
+TEST(Replay, DuplicateDoneRecordsCountOnce) {
+  TempDir dir("semsim_replay_dupdone");
+  std::filesystem::create_directories(dir.path);
+  SchedulerConfig cfg;
+  cfg.journal_path = dir.path + "/j.wal";
+  JournalRecord done;
+  done.type = JournalRecord::Type::kDone;
+  done.job_id = 1;
+  done.final_state = JobState::kDone;
+  done.document = "D";
+  // The same terminal transition twice (e.g. duplicated around a crash):
+  // the first record wins, nothing double-counts.
+  craft_journal(cfg.journal_path,
+                {submit_record(1, sweep_envelope()), done, done});
+
+  JobScheduler sched(cfg);
+  EXPECT_EQ(sched.stats().completed, 1u);
+  EXPECT_EQ(sched.stats().submitted, 1u);
+  EXPECT_EQ(sched.result(1), "D");
+  sched.shutdown();
+}
+
+TEST(Replay, DoubleRestartIsBitwiseIdempotent) {
+  TempDir dir("semsim_replay_idem");
+  std::filesystem::create_directories(dir.path);
+  SchedulerConfig cfg;
+  cfg.journal_path = dir.path + "/j.wal";
+  // An unprocessed cancel forces the FIRST replay to append the
+  // cancelled-terminal record; later replays must append nothing.
+  JournalRecord cancel;
+  cancel.type = JournalRecord::Type::kCancel;
+  cancel.job_id = 1;
+  craft_journal(cfg.journal_path,
+                {submit_record(1, sweep_envelope()), cancel});
+
+  {
+    JobScheduler first(cfg);
+    EXPECT_EQ(first.status(1)->state, JobState::kCancelled);
+    first.shutdown();
+  }
+  const std::string after_first = read_bytes(cfg.journal_path);
+  {
+    JobScheduler second(cfg);
+    EXPECT_EQ(second.status(1)->state, JobState::kCancelled);
+    EXPECT_EQ(second.stats().cancelled, 1u);
+    second.shutdown();
+  }
+  // Double restart == single restart, bitwise.
+  EXPECT_EQ(read_bytes(cfg.journal_path), after_first);
+  {
+    JobScheduler third(cfg);
+    third.shutdown();
+  }
+  EXPECT_EQ(read_bytes(cfg.journal_path), after_first);
+}
+
+TEST(Deadline, ExpiredJobFailsCodedNeverMisfiled) {
+  TempDir dir("semsim_deadline");
+  std::filesystem::create_directories(dir.path);
+  SchedulerConfig cfg;
+  cfg.threads = 2;
+  cfg.spool_dir = dir.path + "/spool";
+  JobScheduler sched(cfg);
+  // Every unit sleeps, so the 6-unit sweep takes ~1s — the 300 ms budget
+  // expires mid-run (or, on a very slow box, while still queued; both
+  // paths must file the SAME coded failure).
+  RequestEnvelope env = slow_sweep_envelope();
+  env.deadline_ms = 300;
+  const std::uint64_t id = sched.submit(env);
+  EXPECT_NE(sched.status(id)->deadline_unix_ms, 0u);
+  const JobStatus s = wait_terminal(sched, id);
+  EXPECT_EQ(s.state, JobState::kFailed);
+  EXPECT_EQ(s.error_code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(sched.stats().deadline_expired, 1u);
+  EXPECT_EQ(sched.stats().failed, 1u);
+  EXPECT_EQ(sched.stats().cancelled, 0u);  // never misfiled as a cancel
+  sched.shutdown();
+}
+
+TEST(Deadline, QueuedJobExpiresWithoutEverStartingTheEngine) {
+  SchedulerConfig cfg;
+  cfg.threads = 2;
+  JobScheduler sched(cfg);
+  const std::uint64_t busy = sched.submit(slow_sweep_envelope());
+  const JobStatus mid = wait_running_unit(sched, busy);
+  ASSERT_FALSE(job_state_terminal(mid.state));
+  // Starved behind `busy` with a budget far shorter than busy's runtime;
+  // its own sleep fault guarantees the deadline also wins the race in the
+  // unlikely case it does get dispatched.
+  RequestEnvelope env = slow_sweep_envelope();
+  env.seed = 9;
+  env.deadline_ms = 40;
+  const std::uint64_t starved = sched.submit(env);
+  const JobStatus s = wait_terminal(sched, starved);
+  EXPECT_EQ(s.state, JobState::kFailed);
+  EXPECT_EQ(s.error_code, ErrorCode::kDeadlineExceeded);
+  sched.cancel(busy);
+  wait_terminal(sched, busy);
+  sched.shutdown();
+}
+
+TEST(Overload, QueueDepthRejectsWithRetryHint) {
+  SchedulerConfig cfg;
+  cfg.threads = 2;
+  cfg.max_queue_depth = 1;
+  cfg.retry_after_ms = 123;
+  JobScheduler sched(cfg);
+  const std::uint64_t busy = sched.submit(slow_sweep_envelope());
+  wait_running_unit(sched, busy);  // off the queue, onto the engine
+  const std::uint64_t queued = sched.submit(sweep_envelope(/*seed=*/8));
+  try {
+    sched.submit(sweep_envelope(/*seed=*/9));
+    FAIL() << "expected OverloadError";
+  } catch (const OverloadError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kServerOverloaded);
+    EXPECT_EQ(e.retry_after_ms(), 123u);
+  }
+  EXPECT_EQ(sched.stats().overload_rejected, 1u);
+  // The reject is not a job: nothing was created or counted as submitted.
+  EXPECT_EQ(sched.stats().submitted, 2u);
+  sched.cancel(busy);
+  sched.cancel(queued);
+  wait_terminal(sched, busy);
+  sched.shutdown();
+}
+
+TEST(Overload, PerClientInflightCapIsPerClient) {
+  SchedulerConfig cfg;
+  cfg.threads = 2;
+  cfg.max_inflight_per_client = 1;
+  JobScheduler sched(cfg);
+  RequestEnvelope alice = slow_sweep_envelope();
+  alice.client = "alice";
+  const std::uint64_t first = sched.submit(alice);
+  RequestEnvelope more = sweep_envelope(/*seed=*/8);
+  more.client = "alice";
+  EXPECT_EQ(code_of([&] { sched.submit(more); }),
+            ErrorCode::kServerOverloaded);
+  // A different client is a different bucket.
+  RequestEnvelope bob = sweep_envelope(/*seed=*/9);
+  bob.client = "bob";
+  EXPECT_NO_THROW(sched.submit(bob));
+  sched.cancel(first);
+  wait_terminal(sched, first);
+  sched.shutdown();
+}
+
+TEST(SocketServer, OverloadRejectCarriesRetryAfterMsOverTheWire) {
+  TempDir dir("semsim_overload_sock");
+  std::filesystem::create_directories(dir.path);
+  SchedulerConfig scfg;
+  scfg.threads = 2;
+  scfg.max_queue_depth = 1;
+  scfg.retry_after_ms = 99;
+  JobScheduler sched(scfg);
+  ServerConfig cfg;
+  cfg.unix_path = dir.path + "/d.sock";
+  Server server(cfg, sched);
+  std::thread accept([&server] { server.run(); });
+  const ServeClient client = ServeClient::unix_socket(cfg.unix_path);
+
+  const JsonValue sub = JsonValue::parse(client.call(slow_sweep_envelope()));
+  ASSERT_TRUE(sub.at("ok").as_bool());
+  const std::uint64_t busy =
+      static_cast<std::uint64_t>(sub.at("job").as_number());
+  // Wait until the job is RUNNING (off the queue) so the next submit
+  // deterministically occupies the single queue slot.
+  RequestEnvelope poll;
+  poll.verb = RequestEnvelope::Verb::kStatus;
+  poll.job_id = busy;
+  for (;;) {
+    const JsonValue s = JsonValue::parse(client.call(poll));
+    if (s.at("state").as_string() == "running") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(
+      JsonValue::parse(client.call(sweep_envelope(/*seed=*/8))).at("ok")
+          .as_bool());
+  const JsonValue reject =
+      JsonValue::parse(client.call(sweep_envelope(/*seed=*/9)));
+  EXPECT_FALSE(reject.at("ok").as_bool());
+  EXPECT_EQ(reject.at("error").at("name").as_string(), "serve.overloaded");
+  EXPECT_EQ(reject.at("error").at("retry_after_ms").as_number(), 99.0);
+
+  server.stop();
+  accept.join();
+  sched.shutdown();
 }
 
 TEST(SocketServer, TcpLoopbackTransportWorks) {

@@ -15,14 +15,21 @@
 //
 // SIGINT/SIGTERM and the `shutdown` verb stop the daemon gracefully: the
 // running job is cancelled at its next work-unit boundary (checkpointing
-// what finished), then the process exits 0.
-#include <chrono>
+// what finished), then the process exits 0. Server::stop() is
+// async-signal-safe (self-pipe), so the handler calls it directly — no
+// polling watcher thread.
+//
+// With --journal (default <spool>/journal.wal when --spool is given) every
+// job transition is write-ahead logged: a crashed daemon restarted on the
+// same journal replays its job table, re-enqueues pending jobs, and
+// resumes interrupted ones from their spool checkpoints
+// (tools/semsim_chaos.cpp exercises this under repeated SIGKILL).
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
-#include <thread>
 
 #include "guard/exit_codes.h"
 #include "serve/server.h"
@@ -31,13 +38,17 @@ using namespace semsim;
 
 namespace {
 
-volatile std::sig_atomic_t g_signal = 0;
-void on_signal(int) { g_signal = 1; }
+std::atomic<Server*> g_server{nullptr};
+void on_signal(int) {
+  if (Server* s = g_server.load(std::memory_order_relaxed)) s->stop();
+}
 
 void usage(const char* argv0) {
   std::printf(
       "usage: %s (--socket PATH | --tcp PORT) [--threads N] [--cache-mb N]\n"
-      "          [--spool DIR] [--max-request-mb N]\n"
+      "          [--spool DIR] [--journal PATH] [--queue-depth N]\n"
+      "          [--inflight-per-client N] [--retry-after-ms N]\n"
+      "          [--idle-timeout-ms N] [--max-request-mb N]\n"
       "  --socket PATH      listen on a Unix-domain socket at PATH\n"
       "  --tcp PORT         listen on 127.0.0.1:PORT (0 = pick a free port,\n"
       "                     printed on startup)\n"
@@ -46,6 +57,18 @@ void usage(const char* argv0) {
       "  --cache-mb N       result-cache budget in MiB (default 64, 0 off)\n"
       "  --spool DIR        checkpoint jobs to DIR/job-<fingerprint>.ckpt;\n"
       "                     cancelled/interrupted jobs resume on resubmit\n"
+      "  --journal PATH     write-ahead job journal; a restarted daemon\n"
+      "                     replays it and no acknowledged job is lost\n"
+      "                     (default: DIR/journal.wal when --spool given;\n"
+      "                     'none' disables)\n"
+      "  --queue-depth N    reject submits beyond N queued jobs with the\n"
+      "                     coded serve.overloaded (default 256, 0 = off)\n"
+      "  --inflight-per-client N  per-client non-terminal job cap\n"
+      "                     (default 64, 0 = off)\n"
+      "  --retry-after-ms N back-off hint carried by overload rejections\n"
+      "                     (default 250)\n"
+      "  --idle-timeout-ms N  hang up on silent connections after N ms\n"
+      "                     (default 60000, 0 = never)\n"
       "  --max-request-mb N request size cap in MiB (default 4)\n",
       argv0);
 }
@@ -82,6 +105,7 @@ std::uint64_t parse_u64(const char* flag, const std::string& text) {
 int main(int argc, char** argv) {
   ServerConfig server_cfg;
   SchedulerConfig sched_cfg;
+  std::string journal;  ///< "" = derive from --spool; "none" = off
   bool have_endpoint = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -104,6 +128,19 @@ int main(int argc, char** argv) {
       sched_cfg.cache_bytes = parse_u64("--cache-mb", v) << 20;
     } else if (flag_value(a, "--spool", argc, argv, i, &v)) {
       sched_cfg.spool_dir = v;
+    } else if (flag_value(a, "--journal", argc, argv, i, &v)) {
+      journal = v;
+    } else if (flag_value(a, "--queue-depth", argc, argv, i, &v)) {
+      sched_cfg.max_queue_depth =
+          static_cast<std::size_t>(parse_u64("--queue-depth", v));
+    } else if (flag_value(a, "--inflight-per-client", argc, argv, i, &v)) {
+      sched_cfg.max_inflight_per_client =
+          static_cast<std::size_t>(parse_u64("--inflight-per-client", v));
+    } else if (flag_value(a, "--retry-after-ms", argc, argv, i, &v)) {
+      sched_cfg.retry_after_ms = parse_u64("--retry-after-ms", v);
+    } else if (flag_value(a, "--idle-timeout-ms", argc, argv, i, &v)) {
+      server_cfg.idle_timeout_ms =
+          static_cast<int>(parse_u64("--idle-timeout-ms", v));
     } else if (flag_value(a, "--max-request-mb", argc, argv, i, &v)) {
       const std::uint64_t mb = parse_u64("--max-request-mb", v);
       if (mb == 0) {
@@ -124,11 +161,21 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return kExitUsage;
   }
+  // Durability defaults on whenever there is a spool to recover into.
+  if (journal == "none") {
+    sched_cfg.journal_path.clear();
+  } else if (!journal.empty()) {
+    sched_cfg.journal_path = journal;
+  } else if (!sched_cfg.spool_dir.empty()) {
+    sched_cfg.journal_path = sched_cfg.spool_dir + "/journal.wal";
+  }
 
   try {
     JobScheduler scheduler(sched_cfg);
     Server server(server_cfg, scheduler);
 
+    // stop() is async-signal-safe, so the handler calls it directly.
+    g_server.store(&server, std::memory_order_relaxed);
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
     // A client that hangs up mid-response must not kill the daemon.
@@ -143,17 +190,8 @@ int main(int argc, char** argv) {
     }
     std::fflush(stdout);
 
-    // The accept loop polls with a short timeout, so a signal raised
-    // between polls is noticed promptly through this watcher thread.
-    std::thread watcher([&server] {
-      while (!server.shutdown_requested() && g_signal == 0) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
-      }
-      server.stop();
-    });
-
     server.run();  // returns on signal or `shutdown` verb
-    watcher.join();
+    g_server.store(nullptr, std::memory_order_relaxed);
 
     // Cancels + checkpoints the running job, marks queued jobs cancelled.
     scheduler.shutdown();

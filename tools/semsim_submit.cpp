@@ -30,6 +30,7 @@
 #include <string>
 #include <thread>
 
+#include "base/random.h"
 #include "io/json.h"
 #include "serve/client.h"
 
@@ -44,6 +45,7 @@ void usage(const char* argv0) {
       "  submit FILE [--seed N] [--priority N] [--repeats N] [--fast-rates]\n"
       "              [--non-adaptive] [--target-rel-error X] [--max-events N]\n"
       "              [--strict] [--retries N] [--wait] [--json FILE]\n"
+      "              [--deadline-ms N] [--client NAME]\n"
       "              [--ensemble N] [--ensemble-seed N]\n"
       "              [--ensemble-{bg,r,c,t}-spread X]\n"
       "              [--ensemble-{bg,r,c,t}-dist gaussian|uniform]\n"
@@ -51,7 +53,15 @@ void usage(const char* argv0) {
       "  status JOB     job state + streamed partial results\n"
       "  result JOB     completed job's canonical result document [--json F]\n"
       "  cancel JOB     stop a queued/running job (checkpointed if spooled)\n"
-      "  ping | stats | shutdown\n",
+      "  ping | stats | shutdown\n"
+      "flags:\n"
+      "  --deadline-ms N  wall budget from submit (queue wait included); an\n"
+      "                   expired job fails with serve.deadline_exceeded\n"
+      "  --client NAME    client identity for per-client in-flight caps\n"
+      "  --wait           poll until terminal, then fetch the result; polls\n"
+      "                   back off exponentially with seeded jitter, and an\n"
+      "                   overloaded submit is retried after the daemon's\n"
+      "                   retry_after_ms hint\n",
       argv0);
 }
 
@@ -155,6 +165,41 @@ bool response_ok(const std::string& line) {
   }
 }
 
+/// True when the response is an admission-control reject
+/// (error.name == "serve.overloaded"); extracts the daemon's
+/// retry_after_ms hint when present.
+bool overload_reject(const std::string& line, std::uint64_t* retry_after_ms) {
+  try {
+    const JsonValue doc = JsonValue::parse(line);
+    const JsonValue* ok = doc.find("ok");
+    if (ok == nullptr || ok->as_bool()) return false;
+    const JsonValue* err = doc.find("error");
+    if (err == nullptr) return false;
+    const JsonValue* name = err->find("name");
+    if (name == nullptr || name->as_string() != "serve.overloaded") {
+      return false;
+    }
+    if (const JsonValue* hint = err->find("retry_after_ms")) {
+      *retry_after_ms = static_cast<std::uint64_t>(hint->as_number());
+    }
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+/// Deterministic jitter: maps `base` into [base/2, base], stepping the
+/// SplitMix64 state each call. Seeded from the envelope seed, so a given
+/// invocation always sleeps the same schedule, while clients with
+/// different seeds desynchronize instead of retrying in lockstep.
+std::chrono::milliseconds jittered(std::chrono::milliseconds base,
+                                   std::uint64_t* state) {
+  *state = splitmix64_mix(*state);
+  const std::uint64_t half = static_cast<std::uint64_t>(base.count()) / 2;
+  return std::chrono::milliseconds(
+      static_cast<long long>(half + *state % (half + 1)));
+}
+
 int write_file(const std::string& path, const std::string& text) {
   std::ofstream f(path, std::ios::binary);
   if (!f) {
@@ -212,6 +257,10 @@ int main(int argc, char** argv) {
       env.adaptive = false;
     } else if (a == "--wait") {
       wait = true;
+    } else if (flag_value(a, "--deadline-ms", argc, argv, i, &v)) {
+      env.deadline_ms = parse_u64("--deadline-ms", v);
+    } else if (flag_value(a, "--client", argc, argv, i, &v)) {
+      env.client = v;
     } else if (parse_ensemble_flag(a, argc, argv, i, &env.ensemble)) {
       // handled (any ensemble flag enables the envelope's ensemble section)
     } else if (flag_value(a, "--json", argc, argv, i, &v)) {
@@ -280,7 +329,34 @@ int main(int argc, char** argv) {
     const ServeClient client = unix_path.empty()
                                    ? ServeClient::tcp(tcp_port)
                                    : ServeClient::unix_socket(unix_path);
-    std::string line = client.call(env);
+    // Jitter stream for every sleep below; keyed by the submit seed so a
+    // rerun reproduces the exact schedule.
+    std::uint64_t jitter_state = derive_stream_seed(env.seed, 0xB0FFULL);
+    std::string line;
+    if (env.verb == RequestEnvelope::Verb::kSubmit && wait) {
+      // A waiting submit rides out transient overload: honor the daemon's
+      // retry_after_ms hint, fall back to capped exponential backoff.
+      std::chrono::milliseconds backoff(50);
+      constexpr std::chrono::milliseconds kBackoffCap(2000);
+      constexpr int kMaxAttempts = 8;
+      for (int attempt = 1;; ++attempt) {
+        line = client.call(env);
+        std::uint64_t retry_after_ms = 0;
+        if (!overload_reject(line, &retry_after_ms) ||
+            attempt == kMaxAttempts) {
+          break;
+        }
+        const std::chrono::milliseconds delay =
+            retry_after_ms > 0 ? std::chrono::milliseconds(retry_after_ms)
+                               : jittered(backoff, &jitter_state);
+        std::fprintf(stderr, "# overloaded, retrying in %lld ms (attempt %d)\n",
+                     static_cast<long long>(delay.count()), attempt);
+        std::this_thread::sleep_for(delay);
+        backoff = std::min(backoff * 2, kBackoffCap);
+      }
+    } else {
+      line = client.call(env);
+    }
     std::printf("%s\n", line.c_str());
     if (!response_ok(line)) return 3;
 
@@ -292,9 +368,10 @@ int main(int argc, char** argv) {
       poll.verb = RequestEnvelope::Verb::kStatus;
       poll.job_id = job;
       std::string state;
-      // Exponential backoff: a short job is picked up within a few quick
-      // polls, a long ensemble run settles to one status call per second
-      // instead of hammering the daemon at a fixed 100 ms.
+      // Exponential backoff with seeded jitter: a short job is picked up
+      // within a few quick polls, a long ensemble run settles to about one
+      // status call per second, and concurrent waiters spread out instead
+      // of polling in lockstep.
       std::chrono::milliseconds backoff(25);
       constexpr std::chrono::milliseconds kBackoffCap(1000);
       std::uint64_t replicas_seen = 0;
@@ -318,7 +395,7 @@ int main(int argc, char** argv) {
           }
         }
         if (state != "queued" && state != "running") break;
-        std::this_thread::sleep_for(backoff);
+        std::this_thread::sleep_for(jittered(backoff, &jitter_state));
         backoff = std::min(backoff * 2, kBackoffCap);
       }
       if (state == "failed") return 4;
