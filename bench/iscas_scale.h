@@ -1,0 +1,20 @@
+// ISCAS-scale perf-gate cases: the domain-decomposed PartitionedEngine
+// (core/partition.h) against the solo engine on identical multi-block
+// random-logic fabrics (~1k and ~4k junctions). Compiled into perf_gate.
+#pragma once
+
+#include <vector>
+
+#include "gate_case.h"
+
+namespace semsim::bench {
+
+/// Appends four cases to `cases` and prints a "#" report line per case:
+///   iscas_blocks_1024        / iscas_blocks_1024_part2
+///   iscas_blocks_4096        / iscas_blocks_4096_part8
+/// The 4096-junction pair carries an in-run acceptance require(): the
+/// 8-cluster partitioned run must reach at least 3x the solo events/sec,
+/// so a hollowed-out decomposition fails even a --out (baseline) run.
+void append_iscas_cases(std::vector<GateCase>& cases, bool fast_rates);
+
+}  // namespace semsim::bench

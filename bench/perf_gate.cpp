@@ -35,24 +35,18 @@
 #include "bench_util.h"
 #include "core/engine.h"
 #include "core/ensemble.h"
+#include "gate_case.h"
 #include "io/json.h"
+#include "iscas_scale.h"
 #include "netlist/parser.h"
 
 namespace semsim {
 namespace {
 
-// v2: adds a top-level "rates_mode" ("exact" | "fast") recording which rate
-// kernel produced the numbers — fast-mode baselines must never gate exact
-// runs or vice versa — and the adaptive chain cases now couple neighbouring
-// islands (bench_util.h chain_circuit coupling_f) so they exercise the
-// partial-flagging regime instead of the degenerate flagged_fraction == 1.
-// v3: adds warm (4.2 K) adaptive chain cases in exact and fast-rates
-// variants — at T = 0 the fast kernel is byte-identical to the exact one,
-// so only a thermal case can regress the fast path — and gates
-// ns_per_rate_eval for adaptive cases alongside events/sec (a rate-kernel
-// regression can hide inside an events/sec number when the flagged count
-// shifts).
-constexpr const char* kSchema = "semsim.bench_hotpath/v3";
+// GateCase and the schema tag (with its version history) live in
+// gate_case.h, shared with the ISCAS-scale cases in iscas_scale.cpp.
+using bench::GateCase;
+constexpr const char* kSchema = bench::kGateSchema;
 
 /// Inter-island coupling for the ADAPTIVE chain cases: strong enough that
 /// every event gets the neighbours' junctions tested, weak enough that the
@@ -60,15 +54,6 @@ constexpr const char* kSchema = "semsim.bench_hotpath/v3";
 /// Non-adaptive cases keep the uncoupled circuit so events/sec comparisons
 /// against pre-coupling baselines stay apples-to-apples.
 constexpr double kAdaptiveCouplingF = 0.5e-18;
-
-struct GateCase {
-  std::string name;
-  int stages = 0;          ///< 0 for the end-to-end facade case
-  bool adaptive = true;
-  double events_per_sec = 0.0;
-  double ns_per_rate_eval = 0.0;
-  double flagged_fraction = -1.0;  ///< < 0: not applicable (non-adaptive)
-};
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -310,6 +295,7 @@ std::string cases_to_json(const std::vector<GateCase>& cases, double tolerance,
     w.field("name", c.name);
     w.field("stages", c.stages);
     w.field("adaptive", c.adaptive);
+    w.field("partitions", c.partitions);
     w.field("events_per_sec", c.events_per_sec);
     w.field("ns_per_rate_eval", c.ns_per_rate_eval);
     if (c.flagged_fraction >= 0.0) {
@@ -452,6 +438,10 @@ int main(int argc, char** argv) {
     // (baseline-recording) run.
     cases.push_back(measure_ensemble_case(256, 64));
     report(cases.back());
+
+    // ISCAS-scale domain-decomposition cases (iscas_scale.cpp). The 4k
+    // pair carries its own in-run require(): partitioned >= 3x solo.
+    bench::append_iscas_cases(cases, fast_rates);
 
     cases.push_back(measure_facade_case(fast_rates));
     std::printf("# %-28s %12.0f ev/s  %8.1f ns/rate-eval\n",

@@ -154,6 +154,7 @@ RunResult run(const RunRequest& request) {
   r.fast_rates = request.fast_rates;
   r.threads = request.threads;
   r.ensemble = request.ensemble;
+  r.partition = request.partition;
   return r;
 }
 
@@ -220,6 +221,22 @@ std::string RunResult::to_json(bool canonical) const {
 
   // v3: present only on ensemble runs; absent == exactly the v2 shape.
   if (driver.ensemble) write_ensemble(w, ensemble, *driver.ensemble);
+
+  // Partition spec echo, table-driven like the ensemble one; present only
+  // when the run was partitioned. The effective cluster count of the run
+  // is counters.units.
+  if (partition.enabled) {
+    w.key("partition").begin_object();
+#define SEMSIM_FIELD_JSON_U32(name, v) w.field(name, unsigned{v});
+#define SEMSIM_FIELD_JSON_F64(name, v) \
+  if (std::isfinite(v)) w.field(name, double{v});
+#define SEMSIM_PARTITION_FIELD(ident, member, KIND, json_name, cli_flag) \
+  SEMSIM_FIELD_JSON_##KIND(json_name, partition.member)
+#include "analysis/run_fields.inc"
+#undef SEMSIM_FIELD_JSON_U32
+#undef SEMSIM_FIELD_JSON_F64
+    w.end_object();
+  }
 
   w.key("stats");
   write_solver_stats(w, driver.stats);

@@ -68,6 +68,10 @@ struct RunResult {
   unsigned threads = 1;
   /// Spec echo for the v3 "ensemble" object (disabled on non-ensemble runs).
   EnsembleSpec ensemble;
+  /// Spec echo for the optional "partition" object (absent when disabled;
+  /// absent == exactly the pre-partition shape, same compatibility rule as
+  /// "ensemble").
+  PartitionSpec partition;
 
   /// Versioned machine-readable document: schema tag, run identity
   /// (fingerprint as a hex string — JSON numbers cannot carry 64 bits),

@@ -11,6 +11,7 @@
 #include "base/math_util.h"
 #include "base/random.h"
 #include "base/thread_pool.h"
+#include "core/partition.h"
 #include "guard/retry.h"
 
 namespace semsim {
@@ -52,6 +53,227 @@ void throw_if_cancelled(const CancelToken* cancel, const char* where) {
     throw Error(ErrorCode::kCancelled,
                 std::string("run cancelled before ") + where);
   }
+}
+
+/// The domain-decomposed measurement path (core/partition.h): one global
+/// trajectory advanced by per-cluster engines under conservative time
+/// windowing. Shape and estimator mirror the transient path — warm up,
+/// then measure the mean current from transfer-count deltas over the
+/// measured span — except the span is defined in events (`jumps`), the
+/// warm-up is `jumps`/10, and the standard error comes from eight
+/// contiguous blocks of per-barrier samples.
+///
+/// Checkpoint/bitwise contract: the run ALWAYS takes its per-cluster
+/// snapshots at the 32 fixed event milestones (unit 0 = warm-up), whether
+/// or not a checkpoint file is configured — Engine::snapshot() performs a
+/// canonicalizing full update, so snapshotting only on the checkpointed
+/// path would make checkpointed and plain runs diverge. With the
+/// milestones unconditional, a daemon job (spool-checkpointed) and a plain
+/// CLI run of the same request produce byte-identical result documents,
+/// and interrupted + resumed equals uninterrupted.
+DriverResult run_partitioned(const SimulationInput& input,
+                             const DriverOptions& options) {
+  // Coded kCircuitInvalid so the CLI exits 3 ("your input is wrong") and
+  // the daemon answers a coded error response, per the exit-code table.
+  require(!input.sweep.has_value(), ErrorCode::kCircuitInvalid,
+          "partition: sweeps are not supported; partition the single-run "
+          "measurement instead");
+  require(input.max_time == 0.0, ErrorCode::kCircuitInvalid,
+          "partition: time-bounded transients are not supported");
+  require(input.repeats <= 1, ErrorCode::kCircuitInvalid,
+          "partition: `jumps <n> <repeats>` multi-seed runs are not "
+          "supported");
+  require(!options.stop.convergence_enabled(), ErrorCode::kCircuitInvalid,
+          "partition: convergence stopping is not supported");
+
+  const EngineOptions eo = engine_options_for(input, options);
+  std::vector<CurrentProbe> probes;
+  for (const std::size_t j : input.record_junctions) probes.push_back({j, 1.0});
+  require(!probes.empty(),
+          "run_simulation: current measurement requires `record`");
+
+  std::optional<ParallelExecutor> owned_exec;
+  if (options.executor == nullptr) owned_exec.emplace(options.threads);
+  const ParallelExecutor& exec =
+      options.executor != nullptr ? *options.executor : *owned_exec;
+  const CheckpointConfig ckpt = checkpoint_config(input, options);
+
+  const std::uint64_t jumps = input.max_jumps > 0 ? input.max_jumps : 10000;
+  const std::uint64_t warmup = std::max<std::uint64_t>(jumps / 10, 100);
+  // The 1-cluster chunk size: run_events chunks are trajectory-neutral, so
+  // this only fixes where the (canonicalizing) milestones can land; any
+  // configuration-pure value works.
+  const std::uint64_t chunk =
+      std::max<std::uint64_t>(64, (warmup + jumps) / 256);
+  constexpr std::uint64_t kSlices = 32;
+  const auto milestone = [&](std::uint64_t u) {
+    return (jumps * u + kSlices - 1) / kSlices;
+  };
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  throw_if_cancelled(options.cancel, "partitioned run");
+  input.circuit.build_caches();
+  // The global model feeds only the planner's kappa scan; each cluster
+  // engine factorizes its own (much smaller) sub-circuit model.
+  const ElectrostaticModel model(input.circuit);
+  PartitionedEngine part(input.circuit, model, eo, options.partition, &exec);
+
+  std::unique_ptr<RunCheckpoint> cp;
+  if (ckpt.enabled()) {
+    BinaryWriter fp;
+    fp.u64(ckpt.fingerprint);
+    fp.str("partition");
+    fp.u64(kSlices);
+    cp = std::make_unique<RunCheckpoint>(
+        ckpt.path, fnv1a64(fp.bytes().data(), fp.bytes().size()), kSlices + 1,
+        ckpt.require_existing, ckpt.salvage);
+  }
+  if (options.progress != nullptr) {
+    options.progress->on_run_started(kSlices + 1, 0);
+  }
+
+  bool warmed = false;
+  std::uint64_t warm_events = 0;
+  double t0 = 0.0;
+  std::vector<double> q0;
+  // Per-barrier samples after warm-up: (time, summed signed transfer),
+  // feeding the blocked standard error below.
+  std::vector<double> sample_t;
+  std::vector<double> sample_q;
+
+  const auto signed_transfer = [&]() {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      acc += probes[i].sign * part.junction_transferred_e(probes[i].junction);
+    }
+    return acc;
+  };
+  const auto encode_state = [&]() {
+    BinaryWriter w;
+    const std::vector<EngineSnapshot> snaps = part.snapshot_clusters();
+    w.u32(static_cast<std::uint32_t>(snaps.size()));
+    for (const EngineSnapshot& s : snaps) encode_engine_snapshot(w, s);
+    w.u64(part.windows_done());
+    w.u8(warmed ? 1 : 0);
+    w.u64(warm_events);
+    w.f64(t0);
+    w.vec_f64(q0);
+    w.vec_f64(sample_t);
+    w.vec_f64(sample_q);
+    return w.take();
+  };
+
+  std::uint64_t next_unit = 0;
+  if (cp) {
+    const std::int64_t done = cp->last_unit();
+    if (done >= 0) {
+      // Named local: payload() returns by value and the reader only
+      // borrows the bytes.
+      const std::vector<std::uint8_t> state =
+          cp->payload(static_cast<std::size_t>(done));
+      BinaryReader r(state);
+      const std::uint32_t n = r.u32();
+      require(n == part.clusters(),
+              "checkpoint: partition cluster count mismatch");
+      std::vector<EngineSnapshot> snaps;
+      snaps.reserve(n);
+      for (std::uint32_t c = 0; c < n; ++c) {
+        snaps.push_back(decode_engine_snapshot(r));
+      }
+      const std::uint64_t windows = r.u64();
+      warmed = r.u8() != 0;
+      warm_events = r.u64();
+      t0 = r.f64();
+      q0 = r.vec_f64();
+      sample_t = r.vec_f64();
+      sample_q = r.vec_f64();
+      r.require_done();
+      part.restore_clusters(snaps, windows);
+      next_unit = static_cast<std::uint64_t>(done) + 1;
+    }
+  }
+
+  const auto reach_milestone = [&](std::uint64_t unit) {
+    const std::vector<std::uint8_t> state = encode_state();
+    if (cp) cp->record(unit, state);
+    if (options.progress != nullptr) {
+      options.progress->on_unit_done(static_cast<std::size_t>(unit));
+    }
+  };
+
+  while (next_unit <= kSlices) {
+    throw_if_cancelled(options.cancel, "partition window");
+    part.advance_window(chunk);
+    const std::uint64_t total = part.total_events();
+    if (!warmed && total >= warmup) {
+      warmed = true;
+      warm_events = total;
+      t0 = part.time();
+      q0.clear();
+      for (const CurrentProbe& p : probes) {
+        q0.push_back(part.junction_transferred_e(p.junction));
+      }
+      if (next_unit == 0) {
+        reach_milestone(0);
+        next_unit = 1;
+      }
+    }
+    if (warmed) {
+      sample_t.push_back(part.time());
+      sample_q.push_back(signed_transfer());
+      const std::uint64_t measured = total - warm_events;
+      while (next_unit <= kSlices && measured >= milestone(next_unit)) {
+        reach_milestone(next_unit);
+        ++next_unit;
+      }
+    }
+    if (part.exhausted()) break;  // nothing can ever fire again
+  }
+
+  DriverResult result;
+  CurrentEstimate est;
+  if (!warmed) {
+    // Exhausted before the warm-up target: measure nothing.
+    t0 = part.time();
+  }
+  const double dt = part.time() - t0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const double q_end = part.junction_transferred_e(probes[i].junction);
+    acc += probes[i].sign * kElementaryCharge *
+           (q_end - (i < q0.size() ? q0[i] : q_end));
+  }
+  est.mean = dt > 0.0 ? acc / static_cast<double>(probes.size()) / dt : 0.0;
+  est.sim_time = dt;
+  est.events = part.total_events();
+  // Blocked standard error: eight contiguous blocks of barrier samples,
+  // each contributing its own mean-current slope.
+  if (sample_t.size() >= 16) {
+    RunningStats blocks;
+    const std::size_t n = sample_t.size();
+    for (std::size_t b = 0; b < 8; ++b) {
+      const std::size_t lo = b * n / 8;
+      const std::size_t hi = std::min(n - 1, (b + 1) * n / 8);
+      const double bt = sample_t[hi] - sample_t[lo];
+      if (bt > 0.0) {
+        blocks.add(kElementaryCharge * (sample_q[hi] - sample_q[lo]) /
+                   static_cast<double>(probes.size()) / bt);
+      }
+    }
+    if (blocks.count() > 1) est.stderr_mean = blocks.stderr_mean();
+  }
+  result.current = est;
+  result.simulated_time = part.time();
+  result.events = part.total_events();
+  result.stats = part.merged_stats();
+  result.integrity.merge(part.merged_integrity());
+  result.counters.threads = exec.threads();
+  result.counters.absorb(result.stats);
+  result.counters.units = part.clusters();
+  result.counters.wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  return result;
 }
 
 }  // namespace
@@ -106,6 +328,15 @@ std::uint64_t run_fingerprint(const SimulationInput& input,
   SEMSIM_FIELD_FP_##KIND(options.ensemble.member)
 #include "analysis/run_fields.inc"
   }
+  // Partition appendix, gated exactly like the ensemble one: a disabled
+  // spec contributes zero bytes, so pre-partition fingerprints (and every
+  // cached result/checkpoint keyed by them) stay byte-identical.
+  if (options.partition.enabled) {
+    w.u8(1);
+#define SEMSIM_PARTITION_FIELD(ident, member, KIND, json_name, cli_flag) \
+  SEMSIM_FIELD_FP_##KIND(options.partition.member)
+#include "analysis/run_fields.inc"
+  }
 #undef SEMSIM_FIELD_FP_U64
 #undef SEMSIM_FIELD_FP_U32
 #undef SEMSIM_FIELD_FP_F64
@@ -120,6 +351,14 @@ DriverResult run_simulation(const SimulationInput& input,
   // values; everything below this dispatch is the single-device path the
   // ensemble driver builds on (and recurses into, with ensemble disabled).
   if (options.ensemble.enabled) return run_ensemble(input, options);
+
+  // Domain-decomposed single-run path (core/partition.h). Dispatched on
+  // the request flag, not the effective cluster count: a partition the
+  // planner refuses to cut still runs through the partitioned runner (on
+  // its bitwise-solo 1-cluster path), so the fingerprint, checkpoint
+  // layout and result document are consistent for every `--partitions`
+  // value.
+  if (options.partition.enabled) return run_partitioned(input, options);
 
   const EngineOptions eo = engine_options_for(input, options);
 

@@ -14,6 +14,7 @@
 #include "analysis/ensemble.h"
 #include "analysis/sweep.h"
 #include "base/cancel.h"
+#include "core/partition_spec.h"
 #include "netlist/parser.h"
 #include "obs/checkpoint.h"
 
@@ -77,6 +78,12 @@ struct RunOptionsCore {
   /// Fingerprinted (appended fields) only when enabled, so non-ensemble
   /// fingerprints are byte-identical to pre-ensemble builds.
   EnsembleSpec ensemble;
+
+  /// Domain-decomposed single-run execution (core/partition.h): split the
+  /// junction graph into weakly-coupled clusters and advance them in
+  /// conservative time windows. Fingerprinted (appended fields) only when
+  /// enabled, like the ensemble spec.
+  PartitionSpec partition;
 
   // ---- service hooks (analysis/api.h RunRequest mirrors these) --------
   // None of the three participates in run_fingerprint(): they observe or

@@ -296,17 +296,27 @@ void Engine::apply_charge_move_everywhere(NodeId from, NodeId to, double q) {
   const int kf = model_.island_index(from);
   const int kt = model_.island_index(to);
   double* v = node_v_.data();
+  std::size_t touched = 0;
   if (kf >= 0) {
     const double* row = model_.kappa_row(static_cast<std::size_t>(kf));
+    // Banded: kappa rows are flushed to exact zero outside
+    // [row_begin, row_end) at construction, so skipping the tails drops
+    // only exact-zero products — bitwise identical to the full loop.
+    const std::size_t b = model_.row_begin(static_cast<std::size_t>(kf));
+    const std::size_t e = model_.row_end(static_cast<std::size_t>(kf));
     const double dq = -q;
-    for (std::size_t k = 0; k < n_isl_; ++k) v[k] += row[k] * dq;
+    for (std::size_t k = b; k < e; ++k) v[k] += row[k] * dq;
+    touched += e - b;
   }
   if (kt >= 0) {
     const double* row = model_.kappa_row(static_cast<std::size_t>(kt));
-    for (std::size_t k = 0; k < n_isl_; ++k) v[k] += row[k] * q;
+    const std::size_t b = model_.row_begin(static_cast<std::size_t>(kt));
+    const std::size_t e = model_.row_end(static_cast<std::size_t>(kt));
+    for (std::size_t k = b; k < e; ++k) v[k] += row[k] * q;
+    touched += e - b;
   }
   // Lead-to-lead moves leave every island potential untouched.
-  if (kf >= 0 || kt >= 0) stats_.potential_node_updates += n_isl_;
+  stats_.potential_node_updates += touched;
 }
 
 void Engine::commit_flagged_rates() {
@@ -515,6 +525,35 @@ void Engine::set_dc_source(NodeId n, double volts) {
   next_breakpoint_ = refresh_next_breakpoint();
   // Each bias point gets its own wall-clock budget and progress window.
   auditor_.arm(time_, stats_.events);
+}
+
+void Engine::set_dc_sources(
+    const std::vector<std::pair<NodeId, double>>& sources) {
+  bool changed = false;
+  for (const auto& [node, volts] : sources) {
+    const int e = model_.external_index(node);
+    require(e >= 0, "set_dc_sources: node is not an external lead");
+    const std::size_t ei = static_cast<std::size_t>(e);
+    overridden_[ei] = true;
+    if (volts != node_v_[n_isl_ + ei]) {
+      node_v_[n_isl_ + ei] = volts;
+      changed = true;
+    }
+  }
+  // One exact recompute for the whole batch: full_update reads only the
+  // final lead potentials, so this matches N sequential set_dc_source
+  // calls bitwise at a fraction of the cost.
+  if (changed) full_update();
+  next_breakpoint_ = refresh_next_breakpoint();
+  auditor_.arm(time_, stats_.events);
+}
+
+void Engine::advance_time_to(double t) {
+  require(std::isfinite(t) && t >= time_,
+          "advance_time_to: target precedes the current clock");
+  require(!(std::isfinite(next_breakpoint_) && next_breakpoint_ <= t),
+          "advance_time_to: would skip a source breakpoint");
+  time_ = t;
 }
 
 void Engine::set_electron_counts(

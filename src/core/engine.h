@@ -105,6 +105,12 @@ class Engine {
   /// Sum of all channel rates [1/s].
   double total_rate() const { return rates_.total(); }
 
+  /// Next source-waveform edge after `time()`; +inf for DC-only drive.
+  /// A stuck engine (total rate 0) with no finite breakpoint can never
+  /// fire again — the partitioned runner uses this to tell "idle until a
+  /// source edge" from "exhausted forever".
+  double next_breakpoint() const noexcept { return next_breakpoint_; }
+
   /// Rate of one directed single-electron channel (diagnostics/tests).
   double junction_rate(std::size_t j, bool forward) const {
     return rates_.value(2 * j + (forward ? 0 : 1));
@@ -158,6 +164,23 @@ class Engine {
   /// rates immediately (adaptively when enabled). This is how sweeps move
   /// between bias points without rebuilding the engine.
   void set_dc_source(NodeId n, double volts);
+
+  /// Batch variant: overrides every listed external lead, then performs ONE
+  /// exact full update (and one breakpoint refresh / watchdog re-arm) for
+  /// the whole batch. Bitwise identical to the equivalent sequence of
+  /// set_dc_source calls — the full recompute depends only on the final
+  /// source values — but O(circuit) once instead of once per lead. The
+  /// partitioned runner uses this to synchronize every boundary potential
+  /// of a cluster at a window barrier.
+  void set_dc_sources(const std::vector<std::pair<NodeId, double>>& sources);
+
+  /// Advances the simulation clock to `t` without drawing RNG or executing
+  /// events. Only legal when the clock would cross no source breakpoint on
+  /// the way (throws otherwise) and `t` is not in the past. Used by the
+  /// partitioned runner to carry a stuck cluster (run_until returned false:
+  /// all rates zero, next breakpoint beyond `t`) to the window horizon so
+  /// every cluster clock agrees at the barrier.
+  void advance_time_to(double t);
 
   /// Executes one tunnel event. Returns false when no event can ever occur
   /// (all rates zero and no future source breakpoints) — the caller decides

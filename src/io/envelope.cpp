@@ -186,6 +186,71 @@ EnsembleSpec parse_ensemble_object(const JsonValue& obj) {
   return s;
 }
 
+// ---- partition section (field set from analysis/run_fields.inc) -----------
+
+void write_partition_object(JsonWriter& w, const PartitionSpec& s) {
+  w.key("partition").begin_object();
+#define SEMSIM_FIELD_WRITE_U64(member, json_name) w.field(json_name, s.member);
+#define SEMSIM_FIELD_WRITE_U32(member, json_name) \
+  w.field(json_name, unsigned{s.member});
+#define SEMSIM_FIELD_WRITE_BOOL(member, json_name) w.field(json_name, s.member);
+#define SEMSIM_FIELD_WRITE_F64(member, json_name) w.field(json_name, s.member);
+#define SEMSIM_PARTITION_FIELD(ident, member, KIND, json_name, cli_flag) \
+  SEMSIM_FIELD_WRITE_##KIND(member, json_name)
+#include "analysis/run_fields.inc"
+#undef SEMSIM_FIELD_WRITE_U64
+#undef SEMSIM_FIELD_WRITE_U32
+#undef SEMSIM_FIELD_WRITE_BOOL
+#undef SEMSIM_FIELD_WRITE_F64
+  w.end_object();
+}
+
+/// STRICT parse: unlike the ensemble object (whose unknown keys are
+/// ignored for forward compatibility), an unknown key inside "partition"
+/// rejects the request. The spec controls how the run decomposes; a typo'd
+/// knob silently running unpartitioned would look like a performance bug.
+PartitionSpec parse_partition_object(const JsonValue& obj) {
+  if (!obj.is_object()) bad("partition must be an object");
+  for (const auto& [key, value] : obj.members()) {
+    (void)value;
+    bool known = false;
+#define SEMSIM_PARTITION_FIELD(ident, member, KIND, json_name, cli_flag) \
+  if (key == json_name) known = true;
+#include "analysis/run_fields.inc"
+    if (!known) bad("partition: unknown field '" + key + "'");
+  }
+
+  PartitionSpec s;
+  s.enabled = true;  // presence on the wire == enabled
+#define SEMSIM_FIELD_PARSE_U64(member, json_name) \
+  s.member = u64_field(obj, json_name, s.member);
+#define SEMSIM_FIELD_PARSE_U32(member, json_name)                        \
+  {                                                                      \
+    const std::uint64_t v = u64_field(obj, json_name, s.member);         \
+    if (v > 0xFFFFFFFFULL) bad("partition." json_name " out of range");  \
+    s.member = static_cast<std::uint32_t>(v);                            \
+  }
+#define SEMSIM_FIELD_PARSE_BOOL(member, json_name) \
+  s.member = bool_field(obj, json_name, s.member);
+#define SEMSIM_FIELD_PARSE_F64(member, json_name) \
+  s.member = f64_field(obj, json_name, s.member);
+#define SEMSIM_PARTITION_FIELD(ident, member, KIND, json_name, cli_flag) \
+  SEMSIM_FIELD_PARSE_##KIND(member, json_name)
+#include "analysis/run_fields.inc"
+#undef SEMSIM_FIELD_PARSE_U64
+#undef SEMSIM_FIELD_PARSE_U32
+#undef SEMSIM_FIELD_PARSE_BOOL
+#undef SEMSIM_FIELD_PARSE_F64
+  // Structural checks mirroring PartitionSpec::validate, as coded
+  // ParseErrors so the daemon rejects the line instead of failing the job.
+  try {
+    s.validate();
+  } catch (const Error& e) {
+    bad(e.message());
+  }
+  return s;
+}
+
 }  // namespace
 
 const char* verb_name(RequestEnvelope::Verb verb) noexcept {
@@ -225,6 +290,7 @@ std::string encode_request_envelope(const RequestEnvelope& env) {
       w.field("max_attempts", unsigned{env.retry.max_attempts});
       w.end_object();
       if (env.ensemble.enabled) write_ensemble_object(w, env.ensemble);
+      if (env.partition.enabled) write_partition_object(w, env.partition);
       if (!env.fault.empty()) {
         w.key("fault").begin_array();
         for (const FaultSpec& f : env.fault.faults) {
@@ -349,6 +415,9 @@ RequestEnvelope parse_request_envelope(std::string_view line,
       if (const JsonValue* ensemble = doc.find("ensemble")) {
         if (!ensemble->is_object()) bad("'ensemble' must be an object");
         env.ensemble = parse_ensemble_object(*ensemble);
+      }
+      if (const JsonValue* partition = doc.find("partition")) {
+        env.partition = parse_partition_object(*partition);
       }
       if (const JsonValue* fault = doc.find("fault")) {
         if (!fault->is_array()) bad("'fault' must be an array");

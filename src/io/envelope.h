@@ -35,6 +35,7 @@
 
 #include "analysis/ensemble_spec.h"
 #include "core/options.h"
+#include "core/partition_spec.h"
 #include "guard/fault.h"
 #include "guard/retry.h"
 #include "io/json.h"
@@ -86,6 +87,12 @@ struct RequestEnvelope {
   /// SEMSIM_ENSEMBLE_FIELD table (analysis/run_fields.inc); absent on the
   /// wire == disabled, so pre-ensemble (v2-era) requests parse unchanged.
   EnsembleSpec ensemble;
+  /// Domain-decomposition spec (core/partition_spec.h). Travels as an
+  /// optional "partition" object (SEMSIM_PARTITION_FIELD table) parsed
+  /// STRICTLY: an unknown key inside the object rejects the request — a
+  /// typo'd partition knob must not silently run unpartitioned. Absent on
+  /// the wire == disabled.
+  PartitionSpec partition;
 };
 
 /// Stable verb spelling used on the wire ("submit", "status", ...).

@@ -24,4 +24,25 @@ struct RandomLogicSpec {
 /// Builds the netlist; input 0 toggles the chain, output 0 observes it.
 GateNetlist make_random_logic(const RandomLogicSpec& spec);
 
+/// N independent random-logic blocks merged into one netlist — the
+/// ISCAS-scale workload for the partitioned runner (core/partition.h): a
+/// single make_random_logic DAG is one strongly-coupled component (gate
+/// fanin capacitors are island-island couplings), so a cuttable fabric is
+/// several disjoint blocks, optionally tied by weak (~0.5 aF) wire
+/// couplers added to the elaborated circuit by the caller.
+struct RandomLogicBlocks {
+  GateNetlist netlist;
+  /// Chain (sensitized-path) output signal of each block.
+  std::vector<SignalId> chain_out;
+  /// Half-open signal-id range [first, last) of each block.
+  std::vector<std::pair<SignalId, SignalId>> signals;
+};
+
+/// Every block is sized `per_block.target_junctions` and generated on its
+/// own stream derive_stream_seed(per_block.seed, block); block 0 with
+/// `blocks` == 1 is NOT the same netlist as make_random_logic(per_block)
+/// (different stream), but the generation logic is shared.
+RandomLogicBlocks make_random_logic_blocks(const RandomLogicSpec& per_block,
+                                           std::size_t blocks);
+
 }  // namespace semsim

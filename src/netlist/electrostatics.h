@@ -63,6 +63,13 @@ class ElectrostaticModel {
     return kappa_.row_data(k);
   }
 
+  /// Nonzero extent [row_begin(k), row_end(k)) of kappa row k after the
+  /// construction-time flush (see row_begin_ below). Callers that scale a
+  /// row may skip the all-zero tails bitwise-safely: the skipped products
+  /// are exact zeros.
+  std::size_t row_begin(std::size_t k) const noexcept { return row_begin_[k]; }
+  std::size_t row_end(std::size_t k) const noexcept { return row_end_[k]; }
+
   /// kappa entry generalized to node ids: zero when either node is not an
   /// island (the convention of Eq. 2 — leads have no charging term).
   double kappa_node(NodeId a, NodeId b) const noexcept;

@@ -36,6 +36,7 @@ struct JobScheduler::Job {
   RetryPolicy retry;
   FaultPlan fault;  ///< owned copy; empty = no injection
   EnsembleSpec ensemble;  ///< disabled = single-device job
+  PartitionSpec partition;  ///< disabled = solo-engine job
   std::uint64_t fingerprint = 0;
   std::string checkpoint_path;  ///< spool file; "" = checkpointing off
   /// Absolute wall deadline (Unix epoch ms, 0 = none). Absolute so the
@@ -171,6 +172,7 @@ std::unique_ptr<JobScheduler::Job> JobScheduler::make_job(
   job->retry = env.retry;
   job->fault = env.fault;
   job->ensemble = env.ensemble;
+  job->partition = env.partition;
   job->client = env.client;
 
   RunRequest req;
@@ -180,6 +182,7 @@ std::unique_ptr<JobScheduler::Job> JobScheduler::make_job(
   req.fast_rates = job->fast_rates;
   req.stop = job->stop;
   req.ensemble = job->ensemble;
+  req.partition = job->partition;
   job->fingerprint = req.fingerprint();
   if (!config_.spool_dir.empty()) {
     job->checkpoint_path = config_.spool_dir + "/job-" +
@@ -630,6 +633,7 @@ void JobScheduler::execute(Job& job) {
   req.stop = job.stop;
   req.retry = job.retry;
   req.ensemble = job.ensemble;
+  req.partition = job.partition;
   req.checkpoint_path = job.checkpoint_path;
   if (!job.fault.empty()) req.fault_plan = &job.fault;
   req.executor = &executor_;

@@ -65,6 +65,8 @@ std::vector<std::string> corpus() {
     env.fault.faults.push_back(f);
     env.ensemble.enabled = true;
     env.ensemble.replicas = 8;
+    env.partition.enabled = true;
+    env.partition.clusters = 4;
     lines.push_back(encode_request_envelope(env));
   }
   for (const auto verb :
@@ -153,6 +155,35 @@ TEST(FuzzSmoke, RandomGarbageNeverCrashesTheParsers) {
       c = alphabet[draw(&state) % (sizeof(alphabet) - 1)];
     }
     expect_coded(s, limits);
+  }
+}
+
+TEST(FuzzSmoke, PartitionObjectRoundTripsAndRejectsUnknownFields) {
+  RequestEnvelope env;
+  env.verb = RequestEnvelope::Verb::kSubmit;
+  env.netlist = kSweepInput;
+  env.seed = 7;
+  env.partition.enabled = true;
+  env.partition.clusters = 4;
+  const std::string line = encode_request_envelope(env);
+
+  const RequestEnvelope back = parse_request_envelope(line, {});
+  EXPECT_TRUE(back.partition.enabled);
+  EXPECT_EQ(back.partition.clusters, 4u);
+
+  // The partition object is parsed STRICTLY: a typo'd knob must reject the
+  // request instead of silently running unpartitioned (io/envelope.cpp).
+  const std::string marker = "\"partition\":{";
+  const std::size_t at = line.find(marker);
+  ASSERT_NE(at, std::string::npos) << line;
+  std::string bogus = line;
+  bogus.insert(at + marker.size(), "\"bogus\":1,");
+  try {
+    parse_request_envelope(bogus, {});
+    FAIL() << "unknown partition field was accepted: " << bogus;
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParseSyntax);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
   }
 }
 

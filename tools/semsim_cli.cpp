@@ -47,6 +47,8 @@ void usage(const char* argv0) {
       "          [--ensemble-c-spread X] [--ensemble-c-dist D]\n"
       "          [--ensemble-t-spread X] [--ensemble-t-dist D]\n"
       "          [--ensemble-yield-min X] [--ensemble-yield-max X]\n"
+      "          [--partitions N] [--partition-window X]\n"
+      "          [--partition-threshold X]\n"
       "  --json FILE.json     write the versioned machine-readable result\n"
       "                       document (schema %s)\n"
       "  --canonical-json FILE  like --json, but omit the execution-\n"
@@ -91,6 +93,16 @@ void usage(const char* argv0) {
       "  --ensemble-*-dist D  draw distribution: gaussian (default) | uniform\n"
       "  --ensemble-yield-min/max X   |I| window a replica must land in to\n"
       "                       count toward the yield fraction\n"
+      "  --partitions N       domain-decompose the single-run measurement\n"
+      "                       into up to N weakly-coupled clusters advanced\n"
+      "                       under conservative time windows; any\n"
+      "                       --partition-* flag also enables this. The\n"
+      "                       planner never cuts a strongly-coupled\n"
+      "                       component, so the effective count may be lower\n"
+      "  --partition-window X synchronization window [s] (0 = auto from the\n"
+      "                       initial total rate)\n"
+      "  --partition-threshold X  normalized kappa coupling above which two\n"
+      "                       islands must share a cluster (default 0.025)\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 parse/circuit, 4 numeric or\n"
       "invariant violation, 5 I/O or checkpoint mismatch, 6 watchdog\n"
       "timeout, 8 completed degraded (some work units failed)\n",
@@ -187,6 +199,36 @@ bool parse_ensemble_flag(const std::string& a, int argc, char** argv, int& i,
   return false;
 }
 
+/// Partition flags, generated from the SEMSIM_PARTITION_FIELD table.
+/// Passing any of them enables partitioned execution.
+bool parse_partition_flag(const std::string& a, int argc, char** argv, int& i,
+                          PartitionSpec* spec) {
+  std::string v;
+#define SEMSIM_FIELD_CLI_U32(member, flag)                          \
+  if (flag_value(a, flag, argc, argv, i, &v)) {                     \
+    const std::uint64_t n = parse_u64(flag, v);                     \
+    if (n == 0 || n > 0xFFFFFFFFULL) {                              \
+      std::fprintf(stderr, "%s: out of range: %s\n", flag, v.c_str()); \
+      std::exit(2);                                                 \
+    }                                                               \
+    spec->member = static_cast<std::uint32_t>(n);                   \
+    spec->enabled = true;                                           \
+    return true;                                                    \
+  }
+#define SEMSIM_FIELD_CLI_F64(member, flag)        \
+  if (flag_value(a, flag, argc, argv, i, &v)) {   \
+    spec->member = parse_f64(flag, v);            \
+    spec->enabled = true;                         \
+    return true;                                  \
+  }
+#define SEMSIM_PARTITION_FIELD(ident, member, KIND, json_name, cli_flag) \
+  SEMSIM_FIELD_CLI_##KIND(member, cli_flag)
+#include "analysis/run_fields.inc"
+#undef SEMSIM_FIELD_CLI_U32
+#undef SEMSIM_FIELD_CLI_F64
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -261,6 +303,8 @@ int main(int argc, char** argv) {
       master_check = true;
     } else if (parse_ensemble_flag(a, argc, argv, i, &req.ensemble)) {
       // handled (any ensemble flag enables the ensemble)
+    } else if (parse_partition_flag(a, argc, argv, i, &req.partition)) {
+      // handled (any partition flag enables partitioned execution)
     } else if (a == "--help" || a == "-h") {
       usage(argv[0]);
       return 0;

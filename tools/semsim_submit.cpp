@@ -50,6 +50,8 @@ void usage(const char* argv0) {
       "              [--ensemble-{bg,r,c,t}-spread X]\n"
       "              [--ensemble-{bg,r,c,t}-dist gaussian|uniform]\n"
       "              [--ensemble-yield-min X] [--ensemble-yield-max X]\n"
+      "              [--partitions N] [--partition-window X]\n"
+      "              [--partition-threshold X]\n"
       "  status JOB     job state + streamed partial results\n"
       "  result JOB     completed job's canonical result document [--json F]\n"
       "  cancel JOB     stop a queued/running job (checkpointed if spooled)\n"
@@ -150,6 +152,36 @@ bool parse_ensemble_flag(const std::string& a, int argc, char** argv, int& i,
 #undef SEMSIM_FIELD_CLI_F64
 #undef SEMSIM_FIELD_CLI_BOOL
 #undef SEMSIM_FIELD_CLI_DIST
+  return false;
+}
+
+/// Partition flags (SEMSIM_PARTITION_FIELD table); any of them enables the
+/// envelope's optional "partition" section.
+bool parse_partition_flag(const std::string& a, int argc, char** argv, int& i,
+                          PartitionSpec* spec) {
+  std::string v;
+#define SEMSIM_FIELD_CLI_U32(member, flag)                          \
+  if (flag_value(a, flag, argc, argv, i, &v)) {                     \
+    const std::uint64_t n = parse_u64(flag, v);                     \
+    if (n == 0 || n > 0xFFFFFFFFULL) {                              \
+      std::fprintf(stderr, "%s: out of range: %s\n", flag, v.c_str()); \
+      std::exit(2);                                                 \
+    }                                                               \
+    spec->member = static_cast<std::uint32_t>(n);                   \
+    spec->enabled = true;                                           \
+    return true;                                                    \
+  }
+#define SEMSIM_FIELD_CLI_F64(member, flag)        \
+  if (flag_value(a, flag, argc, argv, i, &v)) {   \
+    spec->member = parse_f64(flag, v);            \
+    spec->enabled = true;                         \
+    return true;                                  \
+  }
+#define SEMSIM_PARTITION_FIELD(ident, member, KIND, json_name, cli_flag) \
+  SEMSIM_FIELD_CLI_##KIND(member, cli_flag)
+#include "analysis/run_fields.inc"
+#undef SEMSIM_FIELD_CLI_U32
+#undef SEMSIM_FIELD_CLI_F64
   return false;
 }
 
@@ -263,6 +295,8 @@ int main(int argc, char** argv) {
       env.client = v;
     } else if (parse_ensemble_flag(a, argc, argv, i, &env.ensemble)) {
       // handled (any ensemble flag enables the envelope's ensemble section)
+    } else if (parse_partition_flag(a, argc, argv, i, &env.partition)) {
+      // handled (any partition flag enables the envelope's partition section)
     } else if (flag_value(a, "--json", argc, argv, i, &v)) {
       json_path = v;
     } else if (a == "--help" || a == "-h") {
